@@ -1,0 +1,190 @@
+package tripwire
+
+// Ablation benchmarks for the paper's proposed extensions (§6.2.2, §7.2,
+// §7.3): multi-language heuristics, search-assisted page discovery, and the
+// attacker's sample-don't-sweep evasion strategy. Each bench measures the
+// extended configuration and asserts the expected direction of the effect
+// against the prototype baseline.
+
+import (
+	"testing"
+	"time"
+
+	"tripwire/internal/attacker"
+	"tripwire/internal/browser"
+	"tripwire/internal/captcha"
+	"tripwire/internal/crawler"
+	"tripwire/internal/emailprovider"
+	"tripwire/internal/geo"
+	"tripwire/internal/identity"
+	"tripwire/internal/imap"
+	"tripwire/internal/simclock"
+	"tripwire/internal/webgen"
+)
+
+// crawlSample crawls ranks 1..n of a fresh universe under cfg and returns
+// the number of OK submissions.
+func crawlSample(b *testing.B, ccfg crawler.Config, n int, withSearch bool) int {
+	b.Helper()
+	wcfg := webgen.DefaultConfig()
+	wcfg.NumSites = n
+	universe := webgen.Generate(wcfg)
+	if withSearch {
+		ccfg.SearchFn = universe.SearchRegistrationPages
+	}
+	gen := identity.NewGenerator("bigmail.test", 61)
+	solver := captcha.NewService(0.1, 0.2, 62)
+	c := crawler.New(ccfg, solver)
+	ok := 0
+	for rank := 1; rank <= n; rank++ {
+		site, _ := universe.SiteByRank(rank)
+		br := browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: universe}))
+		if c.Register(br, "http://"+site.Domain+"/", gen.New(identity.Hard)).Code == crawler.CodeOKSubmission {
+			ok++
+		}
+	}
+	return ok
+}
+
+// BenchmarkAblationLanguagePacks compares English-only crawling with the
+// §7.2 multi-language extension: "non-English sites alone make up more than
+// forty percent of all sites, none of which are presently evaluated."
+func BenchmarkAblationLanguagePacks(b *testing.B) {
+	const n = 250
+	base := crawler.DefaultConfig()
+	base.RateLimit = 0
+	withPacks := base
+	withPacks.Packs = crawler.BuiltinPacks()
+
+	var okBase, okPacks int
+	for i := 0; i < b.N; i++ {
+		okBase = crawlSample(b, base, n, false)
+		okPacks = crawlSample(b, withPacks, n, false)
+		if okPacks <= okBase {
+			b.Fatalf("language packs did not increase coverage: %d vs %d", okPacks, okBase)
+		}
+	}
+	b.ReportMetric(float64(okBase), "okSites/english-only")
+	b.ReportMetric(float64(okPacks), "okSites/with-packs")
+}
+
+// BenchmarkAblationSearchEngine compares link-text-only discovery with the
+// §6.2.2 search-assisted extension that finds registration pages hidden
+// behind image links and opaque paths.
+func BenchmarkAblationSearchEngine(b *testing.B) {
+	const n = 250
+	base := crawler.DefaultConfig()
+	base.RateLimit = 0
+
+	var okBase, okSearch int
+	for i := 0; i < b.N; i++ {
+		okBase = crawlSample(b, base, n, false)
+		okSearch = crawlSample(b, base, n, true)
+		if okSearch < okBase {
+			b.Fatalf("search assist reduced coverage: %d vs %d", okSearch, okBase)
+		}
+	}
+	b.ReportMetric(float64(okBase), "okSites/links-only")
+	b.ReportMetric(float64(okSearch), "okSites/with-search")
+}
+
+// BenchmarkAblationMultiStageSupport compares the prototype (which "makes
+// no attempt at handling multi-step forms", §7.2) against the extension
+// that continues through page two.
+func BenchmarkAblationMultiStageSupport(b *testing.B) {
+	wcfg := webgen.DefaultConfig()
+	wcfg.NumSites = 1500
+	universe := webgen.Generate(wcfg)
+	// Collect multi-stage eligible sites.
+	var targets []*webgen.Site
+	for _, s := range universe.Sites() {
+		if s.Eligible() && s.MultiStage && !s.JSForm && !s.ObscureRegLink && s.Captcha == captcha.None && !s.OddFieldNames {
+			targets = append(targets, s)
+		}
+	}
+	if len(targets) < 3 {
+		b.Fatalf("only %d multi-stage targets", len(targets))
+	}
+	run := func(multiStage bool) (ok int) {
+		ccfg := crawler.DefaultConfig()
+		ccfg.RateLimit = 0
+		ccfg.MultiStageSupport = multiStage
+		c := crawler.New(ccfg, captcha.NewService(0, 0, 81))
+		gen := identity.NewGenerator("bigmail.test", 82)
+		for _, s := range targets {
+			br := browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: universe}))
+			if c.Register(br, "http://"+s.Domain+"/", gen.New(identity.Hard)).Code == crawler.CodeOKSubmission {
+				ok++
+			}
+		}
+		return ok
+	}
+	var base, ext int
+	for i := 0; i < b.N; i++ {
+		base = run(false)
+		ext = run(true)
+		if ext <= base {
+			b.Fatalf("multi-stage support did not help: %d vs %d on %d sites", ext, base, len(targets))
+		}
+	}
+	b.ReportMetric(float64(base), "okSites/prototype")
+	b.ReportMetric(float64(ext), "okSites/multistage")
+	b.ReportMetric(float64(len(targets)), "targets")
+}
+
+// BenchmarkAblationEvasionSampling sweeps the attacker's CheckFraction and
+// measures how many planted honey credentials trip the wire: detection odds
+// fall roughly in proportion to the fraction of accounts the attacker tests
+// (paper §7.3).
+func BenchmarkAblationEvasionSampling(b *testing.B) {
+	run := func(fraction float64) int {
+		start := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+		end := start.Add(300 * 24 * time.Hour)
+		clock := simclock.New(start)
+		sched := simclock.NewScheduler(clock)
+		provider := emailprovider.New("bigmail.test")
+		provider.Now = clock.Now
+		pool := attacker.NewProxyPool(geo.NewSpace(), 71, 0.1)
+		stuffer := attacker.NewStuffer(imap.NewServer(provider), pool, clock.Now)
+		cfg := attacker.DefaultCampaignConfig(end)
+		cfg.CheckFraction = fraction
+		cfg.SpamProb = 0
+		camp := attacker.NewCampaign(cfg, sched, stuffer, provider)
+
+		// Plant 40 honey accounts in one plaintext store.
+		gen := identity.NewGenerator("bigmail.test", 72)
+		store := webgen.NewStore(webgen.StorePlaintext)
+		planted := make(map[string]bool)
+		for i := 0; i < 40; i++ {
+			id := gen.New(identity.Easy)
+			if provider.CreateAccount(id.Email, id.FullName(), id.Password) != nil {
+				continue
+			}
+			store.Create(id.Username, id.Email, id.Password, "", start)
+			planted[id.Email] = true
+		}
+		camp.Breach("evade.test", store, start.Add(24*time.Hour))
+		sched.RunUntil(end)
+
+		tripped := make(map[string]bool)
+		for _, ev := range provider.AllLogins() {
+			if planted[ev.Account] {
+				tripped[ev.Account] = true
+			}
+		}
+		return len(tripped)
+	}
+
+	var full, half, tenth int
+	for i := 0; i < b.N; i++ {
+		full = run(1.0)
+		half = run(0.5)
+		tenth = run(0.1)
+		if !(full > half && half > tenth) {
+			b.Fatalf("evasion ordering broken: full=%d half=%d tenth=%d", full, half, tenth)
+		}
+	}
+	b.ReportMetric(float64(full), "tripped/check-all")
+	b.ReportMetric(float64(half), "tripped/check-half")
+	b.ReportMetric(float64(tenth), "tripped/check-tenth")
+}

@@ -1,0 +1,3 @@
+module tripwire
+
+go 1.22

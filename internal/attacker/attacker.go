@@ -1,0 +1,397 @@
+package attacker
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"tripwire/internal/emailprovider"
+	"tripwire/internal/identity"
+	"tripwire/internal/simclock"
+	"tripwire/internal/webgen"
+)
+
+// Profile is an attacker's per-account access pattern. Table 3 of the paper
+// shows the full spread: single checks, slow recurring observation, and
+// heavy scraping with bursts.
+type Profile int
+
+const (
+	// ProfileOneShot verifies the credential once and never returns.
+	ProfileOneShot Profile = iota
+	// ProfileFewChecks logs in a handful of times over weeks.
+	ProfileFewChecks
+	// ProfileScraper siphons mail on a recurring cadence for months.
+	ProfileScraper
+	// ProfileBurstyMulti scrapes recurringly and sometimes fans a burst of
+	// logins across many distinct proxies within minutes (§6.4.2: 46
+	// distinct IPs over 10 minutes in the peak case).
+	ProfileBurstyMulti
+	// ProfileBurstySingle hammers the account dozens of times from one IP
+	// within seconds, then revisits.
+	ProfileBurstySingle
+)
+
+// String names the profile.
+func (p Profile) String() string {
+	switch p {
+	case ProfileOneShot:
+		return "one-shot"
+	case ProfileFewChecks:
+		return "few-checks"
+	case ProfileScraper:
+		return "scraper"
+	case ProfileBurstyMulti:
+		return "bursty-multi-ip"
+	case ProfileBurstySingle:
+		return "bursty-single-ip"
+	default:
+		return "Profile(?)"
+	}
+}
+
+// CampaignConfig tunes the attacker.
+type CampaignConfig struct {
+	Seed int64
+	// CrackDelay maps password-storage policy to how long after exfil the
+	// dictionary run produces usable credentials. Plaintext and reversible
+	// dumps are usable immediately; salted slow hashes take longest.
+	CrackDelayWeak   time.Duration
+	CrackDelayStrong time.Duration
+	// FirstUseDelay bounds the jitter between credentials becoming usable
+	// and the first stuffing attempt.
+	FirstUseDelayMin, FirstUseDelayMax time.Duration
+	// End stops all scheduling; recurrences are not booked past it.
+	End time.Time
+	// SpamProb is the per-account probability the attacker eventually
+	// sends spam through it (leading to provider deactivation).
+	SpamProb float64
+	// TakeoverProb is the per-account probability the attacker changes the
+	// password and strips forwarding (account g2 in the paper).
+	TakeoverProb float64
+	// CheckFraction is the share of recovered provider credentials the
+	// attacker actually tests. 1 (or 0, the zero value) tests everything;
+	// lower values model the paper's §7.3 evasion strategy: "the odds of
+	// detection are inversely proportional to the percentage of email
+	// accounts tested."
+	CheckFraction float64
+
+	// ResaleProb is the probability a cracked credential list is later
+	// sold on an underground market, triggering a second stuffing wave by
+	// the buyer (paper: bitcointalk's 2015 dump was "reportedly sold
+	// online in 2016"; §6.4.4 suggests attackers stockpile accounts "for
+	// later use or sale").
+	ResaleProb float64
+	// ResaleDelayMin/Max bound how long after cracking the sale happens.
+	ResaleDelayMin, ResaleDelayMax time.Duration
+}
+
+// DefaultCampaignConfig returns paper-shaped timings: the observed gap
+// between registration and first access ("Until" in Table 3) ranged from
+// days to over a year.
+func DefaultCampaignConfig(end time.Time) CampaignConfig {
+	return CampaignConfig{
+		Seed:             7,
+		CrackDelayWeak:   7 * 24 * time.Hour,
+		CrackDelayStrong: 45 * 24 * time.Hour,
+		FirstUseDelayMin: 24 * time.Hour,
+		FirstUseDelayMax: 45 * 24 * time.Hour,
+		End:              end,
+		SpamProb:         0.45,
+		TakeoverProb:     0.08,
+		ResaleProb:       0.15,
+		ResaleDelayMin:   120 * 24 * time.Hour,
+		ResaleDelayMax:   330 * 24 * time.Hour,
+	}
+}
+
+// Campaign drives breaches end to end: exfiltrate a site's account
+// database, crack it, and stuff recovered provider credentials via the
+// botnet, on the virtual-time schedule.
+type Campaign struct {
+	cfg      CampaignConfig
+	sched    *simclock.Scheduler
+	stuffer  *Stuffer
+	cracker  *Cracker
+	provider *emailprovider.Provider
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// breaches records exfil times per domain (ground truth for EXPERIMENTS).
+	breaches map[string]time.Time
+	dead     map[string]bool // accounts the attacker has abandoned
+	resales  []string        // domains whose dumps were resold
+}
+
+// NewCampaign assembles an attacker.
+func NewCampaign(cfg CampaignConfig, sched *simclock.Scheduler, stuffer *Stuffer, provider *emailprovider.Provider) *Campaign {
+	return &Campaign{
+		cfg:      cfg,
+		sched:    sched,
+		stuffer:  stuffer,
+		cracker:  &Cracker{Words: identity.DictionaryWords()},
+		provider: provider,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		breaches: make(map[string]time.Time),
+		dead:     make(map[string]bool),
+	}
+}
+
+// Breaches returns ground-truth exfil times by domain.
+func (c *Campaign) Breaches() map[string]time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]time.Time, len(c.breaches))
+	for d, t := range c.breaches {
+		out[d] = t
+	}
+	return out
+}
+
+// Breach schedules the compromise of domain at time when: the attacker
+// exfiltrates the store's dump, cracks it per the site's storage policy,
+// and begins stuffing recovered provider credentials.
+func (c *Campaign) Breach(domain string, store *webgen.Store, when time.Time) {
+	c.sched.At(when, "breach "+domain, func(now time.Time) {
+		c.mu.Lock()
+		c.breaches[domain] = now
+		c.mu.Unlock()
+		dump := store.Dump()
+		delay := c.crackDelay(store.Policy())
+		c.sched.After(delay, "crack "+domain, func(now time.Time) {
+			creds := c.cracker.Crack(dump)
+			provider := FilterByDomain(creds, c.provider.Domain())
+			for _, cred := range provider {
+				if c.cfg.CheckFraction > 0 && c.cfg.CheckFraction < 1 && !c.roll(c.cfg.CheckFraction) {
+					continue // evasive attacker: sample, don't sweep
+				}
+				c.scheduleStuffing(cred)
+			}
+			c.maybeResell(domain, provider)
+		})
+	})
+}
+
+// maybeResell lists the cracked credential set on an underground market;
+// months later a buyer runs a second stuffing wave with fresh behaviour
+// profiles against whatever accounts are still alive.
+func (c *Campaign) maybeResell(domain string, creds []Credential) {
+	if len(creds) == 0 || c.cfg.ResaleProb <= 0 || !c.roll(c.cfg.ResaleProb) {
+		return
+	}
+	spread := c.cfg.ResaleDelayMax - c.cfg.ResaleDelayMin
+	delay := c.cfg.ResaleDelayMin
+	if spread > 0 {
+		c.mu.Lock()
+		delay += time.Duration(c.rng.Int63n(int64(spread)))
+		c.mu.Unlock()
+	}
+	c.sched.After(delay, "resale of "+domain+" dump", func(now time.Time) {
+		if now.After(c.cfg.End) {
+			return
+		}
+		c.mu.Lock()
+		c.resales = append(c.resales, domain)
+		c.mu.Unlock()
+		for _, cred := range creds {
+			c.scheduleStuffing(cred)
+		}
+	})
+}
+
+// Resales lists domains whose dumps were resold (ground truth for tests).
+func (c *Campaign) Resales() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.resales))
+	copy(out, c.resales)
+	return out
+}
+
+func (c *Campaign) crackDelay(p webgen.StoragePolicy) time.Duration {
+	switch p {
+	case webgen.StorePlaintext, webgen.StoreReversible:
+		return time.Hour // read straight out of the dump
+	case webgen.StoreWeakHash:
+		return c.cfg.CrackDelayWeak
+	case webgen.StoreStrongHash:
+		return c.cfg.CrackDelayStrong
+	default:
+		return c.cfg.CrackDelayWeak
+	}
+}
+
+// scheduleStuffing samples a behaviour profile for the credential and books
+// its first access.
+func (c *Campaign) scheduleStuffing(cred Credential) {
+	c.mu.Lock()
+	profile := c.sampleProfile()
+	spam := c.rng.Float64() < c.cfg.SpamProb
+	takeover := c.rng.Float64() < c.cfg.TakeoverProb
+	spamAfter := 3 + c.rng.Intn(40)
+	first := c.cfg.FirstUseDelayMin + time.Duration(c.rng.Int63n(int64(c.cfg.FirstUseDelayMax-c.cfg.FirstUseDelayMin)))
+	c.mu.Unlock()
+
+	state := &accountState{cred: cred, profile: profile, willSpam: spam, willTakeover: takeover, spamAfter: spamAfter}
+	c.sched.After(first, "first-use "+cred.Email, func(now time.Time) {
+		c.access(state, now)
+	})
+}
+
+func (c *Campaign) sampleProfile() Profile {
+	r := c.rng.Float64()
+	switch {
+	case r < 0.15:
+		return ProfileOneShot
+	case r < 0.42:
+		return ProfileFewChecks
+	case r < 0.74:
+		return ProfileScraper
+	case r < 0.92:
+		return ProfileBurstyMulti
+	default:
+		return ProfileBurstySingle
+	}
+}
+
+type accountState struct {
+	cred         Credential
+	profile      Profile
+	logins       int
+	failures     int
+	willSpam     bool
+	willTakeover bool
+	spamAfter    int
+	tookOver     bool
+}
+
+// access performs one visit per the profile, then books the next.
+func (c *Campaign) access(st *accountState, now time.Time) {
+	c.mu.Lock()
+	if c.dead[st.cred.Email] {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+
+	siphon := st.profile == ProfileScraper || st.profile == ProfileBurstyMulti
+	switch st.profile {
+	case ProfileBurstyMulti:
+		// Occasionally fan out across many proxies within ~10 minutes.
+		// Tight retry loops on independent, flaky workers: "the systems
+		// used to login to accounts are very loosely coupled and failure
+		// is common" (§6.4.2).
+		if c.roll(0.16) {
+			n := 5 + c.intn(42)
+			for i := 0; i < n; i++ {
+				ok, _ := c.stuffOnce(st, siphon)
+				if ok {
+					st.logins++
+				} else {
+					st.failures++
+				}
+			}
+			c.afterLogins(st, now)
+			c.scheduleNext(st, now)
+			return
+		}
+	case ProfileBurstySingle:
+		// Each burst hammers the account from one worker IP "dozens or
+		// hundreds of times within a few seconds" (§6.4.2); the worker —
+		// and hence the IP — changes between bursts, bounding per-IP reuse
+		// near the paper's observed maximum of 58.
+		burstIP := c.stuffer.Pool.Next()
+		n := 10 + c.intn(35)
+		for i := 0; i < n; i++ {
+			if c.stuffer.TryLoginFrom(burstIP, st.cred, false) {
+				st.logins++
+			} else {
+				st.failures++
+			}
+		}
+		c.afterLogins(st, now)
+		c.scheduleNext(st, now)
+		return
+	}
+	ok, _ := c.stuffOnce(st, siphon)
+	if ok {
+		st.logins++
+	} else {
+		st.failures++
+	}
+	c.afterLogins(st, now)
+	c.scheduleNext(st, now)
+}
+
+func (c *Campaign) stuffOnce(st *accountState, siphon bool) (bool, netip.Addr) {
+	cred := st.cred
+	if st.tookOver {
+		cred.Password = takeoverPassword(cred.Email)
+	}
+	return c.stuffer.TryLogin(cred, siphon)
+}
+
+// afterLogins applies post-access abuse: takeover, spam (which gets the
+// account deactivated by the provider).
+func (c *Campaign) afterLogins(st *accountState, now time.Time) {
+	if st.logins == 0 {
+		return
+	}
+	if st.willTakeover && !st.tookOver && st.logins >= 3 {
+		c.provider.ChangePassword(st.cred.Email, takeoverPassword(st.cred.Email))
+		c.provider.RemoveForwarding(st.cred.Email)
+		st.tookOver = true
+	}
+	if st.willSpam && st.logins >= st.spamAfter {
+		c.provider.ReportSpam(st.cred.Email, 100+c.intn(900))
+		c.mu.Lock()
+		c.dead[st.cred.Email] = true
+		c.mu.Unlock()
+	}
+}
+
+// scheduleNext books the account's next visit per profile, abandoning
+// accounts whose value is exhausted or whose logins keep failing.
+func (c *Campaign) scheduleNext(st *accountState, now time.Time) {
+	if st.failures >= 30 && st.logins == 0 {
+		return // credential never worked; drop it
+	}
+	var gap time.Duration
+	switch st.profile {
+	case ProfileOneShot:
+		return
+	case ProfileFewChecks:
+		if st.logins+st.failures >= 2+c.intn(8) {
+			return
+		}
+		gap = time.Duration(3+c.intn(40)) * 24 * time.Hour
+	case ProfileScraper:
+		gap = time.Duration(2+c.intn(9)) * 24 * time.Hour
+	case ProfileBurstyMulti:
+		gap = time.Duration(2+c.intn(11)) * 24 * time.Hour
+	case ProfileBurstySingle:
+		gap = time.Duration(20+c.intn(41)) * 24 * time.Hour
+	}
+	next := now.Add(gap)
+	if next.After(c.cfg.End) {
+		return
+	}
+	c.sched.At(next, "revisit "+st.cred.Email, func(t time.Time) { c.access(st, t) })
+}
+
+func (c *Campaign) roll(p float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < p
+}
+
+func (c *Campaign) intn(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Intn(n)
+}
+
+// takeoverPassword is the deterministic password an attacker sets after
+// hijacking an account.
+func takeoverPassword(email string) string { return "hijacked-" + email }

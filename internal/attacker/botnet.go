@@ -1,0 +1,197 @@
+package attacker
+
+import (
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"tripwire/internal/geo"
+	"tripwire/internal/imap"
+	"tripwire/internal/pop3"
+)
+
+// ProxyPool models the attacker's access network: "a global network of
+// predominantly compromised residential machines acting as proxies" (paper
+// §6.4). Most logins come from fresh addresses; a minority of proxies are
+// reused, and a few are reused heavily.
+type ProxyPool struct {
+	mu    sync.Mutex
+	space *geo.Space
+	rng   *rand.Rand
+	used  []netip.Addr
+	// ReuseProb is the probability a login reuses a previously seen proxy
+	// instead of leasing a fresh one.
+	ReuseProb float64
+}
+
+// NewProxyPool returns a pool drawing from space.
+func NewProxyPool(space *geo.Space, seed int64, reuseProb float64) *ProxyPool {
+	return &ProxyPool{space: space, rng: rand.New(rand.NewSource(seed)), ReuseProb: reuseProb}
+}
+
+// Next leases an exit address for one login.
+func (p *ProxyPool) Next() netip.Addr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.used) > 0 && p.rng.Float64() < p.ReuseProb {
+		return p.used[p.rng.Intn(len(p.used))]
+	}
+	ip := p.space.SampleProxyIP(p.rng)
+	p.used = append(p.used, ip)
+	return ip
+}
+
+// DistinctCount returns how many distinct proxies have been leased.
+func (p *ProxyPool) DistinctCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.used)
+}
+
+// LoginRecord is the attacker-side log of one attempt against the provider.
+type LoginRecord struct {
+	Email   string
+	Time    time.Time
+	IP      netip.Addr
+	Success bool
+}
+
+// Stuffer performs credential-stuffing logins against an IMAP server using
+// the real protocol over in-memory connections, with the proxy exit address
+// injected as the remote IP the provider logs. A configurable minority of
+// attempts use POP3 instead, matching the paper's "typically via IMAP"
+// observation (§6.4).
+type Stuffer struct {
+	Server *imap.Server
+	Pool   *ProxyPool
+	// Now supplies virtual timestamps for the attacker-side log.
+	Now func() time.Time
+
+	mu      sync.Mutex
+	records []LoginRecord
+	pop     *pop3.Server
+	popFrac float64
+	popRng  *rand.Rand
+}
+
+// NewStuffer returns a stuffing engine against server.
+func NewStuffer(server *imap.Server, pool *ProxyPool, now func() time.Time) *Stuffer {
+	return &Stuffer{Server: server, Pool: pool, Now: now}
+}
+
+// UsePOP routes frac of future logins through the given POP3 server, the
+// way a minority of real collection tooling does.
+func (s *Stuffer) UsePOP(server *pop3.Server, frac float64, seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pop = server
+	s.popFrac = frac
+	s.popRng = rand.New(rand.NewSource(seed))
+}
+
+func (s *Stuffer) pickPOP() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pop != nil && s.popRng != nil && s.popRng.Float64() < s.popFrac
+}
+
+// TryLogin attempts one IMAP login with cred from a leased proxy. When
+// siphon is true and the login succeeds, the session selects INBOX and
+// fetches every message, modelling ongoing observation/scraping rather than
+// a bare credential check. It returns whether the login succeeded and the
+// exit IP used.
+func (s *Stuffer) TryLogin(cred Credential, siphon bool) (bool, netip.Addr) {
+	ip := s.Pool.Next()
+	ok := s.loginVia(ip, cred, siphon)
+	s.mu.Lock()
+	s.records = append(s.records, LoginRecord{Email: cred.Email, Time: s.Now(), IP: ip, Success: ok})
+	s.mu.Unlock()
+	return ok, ip
+}
+
+// TryLoginFrom is TryLogin pinned to a specific exit (single-IP burst
+// behaviour, paper §6.4.2).
+func (s *Stuffer) TryLoginFrom(ip netip.Addr, cred Credential, siphon bool) bool {
+	ok := s.loginVia(ip, cred, siphon)
+	s.mu.Lock()
+	s.records = append(s.records, LoginRecord{Email: cred.Email, Time: s.Now(), IP: ip, Success: ok})
+	s.mu.Unlock()
+	return ok
+}
+
+func (s *Stuffer) loginVia(ip netip.Addr, cred Credential, siphon bool) bool {
+	if s.pickPOP() {
+		return s.loginPOP(ip, cred, siphon)
+	}
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Server.ServeConn(server, ip)
+		server.Close()
+	}()
+	defer func() {
+		client.Close()
+		<-done
+	}()
+
+	c, err := imap.Dial(client)
+	if err != nil {
+		return false
+	}
+	if err := c.Login(cred.Email, cred.Password); err != nil {
+		_ = c.Logout()
+		return false
+	}
+	if siphon {
+		if n, err := c.Select("INBOX"); err == nil && n > 0 {
+			_, _ = c.Fetch(1, n)
+		}
+	}
+	_ = c.Logout()
+	return true
+}
+
+// loginPOP collects over POP3 instead of IMAP.
+func (s *Stuffer) loginPOP(ip netip.Addr, cred Credential, siphon bool) bool {
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.pop.ServeConn(server, ip)
+		server.Close()
+	}()
+	defer func() {
+		client.Close()
+		<-done
+	}()
+
+	c, err := pop3.Dial(client)
+	if err != nil {
+		return false
+	}
+	if err := c.Auth(cred.Email, cred.Password); err != nil {
+		_ = c.Quit()
+		return false
+	}
+	if siphon {
+		if n, err := c.Stat(); err == nil {
+			for i := 1; i <= n; i++ {
+				_, _ = c.Retr(i)
+			}
+		}
+	}
+	_ = c.Quit()
+	return true
+}
+
+// Records returns the attacker-side login log.
+func (s *Stuffer) Records() []LoginRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]LoginRecord, len(s.records))
+	copy(out, s.records)
+	return out
+}

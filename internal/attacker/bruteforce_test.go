@@ -1,0 +1,151 @@
+package attacker
+
+import (
+	"testing"
+	"time"
+
+	"tripwire/internal/browser"
+	"tripwire/internal/core"
+	"tripwire/internal/crawler"
+	"tripwire/internal/emailprovider"
+	"tripwire/internal/geo"
+	"tripwire/internal/identity"
+	"tripwire/internal/imap"
+	"tripwire/internal/simclock"
+	"tripwire/internal/webgen"
+)
+
+// bruteFixture builds a universe and returns a site configured for the
+// brute-force scenario, with a hard and an easy honey account registered.
+func bruteFixture(t *testing.T, rateLimited bool) (*webgen.Universe, *webgen.Site, *identity.Identity, *identity.Identity) {
+	t.Helper()
+	cfg := webgen.DefaultConfig()
+	cfg.NumSites = 300
+	u := webgen.Generate(cfg)
+	var site *webgen.Site
+	for _, s := range u.Sites() {
+		if s.Eligible() && !s.VerifyToLogin {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		t.Fatal("no usable site")
+	}
+	site.PublicMembers = true
+	site.RateLimitsLogin = rateLimited
+
+	gen := identity.NewGenerator("bigmail.test", 23+int64(boolToInt(rateLimited)))
+	hard := gen.New(identity.Hard)
+	easy := gen.New(identity.Easy)
+	st := u.Store(site.Domain)
+	for _, id := range []*identity.Identity{hard, easy} {
+		if _, err := st.Create(id.Username, id.Email, id.Password, "", time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return u, site, hard, easy
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func newBruteForcer(u *webgen.Universe) *BruteForcer {
+	return &BruteForcer{
+		Browser:              browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: u})),
+		Words:                identity.DictionaryWords(),
+		MaxGuessesPerAccount: 2000,
+	}
+}
+
+func TestHarvestUsernames(t *testing.T) {
+	u, site, hard, easy := bruteFixture(t, false)
+	bf := newBruteForcer(u)
+	users := bf.HarvestUsernames(site.Domain)
+	if len(users) != 2 {
+		t.Fatalf("harvested %d usernames: %v", len(users), users)
+	}
+	found := map[string]bool{}
+	for _, x := range users {
+		found[x] = true
+	}
+	if !found[hard.Username] || !found[easy.Username] {
+		t.Fatalf("member list missing honey usernames: %v", users)
+	}
+	// Sites without a public directory yield nothing.
+	site.PublicMembers = false
+	if got := bf.HarvestUsernames(site.Domain); len(got) != 0 {
+		t.Fatalf("harvest on private site returned %v", got)
+	}
+}
+
+func TestBruteForceRecoversEasyOnly(t *testing.T) {
+	u, site, hard, easy := bruteFixture(t, false)
+	bf := newBruteForcer(u)
+	creds := bf.Attack(site.Domain)
+	if len(creds) != 1 {
+		t.Fatalf("recovered %d credentials, want exactly the easy one", len(creds))
+	}
+	got := creds[0]
+	if got.Username != easy.Username || got.Password != easy.Password {
+		t.Fatalf("recovered %+v", got)
+	}
+	if got.Email != easy.Email {
+		t.Fatalf("email scrape failed: %q, want %q", got.Email, easy.Email)
+	}
+	_ = hard // hard password is outside any dictionary: never recovered
+}
+
+func TestBruteForceDefeatedByRateLimit(t *testing.T) {
+	u, site, _, _ := bruteFixture(t, true)
+	bf := newBruteForcer(u)
+	if creds := bf.Attack(site.Domain); len(creds) != 0 {
+		t.Fatalf("rate-limited site still yielded %v", creds)
+	}
+}
+
+// TestBruteForceDetectedByTripwire runs the full §6.3.5 scenario: no
+// database breach at all — the attacker guesses a site password online,
+// pivots to the provider, and Tripwire still (correctly) declares the site
+// compromised.
+func TestBruteForceDetectedByTripwire(t *testing.T) {
+	u, site, _, easy := bruteFixture(t, false)
+
+	start := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := simclock.New(start)
+	provider := emailprovider.New("bigmail.test")
+	provider.Now = clock.Now
+	if err := provider.CreateAccount(easy.Email, easy.FullName(), easy.Password); err != nil {
+		t.Fatal(err)
+	}
+	ledger := core.NewLedger()
+	ledger.AddIdentity(easy)
+	ledger.Burn(ledger.Take(identity.Easy), site.Domain, site.Rank, site.Category, start, crawler.CodeOKSubmission, false)
+	monitor := core.NewMonitor(ledger, start)
+
+	// Attack: online guessing, then credential stuffing at the provider.
+	bf := newBruteForcer(u)
+	creds := bf.Attack(site.Domain)
+	if len(creds) != 1 {
+		t.Fatalf("brute force recovered %d creds", len(creds))
+	}
+	pool := NewProxyPool(geo.NewSpace(), 31, 0.1)
+	stuffer := NewStuffer(imap.NewServer(provider), pool, clock.Now)
+	clock.Advance(24 * time.Hour)
+	if ok, _ := stuffer.TryLogin(creds[0], true); !ok {
+		t.Fatal("stuffing the brute-forced credential failed")
+	}
+
+	monitor.Ingest(provider.DumpSince(start))
+	det, ok := monitor.Detection(site.Domain)
+	if !ok {
+		t.Fatal("brute-force compromise went undetected")
+	}
+	if det.AccountsAccessed != 1 {
+		t.Fatalf("accessed = %d", det.AccountsAccessed)
+	}
+}

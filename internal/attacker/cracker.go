@@ -1,0 +1,127 @@
+// Package attacker simulates the adversary whose behaviour Tripwire
+// detects: it breaches site account databases, runs a real dictionary
+// attack against hashed dumps (recovering exactly the easy passwords, never
+// the hard ones), and feeds recovered credentials into a credential-
+// stuffing botnet that logs in to the email provider over IMAP through a
+// global residential proxy network — reproducing the login telemetry of
+// paper §6.4.
+package attacker
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+
+	"tripwire/internal/webgen"
+)
+
+// Credential is one recovered (email, password) pair.
+type Credential struct {
+	Username string
+	Email    string
+	Password string
+}
+
+// Cracker recovers plaintext passwords from a breached dump. The wordlist
+// is the attacker's dictionary; easy passwords (Word+digit) are inside it
+// by construction, hard random passwords are not — so recovery rates follow
+// from actual hash computation rather than simulation fiat.
+type Cracker struct {
+	// Words is the dictionary of seven-letter base words.
+	Words []string
+	// Workers bounds cracking concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// candidates enumerates the dictionary-attack candidate passwords:
+// capitalized word + single digit, the dominant weak-password shape.
+func (c *Cracker) candidates() []string {
+	out := make([]string, 0, len(c.Words)*10)
+	for _, w := range c.Words {
+		cap := strings.ToUpper(w[:1]) + w[1:]
+		for d := '0'; d <= '9'; d++ {
+			out = append(out, cap+string(d))
+		}
+	}
+	return out
+}
+
+// Crack processes a dump and returns every credential the attacker
+// recovers. Plaintext and reversible entries are recovered outright;
+// hashed entries fall only to the dictionary.
+func (c *Cracker) Crack(dump []webgen.DumpEntry) []Credential {
+	cands := c.candidates()
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan webgen.DumpEntry)
+	results := make(chan Credential)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := range jobs {
+				if pw, ok := crackOne(e, cands); ok {
+					results <- Credential{Username: e.Username, Email: e.Email, Password: pw}
+				}
+			}
+		}()
+	}
+	go func() {
+		for _, e := range dump {
+			jobs <- e
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	var out []Credential
+	for cred := range results {
+		out = append(out, cred)
+	}
+	sortCreds(out)
+	return out
+}
+
+// crackOne attempts recovery of a single entry.
+func crackOne(e webgen.DumpEntry, cands []string) (string, bool) {
+	switch e.Policy {
+	case webgen.StorePlaintext:
+		return e.Stored, true
+	case webgen.StoreReversible:
+		return webgen.DecodeReversible(e.Stored)
+	case webgen.StoreWeakHash, webgen.StoreStrongHash:
+		for _, cand := range cands {
+			if webgen.EncodePassword(e.Policy, cand, e.Salt) == e.Stored {
+				return cand, true
+			}
+		}
+		return "", false
+	default:
+		return "", false
+	}
+}
+
+// FilterByDomain keeps only credentials whose email is under domain — the
+// attacker testing "the most sensitive and important credentials", those at
+// a major email provider (paper §1).
+func FilterByDomain(creds []Credential, domain string) []Credential {
+	var out []Credential
+	suffix := "@" + strings.ToLower(domain)
+	for _, c := range creds {
+		if strings.HasSuffix(strings.ToLower(c.Email), suffix) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func sortCreds(cs []Credential) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].Email < cs[j-1].Email; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

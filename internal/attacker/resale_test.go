@@ -1,0 +1,80 @@
+package attacker
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tripwire/internal/emailprovider"
+	"tripwire/internal/geo"
+	"tripwire/internal/identity"
+	"tripwire/internal/imap"
+	"tripwire/internal/simclock"
+	"tripwire/internal/webgen"
+)
+
+// resaleFixture runs one plaintext breach with the given resale settings
+// and returns the campaign, provider, and breach time.
+func resaleFixture(t *testing.T, resaleProb float64) (*Campaign, *emailprovider.Provider, time.Time, time.Time) {
+	t.Helper()
+	start := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(700 * 24 * time.Hour)
+	clock := simclock.New(start)
+	sched := simclock.NewScheduler(clock)
+	provider := emailprovider.New("bigmail.test")
+	provider.Now = clock.Now
+	pool := NewProxyPool(geo.NewSpace(), 41, 0.1)
+	stuffer := NewStuffer(imap.NewServer(provider), pool, clock.Now)
+	cfg := DefaultCampaignConfig(end)
+	cfg.SpamProb = 0
+	cfg.TakeoverProb = 0
+	cfg.ResaleProb = resaleProb
+	cfg.ResaleDelayMin = 200 * 24 * time.Hour
+	cfg.ResaleDelayMax = 201 * 24 * time.Hour
+	camp := NewCampaign(cfg, sched, stuffer, provider)
+
+	gen := identity.NewGenerator("bigmail.test", 43)
+	store := webgen.NewStore(webgen.StorePlaintext)
+	for i := 0; i < 6; i++ {
+		id := gen.New(identity.Easy)
+		if err := provider.CreateAccount(id.Email, id.FullName(), id.Password); err != nil {
+			t.Fatal(err)
+		}
+		local := strings.Split(id.Email, "@")[0]
+		store.Create(local, id.Email, id.Password, "", start)
+	}
+	breachAt := start.Add(24 * time.Hour)
+	camp.Breach("resalesite.test", store, breachAt)
+	sched.RunUntil(end)
+	return camp, provider, breachAt, end
+}
+
+func TestResaleProducesSecondWave(t *testing.T) {
+	camp, provider, breachAt, _ := resaleFixture(t, 1.0)
+	if got := camp.Resales(); len(got) != 1 || got[0] != "resalesite.test" {
+		t.Fatalf("Resales = %v", got)
+	}
+	// Logins must appear both before and after the resale moment.
+	resaleAt := breachAt.Add(time.Hour /*crack*/ + 200*24*time.Hour)
+	var before, after int
+	for _, ev := range provider.AllLogins() {
+		if ev.Time.Before(resaleAt) {
+			before++
+		} else {
+			after++
+		}
+	}
+	if before == 0 {
+		t.Fatal("no first-wave logins")
+	}
+	if after == 0 {
+		t.Fatal("no second-wave logins after the resale (paper: bitcointalk dump resold a year later)")
+	}
+}
+
+func TestNoResaleNoSecondWave(t *testing.T) {
+	camp, _, _, _ := resaleFixture(t, 0)
+	if got := camp.Resales(); len(got) != 0 {
+		t.Fatalf("Resales = %v with ResaleProb 0", got)
+	}
+}

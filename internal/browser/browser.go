@@ -1,0 +1,141 @@
+// Package browser is a from-scratch headless web browser: it fetches pages
+// over HTTP, maintains cookies, parses HTML into a DOM (internal/htmldom),
+// resolves links, and fills and submits forms. It replaces the PhantomJS/
+// WebKit engine the paper's crawler scripted (paper §4.3.1), providing the
+// same capability surface the registration heuristics require.
+package browser
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"strings"
+
+	"tripwire/internal/htmldom"
+)
+
+// Page is one fetched and parsed document.
+type Page struct {
+	URL        *url.URL // final URL after redirects
+	StatusCode int
+	Raw        string
+	DOM        *htmldom.Node
+}
+
+// Link is an anchor on a page with its resolved destination.
+type Link struct {
+	URL  *url.URL
+	Text string // visible anchor text ("" for image-only links)
+	Node *htmldom.Node
+}
+
+// Client is a headless browser session. Construct with New; the zero value
+// is not usable.
+type Client struct {
+	hc *http.Client
+	// UserAgent is sent on every request.
+	UserAgent string
+	// MaxBodyBytes caps how much of a response body is read.
+	MaxBodyBytes int64
+	// pageLoads counts fetches, for rate-limit accounting by the caller.
+	pageLoads int
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTransport sets the underlying RoundTripper (e.g. an in-process
+// handler transport or a proxy-bound transport).
+func WithTransport(rt http.RoundTripper) Option {
+	return func(c *Client) { c.hc.Transport = rt }
+}
+
+// New returns a browser session with a fresh cookie jar.
+func New(opts ...Option) *Client {
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		panic(err) // cookiejar.New with nil options cannot fail
+	}
+	c := &Client{
+		hc:           &http.Client{Jar: jar},
+		UserAgent:    "Mozilla/5.0 (compatible; tripwire-crawler/1.0)",
+		MaxBodyBytes: 4 << 20,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// PageLoads returns the number of HTTP fetches performed so far.
+func (c *Client) PageLoads() int { return c.pageLoads }
+
+// Get fetches and parses the page at rawURL.
+func (c *Client) Get(rawURL string) (*Page, error) {
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("browser: building request for %q: %w", rawURL, err)
+	}
+	return c.do(req)
+}
+
+// Post submits an application/x-www-form-urlencoded POST.
+func (c *Client) Post(rawURL string, form url.Values) (*Page, error) {
+	req, err := http.NewRequest(http.MethodPost, rawURL, strings.NewReader(form.Encode()))
+	if err != nil {
+		return nil, fmt.Errorf("browser: building POST for %q: %w", rawURL, err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	return c.do(req)
+}
+
+func (c *Client) do(req *http.Request) (*Page, error) {
+	req.Header.Set("User-Agent", c.UserAgent)
+	c.pageLoads++
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("browser: fetch %s: %w", req.URL, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.MaxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("browser: reading %s: %w", req.URL, err)
+	}
+	raw := string(body)
+	return &Page{
+		URL:        resp.Request.URL,
+		StatusCode: resp.StatusCode,
+		Raw:        raw,
+		DOM:        htmldom.Parse(raw),
+	}, nil
+}
+
+// Links returns every anchor on the page with a resolvable href.
+func (p *Page) Links() []Link {
+	var out []Link
+	for _, a := range p.DOM.ElementsByTag("a") {
+		href, ok := a.Attr("href")
+		if !ok || href == "" || strings.HasPrefix(href, "javascript:") || strings.HasPrefix(href, "#") {
+			continue
+		}
+		u, err := p.URL.Parse(href)
+		if err != nil {
+			continue
+		}
+		out = append(out, Link{URL: u, Text: a.Text(), Node: a})
+	}
+	return out
+}
+
+// Title returns the page's <title> text.
+func (p *Page) Title() string {
+	if t := p.DOM.First(func(n *htmldom.Node) bool { return n.Tag == "title" }); t != nil {
+		return t.Text()
+	}
+	return ""
+}
+
+// OK reports whether the page loaded with a 2xx status.
+func (p *Page) OK() bool { return p.StatusCode >= 200 && p.StatusCode < 300 }

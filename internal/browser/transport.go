@@ -1,0 +1,115 @@
+package browser
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"sync"
+)
+
+// HandlerTransport is an http.RoundTripper that dispatches requests to an
+// in-process http.Handler without touching the network. The simulation uses
+// it so a year-long crawl of tens of thousands of sites runs in seconds;
+// the same code paths (request construction, redirects, cookies, body
+// handling) execute as over TCP.
+type HandlerTransport struct {
+	Handler http.Handler
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rw := newRecorder()
+	inner := req.Clone(req.Context())
+	if inner.Body == nil {
+		inner.Body = http.NoBody
+	}
+	if inner.Host == "" {
+		inner.Host = req.URL.Host
+	}
+	t.Handler.ServeHTTP(rw, inner)
+	return rw.response(req), nil
+}
+
+// recorder is a minimal in-memory http.ResponseWriter.
+type recorder struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+	wrote  bool
+}
+
+func newRecorder() *recorder {
+	return &recorder{code: http.StatusOK, header: make(http.Header)}
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.body.Write(p)
+}
+
+func (r *recorder) response(req *http.Request) *http.Response {
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", r.code, http.StatusText(r.code)),
+		StatusCode:    r.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        r.header,
+		Body:          io.NopCloser(bytes.NewReader(r.body.Bytes())),
+		ContentLength: int64(r.body.Len()),
+		Request:       req,
+	}
+}
+
+// ProxyTransport wraps a RoundTripper, stamping each outbound request with
+// a source IP drawn from a rotating proxy set and recording which IP each
+// host saw. It models the paper's §4.3.2 proxy network: "websites receive
+// at most one account registration from a given IP."
+type ProxyTransport struct {
+	Base http.RoundTripper
+	// NextIP selects the source address for a host. It is called once per
+	// host; the choice is cached so retries reuse the same exit.
+	NextIP func(host string) netip.Addr
+
+	mu     sync.Mutex
+	byHost map[string]netip.Addr
+}
+
+// RoundTrip implements http.RoundTripper, adding an X-Forwarded-For header
+// carrying the chosen exit IP (the synthetic web reads it as the client
+// address).
+func (t *ProxyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Hostname()
+	t.mu.Lock()
+	if t.byHost == nil {
+		t.byHost = make(map[string]netip.Addr)
+	}
+	ip, ok := t.byHost[host]
+	if !ok {
+		ip = t.NextIP(host)
+		t.byHost[host] = ip
+	}
+	t.mu.Unlock()
+	r2 := req.Clone(req.Context())
+	r2.Header.Set("X-Forwarded-For", ip.String())
+	return t.Base.RoundTrip(r2)
+}
+
+// ExitIP returns the exit address assigned to host, if one has been used.
+func (t *ProxyTransport) ExitIP(host string) (netip.Addr, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ip, ok := t.byHost[host]
+	return ip, ok
+}

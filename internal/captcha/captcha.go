@@ -1,0 +1,241 @@
+// Package captcha models the bot-detection checks Tripwire's crawler
+// encountered on registration forms and the third-party CAPTCHA-solving
+// service it used to bypass them (paper §4.3.2, §7.2). Solving services
+// have non-trivial error rates; modern interactive challenges are not
+// solvable by the crawler at all.
+package captcha
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+// Kind is the type of bot check on a form.
+type Kind int
+
+const (
+	// None means no bot check.
+	None Kind = iota
+	// Image is a distorted-text image; solving services handle these with
+	// an error rate.
+	Image
+	// Knowledge is a free-form common-knowledge question; services solve a
+	// subset.
+	Knowledge
+	// Interactive is a modern challenge (reCAPTCHA, KeyCAPTCHA) the
+	// crawler has no ability to handle.
+	Interactive
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Image:
+		return "image"
+	case Knowledge:
+		return "knowledge"
+	case Interactive:
+		return "interactive"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Challenge is one CAPTCHA instance embedded in a registration form.
+type Challenge struct {
+	ID     string
+	Kind   Kind
+	Prompt string // knowledge question text, or alt text for images
+}
+
+// Issuer mints challenges whose answers are an HMAC of the challenge ID
+// under the issuer's secret: the server can recompute the expected answer
+// without storing per-challenge state, like a stateless CAPTCHA cookie.
+type Issuer struct {
+	secret []byte
+}
+
+// NewIssuer returns an Issuer with the given site secret.
+func NewIssuer(secret string) *Issuer {
+	return &Issuer{secret: []byte(secret)}
+}
+
+// knowledgeQA is the pool of common-knowledge questions sites draw from.
+var knowledgeQA = []struct{ q, a string }{
+	{"What color is the sky on a clear day?", "blue"},
+	{"How many days are in a week?", "7"},
+	{"What is two plus three?", "5"},
+	{"Type the word 'human' to prove you are one", "human"},
+	{"What is the opposite of day?", "night"},
+	{"How many legs does a cat have?", "4"},
+	{"What planet do we live on?", "earth"},
+	{"What is ten minus four?", "6"},
+}
+
+// Issue mints a challenge of the given kind. rng supplies the instance
+// randomness (challenge ID, question selection).
+func (is *Issuer) Issue(kind Kind, rng *rand.Rand) Challenge {
+	id := fmt.Sprintf("c%08x%08x", rng.Uint32(), rng.Uint32())
+	ch := Challenge{ID: id, Kind: kind}
+	switch kind {
+	case Image:
+		ch.Prompt = "Enter the characters shown in the image"
+	case Knowledge:
+		qa := knowledgeQA[rng.Intn(len(knowledgeQA))]
+		// Encode the question index into the ID so Answer can recompute.
+		ch.ID = fmt.Sprintf("k%d-%s", indexOf(qa.q), id)
+		ch.Prompt = qa.q
+	case Interactive:
+		ch.Prompt = "Complete the interactive verification"
+	}
+	return ch
+}
+
+func indexOf(q string) int {
+	for i, qa := range knowledgeQA {
+		if qa.q == q {
+			return i
+		}
+	}
+	return 0
+}
+
+// Answer returns the expected answer for a challenge minted by this issuer.
+// For Interactive challenges the "answer" is the proof token the widget
+// would mint after a human completes it; automated solvers cannot produce
+// it, humans (with a real browser session) can.
+func (is *Issuer) Answer(ch Challenge) string {
+	switch ch.Kind {
+	case Image:
+		mac := hmac.New(sha256.New, is.secret)
+		mac.Write([]byte(ch.ID))
+		return hex.EncodeToString(mac.Sum(nil))[:6]
+	case Knowledge:
+		var idx int
+		if n, _ := fmt.Sscanf(ch.ID, "k%d-", &idx); n == 1 && idx >= 0 && idx < len(knowledgeQA) {
+			return knowledgeQA[idx].a
+		}
+		return ""
+	case Interactive:
+		mac := hmac.New(sha256.New, is.secret)
+		mac.Write([]byte("interactive:" + ch.ID))
+		return "itoken-" + hex.EncodeToString(mac.Sum(nil))[:16]
+	default:
+		return ""
+	}
+}
+
+// Verify checks a submitted answer.
+func (is *Issuer) Verify(ch Challenge, answer string) bool {
+	if ch.Kind == None {
+		return true
+	}
+	want := is.Answer(ch)
+	return want != "" && strings.EqualFold(strings.TrimSpace(answer), want)
+}
+
+// ImagePrefix marks synthetic CAPTCHA image bytes. A real distorted-text
+// image renders its answer as pixels; the synthetic stand-in renders it as
+// "PNGDATA:<answer>". Solving services (and only they, plus humans) read it
+// back out — the crawler never inspects image content itself.
+const ImagePrefix = "PNGDATA:"
+
+// RenderImage produces the synthetic image bytes for a challenge.
+func (is *Issuer) RenderImage(ch Challenge) string {
+	return ImagePrefix + is.Answer(ch)
+}
+
+// Service is a third-party CAPTCHA-solving service. It is handed what a
+// human solver would see — the image content, or the question text — and
+// returns an answer. Real services charge per solve and return wrong
+// answers at a measurable rate (Motoyama et al., cited in the paper);
+// Service reproduces the error rates.
+type Service struct {
+	mu sync.Mutex
+	// ImageErrorRate and KnowledgeErrorRate are the probabilities of a
+	// wrong answer for the respective kinds.
+	ImageErrorRate     float64
+	KnowledgeErrorRate float64
+	rng                *rand.Rand
+
+	solved int
+	failed int
+}
+
+// NewService returns a solving service with the given error rates.
+func NewService(imageErr, knowledgeErr float64, seed int64) *Service {
+	return &Service{
+		ImageErrorRate:     imageErr,
+		KnowledgeErrorRate: knowledgeErr,
+		rng:                rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SolveImage reads the text out of CAPTCHA image bytes, with the service's
+// OCR error rate. It returns false when the bytes are not an image the
+// service understands.
+func (s *Service) SolveImage(imageData string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !strings.HasPrefix(imageData, ImagePrefix) {
+		s.failed++
+		return "", false
+	}
+	answer := imageData[len(ImagePrefix):]
+	if s.rng.Float64() < s.ImageErrorRate {
+		s.failed++
+		return garble(answer, s.rng), true
+	}
+	s.solved++
+	return answer, true
+}
+
+// SolveKnowledge answers a free-form common-knowledge question. Questions
+// outside the solver's knowledge, and its error rate, yield wrong answers;
+// a fraction of questions it declines entirely.
+func (s *Service) SolveKnowledge(question string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := strings.ToLower(strings.TrimSpace(question))
+	for _, qa := range knowledgeQA {
+		if strings.ToLower(qa.q) == q {
+			if s.rng.Float64() < s.KnowledgeErrorRate {
+				s.failed++
+				return "unknown", true
+			}
+			s.solved++
+			return qa.a, true
+		}
+	}
+	s.failed++
+	return "", false
+}
+
+// Stats returns (correct solves, failures/wrong answers) so far.
+func (s *Service) Stats() (solved, failed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.solved, s.failed
+}
+
+// garble corrupts an answer the way OCR-based solvers do: one character
+// substituted.
+func garble(ans string, rng *rand.Rand) string {
+	if ans == "" {
+		return "x"
+	}
+	b := []byte(ans)
+	i := rng.Intn(len(b))
+	b[i] = "0123456789abcdef"[rng.Intn(16)]
+	if string(b) == ans { // ensure it is actually wrong
+		b[i] = '!'
+	}
+	return string(b)
+}

@@ -1,0 +1,154 @@
+package captcha
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{None: "none", Image: "image", Knowledge: "knowledge", Interactive: "interactive"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestImageChallengeRoundTrip(t *testing.T) {
+	is := NewIssuer("s1")
+	rng := rand.New(rand.NewSource(1))
+	ch := is.Issue(Image, rng)
+	ans := is.Answer(ch)
+	if len(ans) != 6 {
+		t.Fatalf("image answer %q has length %d", ans, len(ans))
+	}
+	if !is.Verify(ch, ans) {
+		t.Fatal("correct answer rejected")
+	}
+	if !is.Verify(ch, strings.ToUpper(ans)) {
+		t.Fatal("case-insensitive match rejected")
+	}
+	if is.Verify(ch, "nope") {
+		t.Fatal("wrong answer accepted")
+	}
+}
+
+func TestIssuersAreIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ch := NewIssuer("siteA").Issue(Image, rng)
+	ansA := NewIssuer("siteA").Answer(ch)
+	ansB := NewIssuer("siteB").Answer(ch)
+	if ansA == ansB {
+		t.Fatal("different sites produced the same answer for one challenge ID")
+	}
+}
+
+func TestKnowledgeChallenge(t *testing.T) {
+	is := NewIssuer("s2")
+	rng := rand.New(rand.NewSource(3))
+	ch := is.Issue(Knowledge, rng)
+	if ch.Prompt == "" || !strings.HasPrefix(ch.ID, "k") {
+		t.Fatalf("bad knowledge challenge: %+v", ch)
+	}
+	ans := is.Answer(ch)
+	if ans == "" || !is.Verify(ch, ans) {
+		t.Fatalf("knowledge answer %q rejected", ans)
+	}
+	if !is.Verify(ch, " "+strings.ToUpper(ans)+" ") {
+		t.Fatal("whitespace/case-normalized answer rejected")
+	}
+}
+
+func TestInteractiveHumanOnly(t *testing.T) {
+	is := NewIssuer("s3")
+	rng := rand.New(rand.NewSource(4))
+	ch := is.Issue(Interactive, rng)
+	token := is.Answer(ch)
+	if !strings.HasPrefix(token, "itoken-") {
+		t.Fatalf("interactive token %q malformed", token)
+	}
+	if !is.Verify(ch, token) {
+		t.Fatal("human-completed token rejected")
+	}
+	if is.Verify(ch, "") || is.Verify(ch, "guessed") {
+		t.Fatal("empty/guessed interactive proof accepted")
+	}
+	// The solving service cannot handle interactive challenges at all.
+	svc := NewService(0, 0, 5)
+	if _, ok := svc.SolveImage("not-an-image"); ok {
+		t.Fatal("service claimed to solve a non-image")
+	}
+}
+
+func TestNoneAlwaysVerifies(t *testing.T) {
+	is := NewIssuer("s4")
+	if !is.Verify(Challenge{Kind: None}, "") {
+		t.Fatal("None challenge should verify trivially")
+	}
+}
+
+func TestRenderImageAndSolve(t *testing.T) {
+	is := NewIssuer("s5")
+	rng := rand.New(rand.NewSource(6))
+	ch := is.Issue(Image, rng)
+	img := is.RenderImage(ch)
+	if !strings.HasPrefix(img, ImagePrefix) {
+		t.Fatalf("image bytes %q lack prefix", img)
+	}
+	svc := NewService(0, 0, 7)
+	ans, ok := svc.SolveImage(img)
+	if !ok || !is.Verify(ch, ans) {
+		t.Fatalf("perfect service failed: %q %v", ans, ok)
+	}
+}
+
+func TestServiceErrorRate(t *testing.T) {
+	is := NewIssuer("s6")
+	rng := rand.New(rand.NewSource(8))
+	svc := NewService(0.5, 0, 9)
+	wrong := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		ch := is.Issue(Image, rng)
+		ans, ok := svc.SolveImage(is.RenderImage(ch))
+		if !ok {
+			t.Fatal("image solve refused")
+		}
+		if !is.Verify(ch, ans) {
+			wrong++
+		}
+	}
+	frac := float64(wrong) / n
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("error rate %.2f, want ~0.5", frac)
+	}
+	solved, failed := svc.Stats()
+	if solved+failed != n {
+		t.Fatalf("stats %d+%d != %d", solved, failed, n)
+	}
+}
+
+func TestServiceKnowledge(t *testing.T) {
+	svc := NewService(0, 0, 10)
+	ans, ok := svc.SolveKnowledge("What color is the sky on a clear day?")
+	if !ok || ans != "blue" {
+		t.Fatalf("knowledge solve = %q, %v", ans, ok)
+	}
+	if _, ok := svc.SolveKnowledge("What is the founder's dog's name?"); ok {
+		t.Fatal("service claimed to know site-specific trivia")
+	}
+}
+
+// Property: garbled answers never verify; the error path is really an error.
+func TestQuickGarbleAlwaysWrong(t *testing.T) {
+	is := NewIssuer("s7")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ch := is.Issue(Image, rng)
+		return !is.Verify(ch, garble(is.Answer(ch), rng))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"tripwire/internal/crawler"
+	"tripwire/internal/emailprovider"
+	"tripwire/internal/identity"
+)
+
+var (
+	t0     = time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	someIP = netip.MustParseAddr("198.51.100.7")
+)
+
+func newGen() *identity.Generator { return identity.NewGenerator("bigmail.test", 77) }
+
+func TestPoolTakeReturn(t *testing.T) {
+	l := NewLedger()
+	g := newGen()
+	hard := g.New(identity.Hard)
+	easy := g.New(identity.Easy)
+	l.AddIdentity(hard)
+	l.AddIdentity(easy)
+	if l.PoolSize() != 2 || l.UnusedCount() != 2 {
+		t.Fatalf("pool=%d unused=%d", l.PoolSize(), l.UnusedCount())
+	}
+	got := l.Take(identity.Easy)
+	if got != easy {
+		t.Fatalf("Take(Easy) = %v", got)
+	}
+	if l.Take(identity.Easy) != nil {
+		t.Fatal("Take from empty class should return nil")
+	}
+	l.Return(got)
+	if l.Take(identity.Easy) != easy {
+		t.Fatal("returned identity not reusable")
+	}
+}
+
+func TestBurnSemantics(t *testing.T) {
+	l := NewLedger()
+	id := newGen().New(identity.Hard)
+	l.AddIdentity(id)
+	taken := l.Take(identity.Hard)
+	reg := l.Burn(taken, "site1.test", 10, "Gaming", t0, crawler.CodeOKSubmission, false)
+	if reg.Status != StatusOKSubmission {
+		t.Fatalf("initial status = %v", reg.Status)
+	}
+	if l.UnusedCount() != 0 {
+		t.Fatal("burned identity still counted unused")
+	}
+	// Idempotent re-burn to the same site.
+	if l.Burn(taken, "site1.test", 10, "Gaming", t0, crawler.CodeOKSubmission, false) != reg {
+		t.Fatal("re-burn to same site should return existing registration")
+	}
+	// Burn to a different site panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("burn to second site did not panic")
+			}
+		}()
+		l.Burn(taken, "site2.test", 20, "News", t0, crawler.CodeOKSubmission, false)
+	}()
+	// Returning a burned identity panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("returning burned identity did not panic")
+			}
+		}()
+		l.Return(taken)
+	}()
+}
+
+func TestInitialStatusMapping(t *testing.T) {
+	l := NewLedger()
+	g := newGen()
+	cases := []struct {
+		code   crawler.Code
+		manual bool
+		want   AccountStatus
+	}{
+		{crawler.CodeOKSubmission, false, StatusOKSubmission},
+		{crawler.CodeSubmissionFailed, false, StatusBadHeuristics},
+		{crawler.CodeFieldsMissing, false, StatusBadHeuristics},
+		{crawler.CodeOKSubmission, true, StatusManual},
+	}
+	for i, tc := range cases {
+		id := g.New(identity.Hard)
+		l.AddIdentity(id)
+		reg := l.Burn(id, "s.test"+string(rune('a'+i)), 1, "X", t0, tc.code, tc.manual)
+		if reg.Status != tc.want {
+			t.Errorf("case %d: status = %v, want %v", i, reg.Status, tc.want)
+		}
+	}
+}
+
+func TestNoteEmailUpgrades(t *testing.T) {
+	l := NewLedger()
+	id := newGen().New(identity.Hard)
+	l.AddIdentity(id)
+	reg := l.Burn(id, "s.test", 1, "X", t0, crawler.CodeOKSubmission, false)
+
+	if l.NoteEmail("unknown@bigmail.test", true) != nil {
+		t.Fatal("NoteEmail for unknown recipient should return nil")
+	}
+	l.NoteEmail(id.Email, false)
+	if reg.Status != StatusEmailReceived {
+		t.Fatalf("after non-verification mail: %v", reg.Status)
+	}
+	l.NoteEmail(id.Email, true)
+	if reg.Status != StatusEmailVerified {
+		t.Fatalf("after verification mail: %v", reg.Status)
+	}
+	// Downgrades never happen.
+	l.NoteEmail(id.Email, false)
+	if reg.Status != StatusEmailVerified {
+		t.Fatalf("status downgraded to %v", reg.Status)
+	}
+}
+
+func ev(account string, at time.Time) emailprovider.LoginEvent {
+	return emailprovider.LoginEvent{Account: account, Time: at, IP: someIP, Method: "IMAP"}
+}
+
+func TestMonitorDetection(t *testing.T) {
+	l := NewLedger()
+	g := newGen()
+	hard := g.New(identity.Hard)
+	easy := g.New(identity.Easy)
+	l.AddIdentity(hard)
+	l.AddIdentity(easy)
+	l.Burn(hard, "victim.test", 42, "Gaming", t0, crawler.CodeOKSubmission, false)
+	l.Burn(easy, "victim.test", 42, "Gaming", t0, crawler.CodeOKSubmission, false)
+
+	m := NewMonitor(l, t0)
+	newly := m.Ingest([]emailprovider.LoginEvent{ev(easy.Email, t0.Add(100*24*time.Hour))})
+	if len(newly) != 1 || newly[0] != "victim.test" {
+		t.Fatalf("newly = %v", newly)
+	}
+	det, ok := m.Detection("victim.test")
+	if !ok {
+		t.Fatal("detection missing")
+	}
+	if det.HardAccessed {
+		t.Fatal("easy-only access flagged hard")
+	}
+	if m.Classify(det) != BreachHashedOnly {
+		t.Fatalf("classify = %v", m.Classify(det))
+	}
+	if det.AccountsRegistered != 2 || det.AccountsAccessed != 1 {
+		t.Fatalf("counters: %d of %d", det.AccountsAccessed, det.AccountsRegistered)
+	}
+
+	// Hard account access upgrades the classification.
+	newly = m.Ingest([]emailprovider.LoginEvent{ev(hard.Email, t0.Add(120*24*time.Hour))})
+	if len(newly) != 0 {
+		t.Fatalf("same site re-reported as new: %v", newly)
+	}
+	det, _ = m.Detection("victim.test")
+	if m.Classify(det) != BreachPlaintext {
+		t.Fatalf("classify after hard access = %v", m.Classify(det))
+	}
+	if det.AccountsAccessed != 2 {
+		t.Fatalf("accessed = %d", det.AccountsAccessed)
+	}
+}
+
+func TestMonitorIndeterminateClass(t *testing.T) {
+	l := NewLedger()
+	easy := newGen().New(identity.Easy)
+	l.AddIdentity(easy)
+	l.Burn(easy, "p.test", 400, "Adult", t0, crawler.CodeOKSubmission, false)
+	m := NewMonitor(l, t0)
+	m.Ingest([]emailprovider.LoginEvent{ev(easy.Email, t0.Add(time.Hour))})
+	det, _ := m.Detection("p.test")
+	if m.Classify(det) != BreachIndeterminate {
+		t.Fatalf("classify = %v (no hard account registered: site P case)", m.Classify(det))
+	}
+}
+
+func TestMonitorIntegrityAlarms(t *testing.T) {
+	l := NewLedger()
+	unused := newGen().New(identity.Hard)
+	l.AddIdentity(unused) // provisioned but never burned
+	m := NewMonitor(l, t0)
+	m.Ingest([]emailprovider.LoginEvent{ev(unused.Email, t0.Add(time.Hour))})
+	alarms := m.Alarms()
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %v", alarms)
+	}
+	if msg := alarms[0].Error(); msg == "" {
+		t.Fatal("alarm renders empty")
+	}
+	if len(m.Detections()) != 0 {
+		t.Fatal("alarm produced a detection")
+	}
+}
+
+func TestMonitorControlLogins(t *testing.T) {
+	l := NewLedger()
+	ctrl := newGen().New(identity.Hard)
+	l.AddControl(ctrl)
+	m := NewMonitor(l, t0)
+	m.ExpectControlLogin(ctrl.Email)
+	m.Ingest([]emailprovider.LoginEvent{{Account: ctrl.Email, Time: t0.Add(time.Hour), IP: someIP, Method: "WEB"}})
+	if len(m.Alarms()) != 0 {
+		t.Fatal("control login raised an alarm")
+	}
+	if m.ControlLoginsSeen() != 1 {
+		t.Fatalf("ControlLoginsSeen = %d", m.ControlLoginsSeen())
+	}
+}
+
+func TestDetectionsOrderedByFirstSeen(t *testing.T) {
+	l := NewLedger()
+	g := newGen()
+	var emails []string
+	for i := 0; i < 3; i++ {
+		id := g.New(identity.Easy)
+		l.AddIdentity(id)
+		l.Burn(id, "s"+string(rune('a'+i))+".test", i+1, "X", t0, crawler.CodeOKSubmission, false)
+		emails = append(emails, id.Email)
+	}
+	m := NewMonitor(l, t0)
+	// Ingest out of order: site c first by time but last in the slice.
+	m.Ingest([]emailprovider.LoginEvent{
+		ev(emails[1], t0.Add(48*time.Hour)),
+		ev(emails[0], t0.Add(72*time.Hour)),
+		ev(emails[2], t0.Add(24*time.Hour)),
+	})
+	dets := m.Detections()
+	if len(dets) != 3 {
+		t.Fatalf("detections = %d", len(dets))
+	}
+	if !(dets[0].Domain == "sc.test" && dets[1].Domain == "sb.test" && dets[2].Domain == "sa.test") {
+		t.Fatalf("order = %s, %s, %s", dets[0].Domain, dets[1].Domain, dets[2].Domain)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for st, want := range map[AccountStatus]string{
+		StatusEmailVerified: "Email verified",
+		StatusEmailReceived: "Email received",
+		StatusOKSubmission:  "OK submission",
+		StatusBadHeuristics: "Bad heuristics/Fields missing",
+		StatusManual:        "Manual",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", int(st), st.String())
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package core implements the Tripwire inference engine — the paper's
+// primary contribution. It owns the identity pool and the registration
+// ledger (which identity is bound to which site, and how confident we are
+// that an account exists), ingests the email provider's sporadic login
+// dumps, attributes each successful login back to the site whose database
+// must have leaked it, classifies the breach by password strength
+// (plaintext vs hashed storage), and enforces the integrity invariants of
+// §4.4: control accounts and unused accounts must never trip.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"tripwire/internal/crawler"
+	"tripwire/internal/identity"
+)
+
+// AccountStatus is the registration-confidence bin an account lands in,
+// matching the rows of the paper's Table 1.
+type AccountStatus int
+
+const (
+	// StatusBadHeuristics: the identity was exposed, but the crawler's
+	// heuristics signalled failure or could not complete the form
+	// ("Bad heuristics/Fields missing"). ~7% of these exist anyway.
+	StatusBadHeuristics AccountStatus = iota
+	// StatusOKSubmission: submission passed all success heuristics but no
+	// email was ever received.
+	StatusOKSubmission
+	// StatusEmailReceived: some email arrived that was not recognized as a
+	// verification message.
+	StatusEmailReceived
+	// StatusEmailVerified: a recognized verification email arrived — the
+	// highest-confidence automated bin.
+	StatusEmailVerified
+	// StatusManual: registered by hand (the Alexa top-500 pass); assumed
+	// valid.
+	StatusManual
+)
+
+// String names the status with the paper's Table 1 labels.
+func (s AccountStatus) String() string {
+	switch s {
+	case StatusBadHeuristics:
+		return "Bad heuristics/Fields missing"
+	case StatusOKSubmission:
+		return "OK submission"
+	case StatusEmailReceived:
+		return "Email received"
+	case StatusEmailVerified:
+		return "Email verified"
+	case StatusManual:
+		return "Manual"
+	default:
+		return fmt.Sprintf("AccountStatus(%d)", int(s))
+	}
+}
+
+// Registration is one identity permanently bound ("burned") to one site.
+type Registration struct {
+	Identity *identity.Identity
+	Domain   string
+	Rank     int
+	Category string
+	When     time.Time
+	Code     crawler.Code
+	Status   AccountStatus
+	Manual   bool
+}
+
+// Ledger is the Tripwire database: the identity pool, burned identities,
+// per-site registrations, and the monitored-but-unused account set. All
+// methods are safe for concurrent use.
+type Ledger struct {
+	mu       sync.Mutex
+	pool     map[identity.PasswordClass][]*identity.Identity
+	byEmail  map[string]*Registration
+	bySite   map[string][]*Registration
+	controls map[string]*identity.Identity // control accounts, never registered
+	unused   map[string]*identity.Identity // provisioned, not yet used
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		pool:     make(map[identity.PasswordClass][]*identity.Identity),
+		byEmail:  make(map[string]*Registration),
+		bySite:   make(map[string][]*Registration),
+		controls: make(map[string]*identity.Identity),
+		unused:   make(map[string]*identity.Identity),
+	}
+}
+
+// AddIdentity places an identity in the available pool. Its email account
+// is also tracked as unused until burned.
+func (l *Ledger) AddIdentity(id *identity.Identity) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pool[id.Class] = append(l.pool[id.Class], id)
+	l.unused[strings.ToLower(id.Email)] = id
+}
+
+// AddControl registers a control account: provisioned at the provider,
+// logged into by Tripwire itself from time to time, never registered at any
+// site (paper §4.2).
+func (l *Ledger) AddControl(id *identity.Identity) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.controls[strings.ToLower(id.Email)] = id
+}
+
+// IsControl reports whether email is a control account.
+func (l *Ledger) IsControl(email string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.controls[strings.ToLower(email)]
+	return ok
+}
+
+// Take removes and returns an identity of the given class from the pool,
+// or nil when the pool is dry. Identities are handed out in FIFO order so
+// runs are deterministic.
+func (l *Ledger) Take(class identity.PasswordClass) *identity.Identity {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q := l.pool[class]
+	if len(q) == 0 {
+		return nil
+	}
+	id := q[0]
+	l.pool[class] = q[1:]
+	return id
+}
+
+// Return puts an identity back in the pool. Only legal if the identity was
+// never exposed: "the identity used may be returned to the general pool ...
+// only if neither the email address nor password were exposed" (§4.3.1).
+// Returning a burned identity panics: that is a protocol violation the
+// simulation must never commit.
+func (l *Ledger) Return(id *identity.Identity) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, burned := l.byEmail[strings.ToLower(id.Email)]; burned {
+		panic("core: returning a burned identity to the pool")
+	}
+	l.pool[id.Class] = append(l.pool[id.Class], id)
+}
+
+// Burn permanently associates id with a site. The first burn wins; burning
+// an already-burned identity to a different site panics (one-to-one mapping
+// is the system's core invariant, §4.1).
+func (l *Ledger) Burn(id *identity.Identity, domain string, rank int, category string, when time.Time, code crawler.Code, manual bool) *Registration {
+	email := strings.ToLower(id.Email)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if prev, ok := l.byEmail[email]; ok {
+		if prev.Domain != domain {
+			panic(fmt.Sprintf("core: identity %s already burned to %s, cannot burn to %s", email, prev.Domain, domain))
+		}
+		return prev
+	}
+	reg := &Registration{
+		Identity: id,
+		Domain:   domain,
+		Rank:     rank,
+		Category: category,
+		When:     when,
+		Code:     code,
+		Manual:   manual,
+		Status:   initialStatus(code, manual),
+	}
+	l.byEmail[email] = reg
+	l.bySite[domain] = append(l.bySite[domain], reg)
+	delete(l.unused, email)
+	return reg
+}
+
+func initialStatus(code crawler.Code, manual bool) AccountStatus {
+	switch {
+	case manual:
+		return StatusManual
+	case code == crawler.CodeOKSubmission:
+		return StatusOKSubmission
+	default:
+		return StatusBadHeuristics
+	}
+}
+
+// NoteEmail upgrades a registration's status on mail receipt: verification
+// mail lifts it to EmailVerified; any other mail to at least EmailReceived.
+// It returns the registration, or nil if the recipient is not burned.
+func (l *Ledger) NoteEmail(rcpt string, isVerification bool) *Registration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	reg, ok := l.byEmail[strings.ToLower(rcpt)]
+	if !ok {
+		return nil
+	}
+	if reg.Status == StatusManual {
+		return reg
+	}
+	if isVerification {
+		reg.Status = StatusEmailVerified
+	} else if reg.Status < StatusEmailReceived {
+		reg.Status = StatusEmailReceived
+	}
+	return reg
+}
+
+// Lookup returns the registration bound to email.
+func (l *Ledger) Lookup(email string) (*Registration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	reg, ok := l.byEmail[strings.ToLower(email)]
+	return reg, ok
+}
+
+// SiteRegistrations returns the registrations at domain.
+func (l *Ledger) SiteRegistrations(domain string) []*Registration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Registration, len(l.bySite[domain]))
+	copy(out, l.bySite[domain])
+	return out
+}
+
+// Registrations returns every burned registration.
+func (l *Ledger) Registrations() []*Registration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Registration, 0, len(l.byEmail))
+	for _, reg := range l.byEmail {
+		out = append(out, reg)
+	}
+	return out
+}
+
+// Sites returns the set of domains with at least one registration.
+func (l *Ledger) Sites() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.bySite))
+	for d := range l.bySite {
+		out = append(out, d)
+	}
+	return out
+}
+
+// PoolSize returns the number of identities currently available.
+func (l *Ledger) PoolSize() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, q := range l.pool {
+		n += len(q)
+	}
+	return n
+}
+
+// UnusedCount returns how many provisioned accounts were never used at any
+// site — the honeypot set guarding the provider's and Tripwire's own
+// integrity (paper §4.4: "more than 100,000 valid email addresses ...
+// monitored for logins, but ... not registered with sites").
+func (l *Ledger) UnusedCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.unused)
+}
+
+// IsUnused reports whether email belongs to the unused monitored set.
+func (l *Ledger) IsUnused(email string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.unused[strings.ToLower(email)]
+	return ok
+}

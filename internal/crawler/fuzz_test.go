@@ -1,0 +1,91 @@
+package crawler
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+	"testing/quick"
+
+	"tripwire/internal/browser"
+	"tripwire/internal/captcha"
+	"tripwire/internal/identity"
+)
+
+// TestQuickRegisterNeverPanicsOnHostileHTML throws random byte soup and
+// adversarial markup at the crawler: whatever a site serves, Register must
+// return a Result (never panic, never hang) and must not claim exposure
+// unless it actually submitted a form.
+func TestQuickRegisterNeverPanicsOnHostileHTML(t *testing.T) {
+	gen := identity.NewGenerator("bigmail.test", 27)
+	cfg := DefaultConfig()
+	cfg.RateLimit = 0
+	c := New(cfg, captcha.NewService(0.2, 0.2, 28))
+	f := func(home, inner string) bool {
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/" {
+				fmt.Fprintf(w, "<html><body>%s<a href=\"/p\">Sign Up</a></body></html>", home)
+				return
+			}
+			fmt.Fprintf(w, "<html><body>%s</body></html>", inner)
+		})
+		b := browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: h}))
+		res := c.Register(b, "http://fuzz.test/", gen.New(identity.Hard))
+		switch res.Code {
+		case CodeOKSubmission, CodeSubmissionFailed:
+			return res.Exposed // submitted → exposed
+		case CodeFieldsMissing, CodeNoRegistration:
+			return !res.Exposed // never submitted → not exposed
+		case CodeSystemError:
+			return true
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(29))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAdversarialForms serves structured-but-weird forms and checks
+// the exposure invariant holds: exposure if and only if a submission
+// happened.
+func TestQuickAdversarialForms(t *testing.T) {
+	gen := identity.NewGenerator("bigmail.test", 30)
+	cfg := DefaultConfig()
+	cfg.RateLimit = 0
+	c := New(cfg, nil)
+	shapes := []string{
+		// Registration-shaped.
+		`<form method="post" action="/s"><input name="email"><input type="password" name="pw"></form>`,
+		// Password but no email.
+		`<form method="post" action="/s"><input name="user"><input type="password" name="pw"></form>`,
+		// Email but no password.
+		`<form method="post" action="/s"><input name="email"></form>`,
+		// Unfillable required field.
+		`<form method="post" action="/s"><input name="email"><input type="password" name="pw"><input name="blorp_xyz" required></form>`,
+		// GET form (search-like).
+		`<form method="get" action="/s"><input name="q"></form>`,
+		// Nested junk.
+		`<form method="post" action="/s"><form><input name="email"><input type="password" name="pw"></form></form>`,
+		// No form at all.
+		`<p>nothing here</p>`,
+	}
+	f := func(pick uint8) bool {
+		shape := shapes[int(pick)%len(shapes)]
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost {
+				fmt.Fprint(w, "<html><body><p>Thank you for registering!</p></body></html>")
+				return
+			}
+			fmt.Fprintf(w, "<html><body><h2>Create your account</h2>%s</body></html>", shape)
+		})
+		b := browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: h}))
+		res := c.Register(b, "http://adv.test/", gen.New(identity.Easy))
+		submitted := res.Code == CodeOKSubmission || res.Code == CodeSubmissionFailed
+		return submitted == res.Exposed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package crawler
+
+// Language packs: the paper identifies multi-language support as "the
+// single greatest improvement to the crawler's coverage" (§7.2, §6.2.1 —
+// six of seven non-English missed breaches were Chinese-language sites).
+// A Pack extends the English-only heuristics with per-language link text,
+// registration paths, and submission-outcome wording. Field *names* on
+// non-English sites are frequently English-ish (name="email"), so the
+// field classifier usually transfers once the page is found.
+
+// Pack is a per-language heuristic extension.
+type Pack struct {
+	Language  string
+	linkText  []rule
+	linkHref  []rule
+	success   []rule
+	failure   []rule
+	pageWords []rule
+}
+
+// BuiltinPacks returns heuristic packs for the non-English languages the
+// synthetic web speaks. Callers pass them to Config.Packs.
+func BuiltinPacks() []Pack {
+	return []Pack{
+		{
+			Language:  "zh",
+			linkText:  rules(`注册`, 3.0, `创建账户`, 3.0, `立即加入`, 2.5, `新用户`, 2.0),
+			linkHref:  rules(`/(zhuce|xinyonghu|kaihu)`, 2.0),
+			success:   rules(`注册成功`, 3.0, `成功`, 2.0, `欢迎`, 2.0),
+			failure:   rules(`错误`, 3.0, `无效`, 3.0, `已收到`, 0.0),
+			pageWords: rules(`创建您的账户`, 2.0),
+		},
+		{
+			Language:  "ru",
+			linkText:  rules(`Регистрация`, 3.0, `Создать аккаунт`, 3.0, `Присоединиться`, 2.5),
+			linkHref:  rules(`/(registraciya|novyi-akkaunt|sozdat)`, 2.0),
+			success:   rules(`успешно`, 3.0, `добро пожаловать`, 2.0),
+			failure:   rules(`ошибка`, 3.0, `исправьте`, 2.5),
+			pageWords: rules(`Создайте аккаунт`, 2.0),
+		},
+		{
+			Language:  "es",
+			linkText:  rules(`Reg[ií]strate`, 3.0, `Crear cuenta`, 3.0, `[ÚU]nete`, 2.5),
+			linkHref:  rules(`/(registro|crear-cuenta|unirse)`, 2.0),
+			success:   rules(`registro completado`, 3.0, `bienvenido`, 2.0),
+			failure:   rules(`\berror\b`, 3.0, `corrija`, 2.5),
+			pageWords: rules(`Crea tu cuenta`, 2.0),
+		},
+		{
+			Language:  "de",
+			linkText:  rules(`Registrieren`, 3.0, `Konto erstellen`, 3.0, `beitreten`, 2.5),
+			linkHref:  rules(`/(registrierung|konto-erstellen|mitglied-werden)`, 2.0),
+			success:   rules(`erfolgreich`, 3.0, `willkommen`, 2.0),
+			failure:   rules(`fehler`, 3.0, `korrigieren`, 2.5),
+			pageWords: rules(`Konto erstellen`, 2.0),
+		},
+		{
+			Language:  "fr",
+			linkText:  rules(`S'inscrire`, 3.0, `Cr[ée]er un compte`, 3.0, `Rejoignez`, 2.5),
+			linkHref:  rules(`/(inscription|creer-compte|adhesion)`, 2.0),
+			success:   rules(`inscription r[ée]ussie`, 3.0, `bienvenue`, 2.0),
+			failure:   rules(`erreur`, 3.0, `corrigez`, 2.5),
+			pageWords: rules(`Cr[ée]ez votre compte`, 2.0),
+		},
+	}
+}

@@ -1,0 +1,168 @@
+package disclosure
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tripwire/internal/simclock"
+	"tripwire/internal/webgen"
+)
+
+var t0 = time.Date(2016, 9, 7, 0, 0, 0, 0, time.UTC)
+
+func fixture() (*webgen.Universe, *Campaign, *simclock.Scheduler) {
+	cfg := webgen.DefaultConfig()
+	cfg.NumSites = 400
+	u := webgen.Generate(cfg)
+	sched := simclock.NewScheduler(simclock.New(t0))
+	return u, NewCampaign(u, sched), sched
+}
+
+// findSite locates a site matching pred, mutating is allowed by callers.
+func findSite(t *testing.T, u *webgen.Universe, pred func(*webgen.Site) bool) *webgen.Site {
+	t.Helper()
+	for _, s := range u.Sites() {
+		if pred(s) {
+			return s
+		}
+	}
+	t.Fatal("no matching site in universe")
+	return nil
+}
+
+func TestDiscoverAddressesFromContactPage(t *testing.T) {
+	u, c, _ := fixture()
+	site := findSite(t, u, func(s *webgen.Site) bool {
+		return !s.LoadFailure && s.ContactEmail != "" && !s.WhoisExpired
+	})
+	addrs := c.DiscoverAddresses(site.Domain)
+	has := func(a string) bool {
+		for _, x := range addrs {
+			if x == strings.ToLower(a) {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(site.ContactEmail) {
+		t.Fatalf("contact-page address %q not discovered in %v", site.ContactEmail, addrs)
+	}
+	if !has(site.WhoisEmail) {
+		t.Fatalf("WHOIS registrant %q not discovered", site.WhoisEmail)
+	}
+	if !has("security@" + site.Domain) {
+		t.Fatal("common alias security@ missing")
+	}
+	// No duplicates.
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate address %q", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestDiscoverSkipsExpiredWhois(t *testing.T) {
+	u, c, _ := fixture()
+	site := findSite(t, u, func(s *webgen.Site) bool { return !s.LoadFailure })
+	site.WhoisExpired = true
+	for _, a := range c.DiscoverAddresses(site.Domain) {
+		if a == site.WhoisEmail {
+			t.Fatalf("expired WHOIS address %q still targeted (site M's squatted domain)", a)
+		}
+	}
+}
+
+func TestNotifyResponder(t *testing.T) {
+	u, c, sched := fixture()
+	site := findSite(t, u, func(s *webgen.Site) bool { return !s.LoadFailure && !s.NoMX })
+	site.Responds = true
+	site.ResponseDelay = 45 * time.Minute
+	site.Reaction = webgen.ReactCorroborate
+
+	n := c.Notify(site.Domain)
+	if n.Outcome != OutcomeNoResponse {
+		t.Fatalf("pre-response outcome = %v", n.Outcome)
+	}
+	sched.RunUntil(t0.Add(24 * time.Hour))
+	if n.Outcome != OutcomeResponded || n.Reaction != webgen.ReactCorroborate {
+		t.Fatalf("outcome = %v reaction = %v", n.Outcome, n.Reaction)
+	}
+	if n.RespondedAfter != 45*time.Minute {
+		t.Fatalf("RespondedAfter = %v", n.RespondedAfter)
+	}
+	if n.FollowUps == 0 {
+		t.Fatal("corroborating site exchanged no follow-ups")
+	}
+}
+
+func TestNotifyNoMX(t *testing.T) {
+	u, c, sched := fixture()
+	site := findSite(t, u, func(s *webgen.Site) bool { return !s.LoadFailure })
+	site.NoMX = true
+	site.Responds = false
+	n := c.Notify(site.Domain)
+	sched.RunUntil(t0.Add(time.Hour))
+	if n.Outcome != OutcomeBounced {
+		t.Fatalf("no-MX site outcome = %v, want bounced (paper's site J)", n.Outcome)
+	}
+}
+
+func TestNotifyNonResponder(t *testing.T) {
+	u, c, sched := fixture()
+	site := findSite(t, u, func(s *webgen.Site) bool { return !s.LoadFailure && !s.NoMX })
+	site.Responds = false
+	n := c.Notify(site.Domain)
+	sched.RunUntil(t0.Add(30 * 24 * time.Hour))
+	if n.Outcome != OutcomeNoResponse {
+		t.Fatalf("outcome = %v", n.Outcome)
+	}
+}
+
+func TestSummarizeAndRender(t *testing.T) {
+	u, c, sched := fixture()
+	count := 0
+	for _, s := range u.Sites() {
+		if s.LoadFailure {
+			continue
+		}
+		c.Notify(s.Domain)
+		count++
+		if count == 18 { // the paper disclosed to 18 sites
+			break
+		}
+	}
+	sched.RunUntil(t0.Add(60 * 24 * time.Hour))
+	sum := Summarize(c.Notifications())
+	if sum.Notified != 18 {
+		t.Fatalf("Notified = %d", sum.Notified)
+	}
+	if sum.Responded+sum.Bounced > sum.Notified {
+		t.Fatalf("inconsistent summary: %+v", sum)
+	}
+	if sum.Responded > 0 && sum.FastestResponse > sum.SlowestResponse {
+		t.Fatalf("latency bounds inverted: %+v", sum)
+	}
+	out := Render(sum)
+	for _, want := range []string{"Sites notified", "Responded", "Corroborated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestNotificationsSorted(t *testing.T) {
+	u, c, _ := fixture()
+	sites := u.Sites()
+	c.Notify(sites[5].Domain)
+	c.Notify(sites[1].Domain)
+	c.Notify(sites[3].Domain)
+	ns := c.Notifications()
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1].Domain > ns[i].Domain {
+			t.Fatalf("notifications unsorted: %s > %s", ns[i-1].Domain, ns[i].Domain)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package dnssim
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"tripwire/internal/geo"
+	"tripwire/internal/webgen"
+)
+
+func resolver() (*Resolver, *webgen.Universe, *geo.Space) {
+	cfg := webgen.DefaultConfig()
+	cfg.NumSites = 400
+	u := webgen.Generate(cfg)
+	s := geo.NewSpace()
+	r := New(u, s)
+	r.AddMX("bigmail.test", "mx.bigmail.test")
+	return r, u, s
+}
+
+func TestLookupADeterministicAndInSpace(t *testing.T) {
+	r, u, s := resolver()
+	for _, site := range u.Sites()[:50] {
+		a1, err := r.LookupA(site.Domain)
+		if err != nil {
+			t.Fatalf("A %s: %v", site.Domain, err)
+		}
+		a2, _ := r.LookupA(site.Domain)
+		if a1 != a2 {
+			t.Fatalf("A record for %s not deterministic", site.Domain)
+		}
+		c, ok := s.Lookup(a1)
+		if !ok || c.Code != "US" {
+			t.Fatalf("A %s = %v not in US hosting space (%v)", site.Domain, a1, c.Code)
+		}
+		if !s.IsDatacenter(a1) {
+			t.Fatalf("site address %v classified residential", a1)
+		}
+	}
+}
+
+func TestLookupANXDomain(t *testing.T) {
+	r, _, _ := resolver()
+	_, err := r.LookupA("no-such-host.test")
+	if err == nil {
+		t.Fatal("unknown host resolved")
+	}
+	if !strings.Contains(err.Error(), "NXDOMAIN") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLookupMX(t *testing.T) {
+	r, u, _ := resolver()
+	var withMX, without *webgen.Site
+	for _, s := range u.Sites() {
+		if s.NoMX && without == nil {
+			without = s
+		}
+		if !s.NoMX && withMX == nil {
+			withMX = s
+		}
+	}
+	if withMX == nil {
+		t.Fatal("no MX-bearing site")
+	}
+	hosts, err := r.LookupMX(withMX.Domain)
+	if err != nil || len(hosts) != 2 {
+		t.Fatalf("MX = %v, %v", hosts, err)
+	}
+	if !r.CanReceiveMail(withMX.Domain) {
+		t.Fatal("CanReceiveMail false for MX-bearing domain")
+	}
+	if without != nil {
+		hosts, err := r.LookupMX(without.Domain)
+		if err != nil || len(hosts) != 0 {
+			t.Fatalf("no-MX site: %v, %v", hosts, err)
+		}
+		if r.CanReceiveMail(without.Domain) {
+			t.Fatal("CanReceiveMail true for MX-less domain (paper's site J)")
+		}
+	}
+	// Registered extra domain.
+	if !r.CanReceiveMail("bigmail.test") {
+		t.Fatal("provider domain lost its MX")
+	}
+	if _, err := r.LookupMX("unregistered.example"); err == nil {
+		t.Fatal("unknown domain resolved MX")
+	}
+}
+
+func TestLookupPTR(t *testing.T) {
+	r, _, s := resolver()
+	ip, _ := r.LookupA("site00001.test")
+	host, err := r.LookupPTR(ip)
+	if err != nil || host == "" {
+		t.Fatalf("PTR = %q, %v", host, err)
+	}
+	if want, _ := s.ReverseDNS(ip); want != host {
+		t.Fatalf("PTR %q != geo PTR %q", host, want)
+	}
+	if _, err := r.LookupPTR(netip.MustParseAddr("10.1.2.3")); err == nil {
+		t.Fatal("PTR outside space resolved")
+	}
+}

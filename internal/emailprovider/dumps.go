@@ -1,0 +1,128 @@
+package emailprovider
+
+import (
+	"strings"
+	"time"
+)
+
+// DumpSince returns the successful-login events with Time in (since, now],
+// subject to the provider's retention window: events older than Retention
+// (measured from the current virtual time) have been purged and cannot be
+// recovered, which is how the paper lost its Spring 2015 data ("due to a
+// misunderstanding of the retention limits at the email provider, login
+// activity was lost from March 20, 2015, through June 1, 2015").
+func (p *Provider) DumpSince(since time.Time) []LoginEvent {
+	now := p.Now()
+	cutoff := now.Add(-p.Retention)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []LoginEvent
+	for _, ev := range p.loginLog {
+		if ev.Time.After(since) && !ev.Time.Before(cutoff) && !ev.Time.After(now) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// AllLogins returns every retained login event (ground truth for tests).
+func (p *Provider) AllLogins() []LoginEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]LoginEvent, len(p.loginLog))
+	copy(out, p.loginLog)
+	return out
+}
+
+// PurgeExpired discards events beyond the retention window, modelling the
+// provider's storage policy actually deleting data.
+func (p *Provider) PurgeExpired() int {
+	cutoff := p.Now().Add(-p.Retention)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.loginLog[:0]
+	purged := 0
+	for _, ev := range p.loginLog {
+		if ev.Time.Before(cutoff) {
+			purged++
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	p.loginLog = kept
+	return purged
+}
+
+// Abuse-response operations: the provider's security systems acting on
+// compromised accounts, per paper §6.4.4.
+
+// Freeze locks an account for suspicious activity.
+func (p *Provider) Freeze(email string) bool { return p.setState(email, Frozen) }
+
+// Deactivate shuts an account down for sending spam.
+func (p *Provider) Deactivate(email string) bool { return p.setState(email, Deactivated) }
+
+// ForceReset invalidates the password after recognized compromise.
+func (p *Provider) ForceReset(email string) bool { return p.setState(email, ResetForced) }
+
+func (p *Provider) setState(email string, st State) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[strings.ToLower(email)]
+	if !ok {
+		return false
+	}
+	a.state = st
+	return true
+}
+
+// Attacker-side account manipulation (observed in paper §6.4.4: "account g2
+// had had the password changed and our forwarding address removed by the
+// attacker"). These require a prior successful login; callers enforce that.
+
+// ChangePassword sets a new password on the account.
+func (p *Provider) ChangePassword(email, newPassword string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[strings.ToLower(email)]
+	if !ok {
+		return false
+	}
+	a.password = newPassword
+	return true
+}
+
+// RemoveForwarding clears the account's forwarding address.
+func (p *Provider) RemoveForwarding(email string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[strings.ToLower(email)]
+	if !ok {
+		return false
+	}
+	a.forwardTo = ""
+	return true
+}
+
+// ReportSpam records that an account emitted outbound spam; after a couple
+// of reports the provider deactivates it, matching the fate of accounts b1,
+// g2, h1, h2, i2, k1 and m2 in the paper.
+func (p *Provider) ReportSpam(email string, messages int) State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[strings.ToLower(email)]
+	if !ok {
+		return Active
+	}
+	if messages > 0 && a.state == Active {
+		a.state = Deactivated
+	}
+	return a.state
+}
+
+// FrozenOrDeactivated reports whether the provider has locked the account
+// in any way.
+func (p *Provider) FrozenOrDeactivated(email string) bool {
+	st, ok := p.State(email)
+	return ok && (st == Frozen || st == Deactivated)
+}

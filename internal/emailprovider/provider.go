@@ -1,0 +1,348 @@
+// Package emailprovider simulates Tripwire's partner email provider (paper
+// §4.2): it creates honey accounts (rejecting collisions and policy
+// violations), forwards all delivered mail to the Tripwire mail server,
+// records every successful login with timestamp, remote IP, and method,
+// defends against brute-forcing, and freezes or deactivates abused accounts
+// — each behaviour the paper reports observing.
+package emailprovider
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"tripwire/internal/imap"
+)
+
+// State is an account's lifecycle state.
+type State int
+
+const (
+	// Active accounts accept logins.
+	Active State = iota
+	// Frozen accounts were locked by the provider for suspicious activity;
+	// logins fail. (Paper Table 3's "Frozen" column.)
+	Frozen
+	// Deactivated accounts were shut down for sending spam.
+	Deactivated
+	// ResetForced accounts had a provider-forced password reset after
+	// recognized compromise; the old password no longer works.
+	ResetForced
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Frozen:
+		return "frozen"
+	case Deactivated:
+		return "deactivated"
+	case ResetForced:
+		return "reset-forced"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// LoginEvent is one successful login, as included in the provider's
+// sporadic dumps to Tripwire: "timestamp, remote IP, and method ... but does
+// not disclose failed attempts" (paper §4.2).
+type LoginEvent struct {
+	Account string // email address
+	Time    time.Time
+	IP      netip.Addr
+	Method  string // "IMAP", "POP3", "WEB"
+}
+
+// Forwarder receives mail forwarded off honey accounts toward Tripwire's
+// own mail server.
+type Forwarder func(from, to, subject, body string) error
+
+// Errors returned by account creation.
+var (
+	// ErrCollision means an account with that address already exists.
+	ErrCollision = errors.New("emailprovider: address already taken")
+	// ErrNamingPolicy means the local part violates the provider's rules.
+	ErrNamingPolicy = errors.New("emailprovider: address violates naming policy")
+)
+
+type account struct {
+	email        string
+	name         string
+	password     string
+	state        State
+	forwardTo    string
+	inbox        []imap.Message
+	failedSince  time.Time
+	failedCount  int
+	throttledTil time.Time
+}
+
+// Provider is the simulated email service.
+type Provider struct {
+	domain string
+
+	mu       sync.Mutex
+	accounts map[string]*account
+	loginLog []LoginEvent
+	// reserved local parts per the provider's naming policy.
+	reserved map[string]bool
+
+	// Forward delivers forwarded copies; nil disables forwarding.
+	Forward Forwarder
+	// Now supplies virtual time.
+	Now func() time.Time
+
+	// Brute-force defence: more than BruteForceMax failures within
+	// BruteForceWindow throttles the account for ThrottlePeriod.
+	BruteForceMax    int
+	BruteForceWindow time.Duration
+	ThrottlePeriod   time.Duration
+
+	// Retention bounds how far back login events are kept; dumps cannot
+	// see past it. The paper lost Spring 2015 data to exactly this limit.
+	Retention time.Duration
+}
+
+// New returns a provider serving addresses @domain.
+func New(domain string) *Provider {
+	return &Provider{
+		domain:           domain,
+		accounts:         make(map[string]*account),
+		reserved:         map[string]bool{"admin": true, "postmaster": true, "abuse": true, "support": true, "root": true, "noreply": true},
+		Now:              time.Now,
+		BruteForceMax:    10,
+		BruteForceWindow: time.Hour,
+		ThrottlePeriod:   24 * time.Hour,
+		Retention:        365 * 24 * time.Hour,
+	}
+}
+
+// Domain returns the provider's mail domain.
+func (p *Provider) Domain() string { return p.domain }
+
+// CreateAccount provisions an account, applying the collision and
+// naming-policy checks the paper describes: "the corresponding accounts
+// unless they collided with a pre-existing account or violated the
+// provider's naming policies."
+func (p *Provider) CreateAccount(email, fullName, password string) error {
+	email = strings.ToLower(email)
+	local, dom, ok := strings.Cut(email, "@")
+	if !ok || dom != p.domain {
+		return fmt.Errorf("emailprovider: %q is not an address under %s", email, p.domain)
+	}
+	if len(local) < 3 || len(local) > 64 || p.reserved[local] {
+		return ErrNamingPolicy
+	}
+	for i := 0; i < len(local); i++ {
+		c := local[i]
+		if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '.' || c == '_' || c == '-') {
+			return ErrNamingPolicy
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.accounts[email]; dup {
+		return ErrCollision
+	}
+	p.accounts[email] = &account{email: email, name: fullName, password: password, state: Active}
+	return nil
+}
+
+// Exists reports whether the address has an account.
+func (p *Provider) Exists(email string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.accounts[strings.ToLower(email)]
+	return ok
+}
+
+// NumAccounts returns the number of provisioned accounts.
+func (p *Provider) NumAccounts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.accounts)
+}
+
+// SetForwarding configures mail forwarding for email to target. Forwarding
+// addresses are visible in the web interface, so Tripwire points them at
+// innocuous domains it controls (paper §4.2).
+func (p *Provider) SetForwarding(email, target string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[strings.ToLower(email)]
+	if !ok {
+		return fmt.Errorf("emailprovider: no account %q", email)
+	}
+	a.forwardTo = target
+	return nil
+}
+
+// ForwardingOf returns the forwarding target for email, if any.
+func (p *Provider) ForwardingOf(email string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[strings.ToLower(email)]
+	if !ok || a.forwardTo == "" {
+		return "", false
+	}
+	return a.forwardTo, true
+}
+
+// State returns the account's lifecycle state.
+func (p *Provider) State(email string) (State, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[strings.ToLower(email)]
+	if !ok {
+		return Active, false
+	}
+	return a.state, true
+}
+
+// Deliver accepts a message addressed to a provider account: it is stored
+// in the account's inbox and, when forwarding is configured, relayed to the
+// Tripwire mail server. Implements webgen.Mailer.
+func (p *Provider) Deliver(from, to, subject, body string) error {
+	p.mu.Lock()
+	a, ok := p.accounts[strings.ToLower(to)]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("emailprovider: no mailbox %q", to)
+	}
+	a.inbox = append(a.inbox, imap.Message{From: from, Subject: subject, Body: body})
+	fwd := a.forwardTo
+	forward := p.Forward
+	p.mu.Unlock()
+	if fwd != "" && forward != nil && a.state != Deactivated {
+		return forward(from, fwd, subject, body)
+	}
+	return nil
+}
+
+// Send implements webgen.Mailer so a Universe can deliver straight into
+// provider mailboxes.
+func (p *Provider) Send(from, to, subject, body string) error {
+	return p.Deliver(from, to, subject, body)
+}
+
+// Inbox returns a copy of the account's stored messages.
+func (p *Provider) Inbox(email string) []imap.Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[strings.ToLower(email)]
+	if !ok {
+		return nil
+	}
+	out := make([]imap.Message, len(a.inbox))
+	copy(out, a.inbox)
+	return out
+}
+
+// login is the shared auth path; method labels the access channel.
+func (p *Provider) login(email, password string, remote netip.Addr, method string) (*account, error) {
+	now := p.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[strings.ToLower(email)]
+	if !ok {
+		return nil, imap.ErrAuthFailed
+	}
+	if now.Before(a.throttledTil) {
+		return nil, imap.ErrThrottled
+	}
+	if a.state == Frozen || a.state == Deactivated {
+		return nil, imap.ErrAccountFrozen
+	}
+	if a.state == ResetForced || a.password != password {
+		// Track failures for the brute-force defence. Failed attempts are
+		// never disclosed in dumps.
+		if now.Sub(a.failedSince) > p.BruteForceWindow {
+			a.failedSince = now
+			a.failedCount = 0
+		}
+		a.failedCount++
+		if a.failedCount > p.BruteForceMax {
+			a.throttledTil = now.Add(p.ThrottlePeriod)
+		}
+		return nil, imap.ErrAuthFailed
+	}
+	a.failedCount = 0
+	p.loginLog = append(p.loginLog, LoginEvent{Account: a.email, Time: now, IP: remote, Method: method})
+	return a, nil
+}
+
+// Login implements imap.Backend.
+func (p *Provider) Login(user, pass string, remote netip.Addr) (imap.Session, error) {
+	a, err := p.login(user, pass, remote, "IMAP")
+	if err != nil {
+		return nil, err
+	}
+	return &session{p: p, a: a}, nil
+}
+
+// methodBackend is an imap.Backend view of the provider that records a
+// different access method in the login log (e.g. POP3 front ends).
+type methodBackend struct {
+	p      *Provider
+	method string
+}
+
+// Login implements imap.Backend with the wrapped method label.
+func (b methodBackend) Login(user, pass string, remote netip.Addr) (imap.Session, error) {
+	a, err := b.p.login(user, pass, remote, b.method)
+	if err != nil {
+		return nil, err
+	}
+	return &session{p: b.p, a: a}, nil
+}
+
+// POPBackend returns a mailbox backend whose successful logins are logged
+// with method "POP3"; the POP3 server front end uses it.
+func (p *Provider) POPBackend() imap.Backend { return methodBackend{p: p, method: "POP3"} }
+
+// WebLogin authenticates through the provider's web interface; Tripwire's
+// own control-account logins use this method.
+func (p *Provider) WebLogin(email, password string, remote netip.Addr) error {
+	_, err := p.login(email, password, remote, "WEB")
+	return err
+}
+
+// POPLogin authenticates via POP3 (some attacker tooling uses it).
+func (p *Provider) POPLogin(email, password string, remote netip.Addr) error {
+	_, err := p.login(email, password, remote, "POP3")
+	return err
+}
+
+// session implements imap.Session over a provider account.
+type session struct {
+	p        *Provider
+	a        *account
+	selected bool
+}
+
+func (s *session) Select(mailbox string) (int, error) {
+	if !strings.EqualFold(mailbox, "INBOX") {
+		return 0, fmt.Errorf("emailprovider: no mailbox %q", mailbox)
+	}
+	s.selected = true
+	s.p.mu.Lock()
+	defer s.p.mu.Unlock()
+	return len(s.a.inbox), nil
+}
+
+func (s *session) Fetch(seq int) (imap.Message, error) {
+	s.p.mu.Lock()
+	defer s.p.mu.Unlock()
+	if !s.selected || seq < 1 || seq > len(s.a.inbox) {
+		return imap.Message{}, fmt.Errorf("emailprovider: no message %d", seq)
+	}
+	return s.a.inbox[seq-1], nil
+}
+
+func (s *session) Logout() error { return nil }

@@ -1,0 +1,179 @@
+package geo
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceHas92Countries(t *testing.T) {
+	s := NewSpace()
+	if got := s.NumCountries(); got != 92 {
+		t.Fatalf("NumCountries() = %d, want 92 (paper §6.4.3)", got)
+	}
+}
+
+func TestNoReservedSlash8Allocated(t *testing.T) {
+	s := NewSpace()
+	for _, bad := range []int{0, 10, 127, 224, 240, 255} {
+		if s.slash8[bad] != nil {
+			t.Errorf("reserved /8 %d allocated to %s", bad, s.slash8[bad].Code)
+		}
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	s := NewSpace()
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range s.Countries() {
+		ip := s.SampleIPIn(rng, c.Code)
+		got, ok := s.Lookup(ip)
+		if !ok {
+			t.Fatalf("Lookup(%v) not found for %s", ip, c.Code)
+		}
+		if got.Code != c.Code {
+			t.Fatalf("Lookup(%v) = %s, want %s", ip, got.Code, c.Code)
+		}
+	}
+}
+
+func TestLookupOutsideSpace(t *testing.T) {
+	s := NewSpace()
+	for _, raw := range []string{"10.1.2.3", "127.0.0.1", "230.1.2.3", "::1"} {
+		ip := netip.MustParseAddr(raw)
+		if _, ok := s.Lookup(ip); ok {
+			t.Errorf("Lookup(%s) unexpectedly found a country", raw)
+		}
+	}
+}
+
+func TestSampleProxyCountryDistribution(t *testing.T) {
+	s := NewSpace()
+	rng := rand.New(rand.NewSource(2))
+	counts := make(map[string]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[s.SampleCountry(rng).Code]++
+	}
+	// The paper's ordering: RU > CN > US > VN > everything else.
+	if !(counts["RU"] > counts["CN"] && counts["CN"] > counts["US"] && counts["US"] > counts["VN"]) {
+		t.Fatalf("country ordering wrong: RU=%d CN=%d US=%d VN=%d",
+			counts["RU"], counts["CN"], counts["US"], counts["VN"])
+	}
+	for code, c := range counts {
+		if code == "RU" || code == "CN" || code == "US" || code == "VN" {
+			continue
+		}
+		if c > counts["VN"]*2 {
+			t.Fatalf("tail country %s (%d) implausibly above VN (%d)", code, c, counts["VN"])
+		}
+	}
+}
+
+func TestResidentialMajority(t *testing.T) {
+	s := NewSpace()
+	rng := rand.New(rand.NewSource(3))
+	res := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if !s.IsDatacenter(s.SampleProxyIP(rng)) {
+			res++
+		}
+	}
+	if frac := float64(res) / n; frac < 0.75 {
+		t.Fatalf("residential fraction %.2f, want majority-residential (paper §6.4.3)", frac)
+	}
+}
+
+func TestWhoisConsistency(t *testing.T) {
+	s := NewSpace()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		ip := s.SampleProxyIP(rng)
+		w1, ok1 := s.Whois(ip)
+		w2, ok2 := s.Whois(ip)
+		if !ok1 || !ok2 || w1 != w2 {
+			t.Fatalf("Whois(%v) not deterministic: %+v vs %+v", ip, w1, w2)
+		}
+		c, _ := s.Lookup(ip)
+		if w1.CountryCode != c.Code {
+			t.Fatalf("whois country %s != lookup country %s", w1.CountryCode, c.Code)
+		}
+		if w1.Residential == s.IsDatacenter(ip) {
+			continue // consistent by definition, but keep the check explicit:
+		}
+		if w1.Residential != !s.IsDatacenter(ip) {
+			t.Fatalf("whois residential flag disagrees with IsDatacenter for %v", ip)
+		}
+	}
+}
+
+func TestAnonymize24(t *testing.T) {
+	got := Anonymize24(netip.MustParseAddr("203.45.67.89"))
+	if got != "203.45.67.0/24" {
+		t.Fatalf("Anonymize24 = %q, want 203.45.67.0/24", got)
+	}
+	v6 := netip.MustParseAddr("2001:db8::1")
+	if Anonymize24(v6) != v6.String() {
+		t.Fatalf("Anonymize24 should pass through non-IPv4 addresses")
+	}
+}
+
+func TestSampleIPInUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown country code")
+		}
+	}()
+	NewSpace().SampleIPIn(rand.New(rand.NewSource(1)), "XX")
+}
+
+func TestReverseDNSConsistentWithWhois(t *testing.T) {
+	s := NewSpace()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		ip := s.SampleProxyIP(rng)
+		host, ok := s.ReverseDNS(ip)
+		if !ok || host == "" {
+			t.Fatalf("no PTR for %v", ip)
+		}
+		w, _ := s.Whois(ip)
+		if w.Residential && !strings.Contains(host, "broadband") {
+			t.Fatalf("residential %v resolves to %q", ip, host)
+		}
+		if !w.Residential && !strings.Contains(host, "hosting") {
+			t.Fatalf("datacenter %v resolves to %q", ip, host)
+		}
+		// Deterministic.
+		again, _ := s.ReverseDNS(ip)
+		if again != host {
+			t.Fatalf("PTR not deterministic for %v", ip)
+		}
+	}
+	if _, ok := s.ReverseDNS(netip.MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("PTR for address outside the space")
+	}
+}
+
+// Property: every sampled proxy IP is inside the space, is IPv4, and its
+// /24 anonymization parses back to a prefix containing the IP.
+func TestQuickSampledIPsWellFormed(t *testing.T) {
+	s := NewSpace()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ip := s.SampleProxyIP(rng)
+		if !ip.Is4() {
+			return false
+		}
+		if _, ok := s.Lookup(ip); !ok {
+			return false
+		}
+		pfx, err := netip.ParsePrefix(Anonymize24(ip))
+		return err == nil && pfx.Contains(ip)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

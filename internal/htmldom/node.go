@@ -1,0 +1,226 @@
+package htmldom
+
+import (
+	"strings"
+)
+
+// NodeType identifies the kind of a DOM node.
+type NodeType int
+
+const (
+	// DocumentNode is the root of a parsed document.
+	DocumentNode NodeType = iota
+	// ElementNode is a tag with attributes and children.
+	ElementNode
+	// TextNode holds character data.
+	TextNode
+	// CommentNode holds a comment's content.
+	CommentNode
+)
+
+// Node is a DOM node. Fields are exported for read access; mutate through
+// the tree-building parser only.
+type Node struct {
+	Type     NodeType
+	Tag      string // element tag, lower-case (ElementNode only)
+	Data     string // text or comment content
+	Attrs    []Attr
+	Parent   *Node
+	Children []*Node
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == name {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the named attribute's value, or def when absent.
+func (n *Node) AttrOr(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// HasAttr reports whether the named attribute is present (even if empty, as
+// with <input required>).
+func (n *Node) HasAttr(name string) bool {
+	_, ok := n.Attr(name)
+	return ok
+}
+
+// ID returns the element's id attribute, or "".
+func (n *Node) ID() string { return n.AttrOr("id", "") }
+
+// Text returns the concatenation of all descendant text, with runs of
+// whitespace collapsed to single spaces and the result trimmed.
+func (n *Node) Text() string {
+	var b strings.Builder
+	n.appendText(&b)
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	if n.Type == TextNode {
+		b.WriteString(n.Data)
+		b.WriteByte(' ')
+		return
+	}
+	for _, c := range n.Children {
+		c.appendText(b)
+	}
+}
+
+// Walk calls fn for n and every descendant in document order. If fn returns
+// false the walk does not descend into that node's children.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// FindAll returns all descendant elements (including n itself if it is an
+// element) satisfying pred, in document order.
+func (n *Node) FindAll(pred func(*Node) bool) []*Node {
+	var out []*Node
+	n.Walk(func(x *Node) bool {
+		if x.Type == ElementNode && pred(x) {
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}
+
+// First returns the first descendant element satisfying pred, or nil.
+func (n *Node) First(pred func(*Node) bool) *Node {
+	var found *Node
+	n.Walk(func(x *Node) bool {
+		if found != nil {
+			return false
+		}
+		if x.Type == ElementNode && pred(x) {
+			found = x
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ElementsByTag returns all descendant elements with the given tag.
+func (n *Node) ElementsByTag(tag string) []*Node {
+	return n.FindAll(func(x *Node) bool { return x.Tag == tag })
+}
+
+// ByID returns the descendant element with the given id, or nil.
+func (n *Node) ByID(id string) *Node {
+	if id == "" {
+		return nil
+	}
+	return n.First(func(x *Node) bool { return x.ID() == id })
+}
+
+// Ancestor returns the nearest ancestor (excluding n) with the given tag,
+// or nil.
+func (n *Node) Ancestor(tag string) *Node {
+	for p := n.Parent; p != nil; p = p.Parent {
+		if p.Type == ElementNode && p.Tag == tag {
+			return p
+		}
+	}
+	return nil
+}
+
+// PrevSibling returns the node immediately before n under the same parent,
+// or nil.
+func (n *Node) PrevSibling() *Node {
+	if n.Parent == nil {
+		return nil
+	}
+	var prev *Node
+	for _, c := range n.Parent.Children {
+		if c == n {
+			return prev
+		}
+		prev = c
+	}
+	return nil
+}
+
+// voidElements never take children.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// autoClose lists tags that implicitly close an open element of the same
+// (or listed) tag, approximating real browser recovery behaviour.
+var autoClose = map[string][]string{
+	"li":     {"li"},
+	"p":      {"p"},
+	"option": {"option"},
+	"tr":     {"tr", "td", "th"},
+	"td":     {"td", "th"},
+	"th":     {"td", "th"},
+	"dd":     {"dd", "dt"},
+	"dt":     {"dd", "dt"},
+}
+
+// Parse builds a DOM from src. It never fails.
+func Parse(src string) *Node {
+	doc := &Node{Type: DocumentNode}
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+	appendChild := func(c *Node) {
+		c.Parent = top()
+		top().Children = append(top().Children, c)
+	}
+	for _, tok := range Tokenize(src) {
+		switch tok.Type {
+		case TextToken:
+			if strings.TrimSpace(tok.Data) == "" && top() == doc {
+				continue // ignore inter-tag whitespace at document level
+			}
+			appendChild(&Node{Type: TextNode, Data: tok.Data})
+		case CommentToken:
+			appendChild(&Node{Type: CommentNode, Data: tok.Data})
+		case DoctypeToken:
+			// Recorded nowhere: the crawler does not need it.
+		case StartTagToken, SelfClosingTagToken:
+			if closers, ok := autoClose[tok.Data]; ok {
+				if t := top(); t.Type == ElementNode {
+					for _, c := range closers {
+						if t.Tag == c {
+							stack = stack[:len(stack)-1]
+							break
+						}
+					}
+				}
+			}
+			el := &Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs}
+			appendChild(el)
+			if tok.Type == StartTagToken && !voidElements[tok.Data] {
+				stack = append(stack, el)
+			}
+		case EndTagToken:
+			// Pop to the matching open element, if any; otherwise ignore.
+			for j := len(stack) - 1; j >= 1; j-- {
+				if stack[j].Tag == tok.Data {
+					stack = stack[:j]
+					break
+				}
+			}
+		}
+	}
+	return doc
+}

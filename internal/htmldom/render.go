@@ -1,0 +1,83 @@
+package htmldom
+
+import (
+	"strings"
+)
+
+// Render serializes a DOM back to HTML. Text is entity-escaped, attribute
+// values are quoted and escaped, and void elements render without end tags,
+// so Parse(Render(doc)) reproduces an equivalent tree. Render is mainly a
+// debugging and testing aid: the crawler works on parsed trees, but tests
+// use the round-trip property to validate the parser.
+func Render(n *Node) string {
+	var b strings.Builder
+	renderTo(&b, n)
+	return b.String()
+}
+
+func renderTo(b *strings.Builder, n *Node) {
+	switch n.Type {
+	case DocumentNode:
+		for _, c := range n.Children {
+			renderTo(b, c)
+		}
+	case TextNode:
+		b.WriteString(escapeText(n.Data))
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Data)
+		b.WriteString("-->")
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeAttr(a.Val))
+			b.WriteByte('"')
+		}
+		b.WriteByte('>')
+		if voidElements[n.Tag] {
+			return
+		}
+		for _, c := range n.Children {
+			renderTo(b, c)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Tag)
+		b.WriteByte('>')
+	}
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func escapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Equal reports whether two trees are structurally identical: same node
+// types, tags, attributes (order-sensitive), and text content.
+func Equal(a, b *Node) bool {
+	if a.Type != b.Type || a.Tag != b.Tag || a.Data != b.Data {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,90 @@
+package htmldom
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderBasic(t *testing.T) {
+	src := `<html><body class="x"><p>a &amp; b</p><br><img src="i.png"></body></html>`
+	doc := Parse(src)
+	out := Render(doc)
+	if !strings.Contains(out, `class="x"`) || !strings.Contains(out, "a &amp; b") {
+		t.Fatalf("render lost content: %q", out)
+	}
+	if strings.Contains(out, "</br>") || strings.Contains(out, "</img>") {
+		t.Fatalf("void elements got end tags: %q", out)
+	}
+}
+
+func TestRenderEscapesAttrs(t *testing.T) {
+	doc := Parse(`<a href="/x?a=1&amp;b=2" title="say &quot;hi&quot;">t</a>`)
+	out := Render(doc)
+	re := Parse(out)
+	a := re.ElementsByTag("a")[0]
+	if v, _ := a.Attr("href"); v != "/x?a=1&b=2" {
+		t.Fatalf("href round trip = %q", v)
+	}
+	if v, _ := a.Attr("title"); v != `say "hi"` {
+		t.Fatalf("title round trip = %q", v)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Parse("<div><p>x</p></div>")
+	b := Parse("<div><p>x</p></div>")
+	c := Parse("<div><p>y</p></div>")
+	if !Equal(a, b) {
+		t.Fatal("identical trees unequal")
+	}
+	if Equal(a, c) {
+		t.Fatal("different trees equal")
+	}
+}
+
+// Property: Render∘Parse is a projection — parsing rendered output yields
+// an equal tree (idempotence after the first normalization pass).
+func TestQuickRenderParseRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		first := Parse(s)
+		rendered := Render(first)
+		second := Parse(rendered)
+		return Equal(first, second)
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the round trip also holds for webgen-shaped markup with forms
+// and attributes.
+func TestQuickFormMarkupRoundTrip(t *testing.T) {
+	f := func(name, label string, required bool) bool {
+		name = sanitizeIdent(name)
+		var req string
+		if required {
+			req = " required"
+		}
+		src := `<form action="/r" method="post"><p><label for="` + name + `">` +
+			escapeText(label) + `</label><input type="text" name="` + name + `" id="` + name + `"` + req + `></p></form>`
+		first := Parse(src)
+		return Equal(first, Parse(Render(first)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(10))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	b.WriteString("f")
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,323 @@
+// Package htmldom implements a small HTML tokenizer, a lenient tree parser,
+// and a queryable DOM. It is the document substrate for the headless
+// browser (internal/browser) that replaces the paper's PhantomJS/WebKit
+// engine: the crawler's registration heuristics run weighted regular
+// expressions over these nodes exactly as the paper's heuristics ran over
+// WebKit's DOM.
+//
+// The parser is deliberately forgiving, in the spirit of real browsers:
+// unknown tags, stray end tags, and unclosed elements never fail; they
+// produce the most reasonable tree.
+package htmldom
+
+import (
+	"strings"
+)
+
+// TokenType identifies the kind of a lexical token.
+type TokenType int
+
+const (
+	// TextToken is character data between tags.
+	TextToken TokenType = iota
+	// StartTagToken is <name attr="v">.
+	StartTagToken
+	// EndTagToken is </name>.
+	EndTagToken
+	// SelfClosingTagToken is <name/>.
+	SelfClosingTagToken
+	// CommentToken is <!-- ... -->.
+	CommentToken
+	// DoctypeToken is <!DOCTYPE ...>.
+	DoctypeToken
+)
+
+// Attr is a single name="value" attribute. Names are lower-cased by the
+// tokenizer; values are entity-decoded.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Token is one lexical token.
+type Token struct {
+	Type  TokenType
+	Data  string // tag name (lower-case) or text/comment content
+	Attrs []Attr
+}
+
+// Tokenize lexes src into tokens. It never fails: malformed markup
+// degrades to text.
+func Tokenize(src string) []Token {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			toks = appendText(toks, src[i:])
+			break
+		}
+		if lt > 0 {
+			toks = appendText(toks, src[i:i+lt])
+			i += lt
+		}
+		// src[i] == '<'
+		if i+1 >= n {
+			toks = appendText(toks, src[i:])
+			break
+		}
+		switch {
+		case strings.HasPrefix(src[i:], "<!--"):
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				toks = append(toks, Token{Type: CommentToken, Data: src[i+4:]})
+				i = n
+			} else {
+				toks = append(toks, Token{Type: CommentToken, Data: src[i+4 : i+4+end]})
+				i += 4 + end + 3
+			}
+		case src[i+1] == '!':
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				toks = appendText(toks, src[i:])
+				i = n
+			} else {
+				toks = append(toks, Token{Type: DoctypeToken, Data: strings.TrimSpace(src[i+2 : i+end])})
+				i += end + 1
+			}
+		case src[i+1] == '/':
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				toks = appendText(toks, src[i:])
+				i = n
+			} else {
+				name := strings.ToLower(strings.TrimSpace(src[i+2 : i+end]))
+				if isTagName(name) {
+					toks = append(toks, Token{Type: EndTagToken, Data: name})
+				}
+				i += end + 1
+			}
+		case isNameStart(src[i+1]):
+			tok, adv := lexStartTag(src[i:])
+			toks = append(toks, tok)
+			i += adv
+			// Raw-text elements: swallow everything up to the matching
+			// close tag so scripts/styles never parse as markup.
+			if tok.Type == StartTagToken && (tok.Data == "script" || tok.Data == "style") {
+				closeTag := "</" + tok.Data
+				rest := strings.ToLower(src[i:])
+				idx := strings.Index(rest, closeTag)
+				if idx < 0 {
+					toks = appendText(toks, src[i:])
+					i = n
+					break
+				}
+				if idx > 0 {
+					toks = append(toks, Token{Type: TextToken, Data: src[i : i+idx]})
+				}
+				gt := strings.IndexByte(src[i+idx:], '>')
+				toks = append(toks, Token{Type: EndTagToken, Data: tok.Data})
+				if gt < 0 {
+					i = n
+				} else {
+					i += idx + gt + 1
+				}
+			}
+		default:
+			// A lone '<' that does not begin a tag is text.
+			toks = appendText(toks, "<")
+			i++
+		}
+	}
+	return toks
+}
+
+func appendText(toks []Token, s string) []Token {
+	if s == "" {
+		return toks
+	}
+	if len(toks) > 0 && toks[len(toks)-1].Type == TextToken {
+		toks[len(toks)-1].Data += DecodeEntities(s)
+		return toks
+	}
+	return append(toks, Token{Type: TextToken, Data: DecodeEntities(s)})
+}
+
+// lexStartTag lexes a start tag beginning at src[0] == '<'. It returns the
+// token and the number of bytes consumed.
+func lexStartTag(src string) (Token, int) {
+	i := 1
+	n := len(src)
+	start := i
+	for i < n && isNameChar(src[i]) {
+		i++
+	}
+	tok := Token{Type: StartTagToken, Data: strings.ToLower(src[start:i])}
+	for {
+		for i < n && isSpace(src[i]) {
+			i++
+		}
+		if i >= n {
+			return tok, n
+		}
+		if src[i] == '>' {
+			return tok, i + 1
+		}
+		if src[i] == '/' {
+			// Possibly self-closing.
+			j := i + 1
+			for j < n && isSpace(src[j]) {
+				j++
+			}
+			if j < n && src[j] == '>' {
+				tok.Type = SelfClosingTagToken
+				return tok, j + 1
+			}
+			i++
+			continue
+		}
+		// Attribute name.
+		aStart := i
+		for i < n && src[i] != '=' && src[i] != '>' && src[i] != '/' && !isSpace(src[i]) {
+			i++
+		}
+		name := strings.ToLower(src[aStart:i])
+		val := ""
+		for i < n && isSpace(src[i]) {
+			i++
+		}
+		if i < n && src[i] == '=' {
+			i++
+			for i < n && isSpace(src[i]) {
+				i++
+			}
+			if i < n && (src[i] == '"' || src[i] == '\'') {
+				q := src[i]
+				i++
+				vStart := i
+				for i < n && src[i] != q {
+					i++
+				}
+				val = src[vStart:i]
+				if i < n {
+					i++ // closing quote
+				}
+			} else {
+				vStart := i
+				for i < n && !isSpace(src[i]) && src[i] != '>' {
+					i++
+				}
+				val = src[vStart:i]
+			}
+		}
+		if name != "" {
+			tok.Attrs = append(tok.Attrs, Attr{Key: name, Val: DecodeEntities(val)})
+		}
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' }
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == '_' || c == ':'
+}
+
+func isTagName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DecodeEntities decodes the common named HTML entities and numeric
+// character references.
+func DecodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 10 {
+			b.WriteByte('&')
+			i++
+			continue
+		}
+		ent := s[i+1 : i+semi]
+		switch {
+		case ent == "amp":
+			b.WriteByte('&')
+		case ent == "lt":
+			b.WriteByte('<')
+		case ent == "gt":
+			b.WriteByte('>')
+		case ent == "quot":
+			b.WriteByte('"')
+		case ent == "apos":
+			b.WriteByte('\'')
+		case ent == "nbsp":
+			b.WriteByte(' ')
+		case strings.HasPrefix(ent, "#"):
+			r := parseNumericRef(ent[1:])
+			if r < 0 {
+				b.WriteByte('&')
+				i++
+				continue
+			}
+			b.WriteRune(rune(r))
+		default:
+			b.WriteByte('&')
+			i++
+			continue
+		}
+		i += semi + 1
+	}
+	return b.String()
+}
+
+func parseNumericRef(s string) int {
+	base := 10
+	if len(s) > 1 && (s[0] == 'x' || s[0] == 'X') {
+		base = 16
+		s = s[1:]
+	}
+	if s == "" {
+		return -1
+	}
+	v := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d int
+		switch {
+		case c >= '0' && c <= '9':
+			d = int(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int(c-'A') + 10
+		default:
+			return -1
+		}
+		v = v*base + d
+		if v > 0x10FFFF {
+			return -1
+		}
+	}
+	return v
+}

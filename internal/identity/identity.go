@@ -1,0 +1,246 @@
+// Package identity generates the fictitious identities Tripwire registers
+// at websites (paper §4.1). Each identity maps one-to-one to an email
+// account and password at the partner email provider and is designed to be
+// indistinguishable from an organically created account: full name, valid
+// US-shaped street address, US phone number, date of birth, and employer.
+//
+// Usernames and email local-parts follow the paper's "adjective, noun, and a
+// four-digit number" scheme (e.g. ArguableGem8317); the first 14 characters
+// serve as the username at sites that require one distinct from the email
+// address.
+package identity
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// PasswordClass distinguishes the two password strengths used to classify
+// how a breached site stored its passwords (paper §4.1.2).
+type PasswordClass int
+
+const (
+	// Hard passwords are random alpha-numeric, mixed-case, ten-character
+	// strings without special characters (e.g. i5Nss87yf0). They are
+	// designed to resist offline dictionary and brute-force attacks.
+	Hard PasswordClass = iota
+	// Easy passwords are eight-character strings: a single seven-character
+	// dictionary word, first letter capitalized, followed by one digit
+	// (e.g. Website1). They are deliberately trivial to crack.
+	Easy
+)
+
+// String returns "hard" or "easy".
+func (c PasswordClass) String() string {
+	switch c {
+	case Hard:
+		return "hard"
+	case Easy:
+		return "easy"
+	default:
+		return fmt.Sprintf("PasswordClass(%d)", int(c))
+	}
+}
+
+// Identity is a complete fictitious persona.
+type Identity struct {
+	ID        int
+	FirstName string
+	LastName  string
+	Username  string // first 14 chars of the email local-part
+	LocalPart string // adjective+noun+4 digits, e.g. ArguableGem8317
+	Email     string // LocalPart@provider-domain
+	Password  string
+	Class     PasswordClass
+
+	Street   string
+	City     string
+	State    string
+	Zip      string
+	Phone    string // unique US number under our control
+	Birthday time.Time
+	Employer string
+}
+
+// FullName returns "First Last".
+func (id *Identity) FullName() string { return id.FirstName + " " + id.LastName }
+
+// Generator produces identities deterministically from a seeded source.
+// It guarantees that no two generated identities share a local-part, phone
+// number, or password within one Generator's lifetime.
+type Generator struct {
+	rng        *rand.Rand
+	domain     string
+	nextID     int
+	usedLocals map[string]bool
+	usedPhones map[string]bool
+	usedPass   map[string]bool
+}
+
+// NewGenerator returns a Generator emitting addresses @domain, seeded for
+// reproducibility.
+func NewGenerator(domain string, seed int64) *Generator {
+	return &Generator{
+		rng:        rand.New(rand.NewSource(seed)),
+		domain:     domain,
+		usedLocals: make(map[string]bool),
+		usedPhones: make(map[string]bool),
+		usedPass:   make(map[string]bool),
+	}
+}
+
+// Domain returns the email domain identities are generated under.
+func (g *Generator) Domain() string { return g.domain }
+
+// New generates a fresh identity with a password of the given class.
+func (g *Generator) New(class PasswordClass) *Identity {
+	local := g.uniqueLocalPart()
+	username := local
+	if len(username) > 14 {
+		username = username[:14]
+	}
+	id := &Identity{
+		ID:        g.nextID,
+		FirstName: pick(g.rng, firstNames),
+		LastName:  pick(g.rng, lastNames),
+		Username:  username,
+		LocalPart: local,
+		Email:     strings.ToLower(local) + "@" + g.domain,
+		Password:  g.uniquePassword(class),
+		Class:     class,
+		Street:    g.street(),
+		City:      pick(g.rng, cities),
+		State:     pick(g.rng, states),
+		Zip:       fmt.Sprintf("%05d", 10000+g.rng.Intn(89999)),
+		Phone:     g.uniquePhone(),
+		Birthday:  g.birthday(),
+		Employer:  pick(g.rng, employers),
+	}
+	g.nextID++
+	return id
+}
+
+// Batch generates n identities of the given class.
+func (g *Generator) Batch(n int, class PasswordClass) []*Identity {
+	out := make([]*Identity, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.New(class))
+	}
+	return out
+}
+
+func (g *Generator) uniqueLocalPart() string {
+	for {
+		local := pick(g.rng, adjectives) + pick(g.rng, nouns) + fmt.Sprintf("%04d", g.rng.Intn(10000))
+		if !g.usedLocals[local] {
+			g.usedLocals[local] = true
+			return local
+		}
+	}
+}
+
+// uniquePassword prefers globally unique passwords. Hard passwords draw
+// from a 62^10 space, so uniqueness always holds. The easy space is tiny by
+// design (dictionary word × digit), so after a bounded number of attempts a
+// duplicate easy password is accepted: what Tripwire requires is that each
+// (email, password) *pair* is unique, which the unique email guarantees.
+func (g *Generator) uniquePassword(class PasswordClass) string {
+	var p string
+	for attempt := 0; ; attempt++ {
+		if class == Hard {
+			p = HardPassword(g.rng)
+		} else {
+			p = EasyPassword(g.rng)
+		}
+		if !g.usedPass[p] {
+			g.usedPass[p] = true
+			return p
+		}
+		if class == Easy && attempt >= 100 {
+			return p
+		}
+	}
+}
+
+func (g *Generator) uniquePhone() string {
+	for {
+		// NANP-shaped numbers in the fictional 555 exchange space.
+		p := fmt.Sprintf("+1-%d%d%d-555-%04d", 2+g.rng.Intn(8), g.rng.Intn(10), g.rng.Intn(10), g.rng.Intn(10000))
+		if !g.usedPhones[p] {
+			g.usedPhones[p] = true
+			return p
+		}
+	}
+}
+
+func (g *Generator) street() string {
+	return fmt.Sprintf("%d %s %s", 1+g.rng.Intn(9899), pick(g.rng, streetNames), pick(g.rng, streetSuffixes))
+}
+
+func (g *Generator) birthday() time.Time {
+	year := 1955 + g.rng.Intn(40)
+	month := time.Month(1 + g.rng.Intn(12))
+	day := 1 + g.rng.Intn(28)
+	return time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+}
+
+const (
+	hardAlphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	// HardLength is the hard-password length: "a balance between a desire
+	// for long, complicated passwords, and the need to support websites
+	// with short maximum password lengths" (paper §4.1.2).
+	HardLength = 10
+)
+
+// HardPassword returns a random alpha-numeric mixed-case ten-character
+// password without special characters.
+func HardPassword(rng *rand.Rand) string {
+	var b strings.Builder
+	b.Grow(HardLength)
+	for i := 0; i < HardLength; i++ {
+		b.WriteByte(hardAlphabet[rng.Intn(len(hardAlphabet))])
+	}
+	return b.String()
+}
+
+// EasyPassword returns a seven-character dictionary word with its first
+// letter capitalized followed by a single digit: eight characters total,
+// deliberately crackable by a dictionary attack.
+func EasyPassword(rng *rand.Rand) string {
+	w := pick(rng, easyWords)
+	return strings.ToUpper(w[:1]) + w[1:] + string(rune('0'+rng.Intn(10)))
+}
+
+// IsEasyShaped reports whether p matches the easy-password shape:
+// capitalized seven-letter word plus one trailing digit. Attacker-side
+// dictionary crackers in the simulation use the same predicate, so a
+// "cracked" password is exactly one an attacker's wordlist would find.
+func IsEasyShaped(p string) bool {
+	if len(p) != 8 {
+		return false
+	}
+	if p[0] < 'A' || p[0] > 'Z' {
+		return false
+	}
+	for i := 1; i < 7; i++ {
+		if p[i] < 'a' || p[i] > 'z' {
+			return false
+		}
+	}
+	return p[7] >= '0' && p[7] <= '9'
+}
+
+// DictionaryWords returns a copy of the seven-letter word list underlying
+// easy passwords. The attacker simulation uses the same list as its cracking
+// dictionary, so "a dictionary attack recovers easy passwords but not hard
+// ones" holds by actual computation (hashing every Word+digit candidate),
+// not by fiat.
+func DictionaryWords() []string {
+	out := make([]string, len(easyWords))
+	copy(out, easyWords)
+	return out
+}
+
+func pick(rng *rand.Rand, list []string) string { return list[rng.Intn(len(list))] }

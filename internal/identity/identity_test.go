@@ -1,0 +1,197 @@
+package identity
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator("mail.example", 42).New(Hard)
+	b := NewGenerator("mail.example", 42).New(Hard)
+	if a.Email != b.Email || a.Password != b.Password || a.FullName() != b.FullName() {
+		t.Fatalf("same seed produced different identities: %+v vs %+v", a, b)
+	}
+	c := NewGenerator("mail.example", 43).New(Hard)
+	if a.Email == c.Email {
+		t.Fatal("different seeds produced identical emails")
+	}
+}
+
+func TestLocalPartShape(t *testing.T) {
+	g := NewGenerator("mail.example", 1)
+	for i := 0; i < 200; i++ {
+		id := g.New(Easy)
+		lp := id.LocalPart
+		// Adjective + Noun + 4 digits: ends with exactly 4 digits, starts
+		// with an upper-case letter, contains a second upper-case letter.
+		if len(lp) < 7 {
+			t.Fatalf("local-part too short: %q", lp)
+		}
+		tail := lp[len(lp)-4:]
+		for _, r := range tail {
+			if r < '0' || r > '9' {
+				t.Fatalf("local-part %q does not end in 4 digits", lp)
+			}
+		}
+		if lp[0] < 'A' || lp[0] > 'Z' {
+			t.Fatalf("local-part %q does not start capitalized", lp)
+		}
+		caps := 0
+		for _, r := range lp {
+			if r >= 'A' && r <= 'Z' {
+				caps++
+			}
+		}
+		if caps < 2 {
+			t.Fatalf("local-part %q lacks adjective+noun capitalization", lp)
+		}
+		if !strings.HasSuffix(id.Email, "@mail.example") {
+			t.Fatalf("email %q not under generator domain", id.Email)
+		}
+		if id.Email != strings.ToLower(id.Email) {
+			t.Fatalf("email %q not lower-cased", id.Email)
+		}
+	}
+}
+
+func TestUsernameTruncatedTo14(t *testing.T) {
+	g := NewGenerator("mail.example", 7)
+	for i := 0; i < 500; i++ {
+		id := g.New(Hard)
+		if len(id.Username) > 14 {
+			t.Fatalf("username %q longer than 14 chars", id.Username)
+		}
+		if !strings.HasPrefix(id.LocalPart, id.Username) {
+			t.Fatalf("username %q is not a prefix of local-part %q", id.Username, id.LocalPart)
+		}
+	}
+}
+
+func TestHardPasswordShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		p := HardPassword(rng)
+		if len(p) != HardLength {
+			t.Fatalf("hard password %q length %d, want %d", p, len(p), HardLength)
+		}
+		for j := 0; j < len(p); j++ {
+			c := p[j]
+			ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+			if !ok {
+				t.Fatalf("hard password %q contains non-alphanumeric %q", p, c)
+			}
+		}
+		if IsEasyShaped(p) {
+			t.Fatalf("hard password %q is easy-shaped", p)
+		}
+	}
+}
+
+func TestEasyPasswordShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		p := EasyPassword(rng)
+		if len(p) != 8 {
+			t.Fatalf("easy password %q length %d, want 8", p, len(p))
+		}
+		if !IsEasyShaped(p) {
+			t.Fatalf("easy password %q fails IsEasyShaped", p)
+		}
+	}
+}
+
+func TestIsEasyShapedRejects(t *testing.T) {
+	for _, p := range []string{"", "website1", "Websit1", "Website", "WEBSITE1", "Websitee", "1ebsite1", "Websit11"} {
+		if IsEasyShaped(p) {
+			t.Errorf("IsEasyShaped(%q) = true, want false", p)
+		}
+	}
+	if !IsEasyShaped("Website1") {
+		t.Error("IsEasyShaped(Website1) = false, want true")
+	}
+}
+
+func TestUniquenessAcrossBatch(t *testing.T) {
+	g := NewGenerator("mail.example", 9)
+	hard := g.Batch(2000, Hard)
+	easy := g.Batch(2000, Easy)
+	emails := make(map[string]bool, 4000)
+	phones := make(map[string]bool, 4000)
+	pairs := make(map[string]bool, 4000)
+	hardPass := make(map[string]bool, 2000)
+	for _, id := range append(append([]*Identity(nil), hard...), easy...) {
+		if emails[id.Email] {
+			t.Fatalf("duplicate email %q", id.Email)
+		}
+		if phones[id.Phone] {
+			t.Fatalf("duplicate phone %q (paper: no site saw the same phone twice)", id.Phone)
+		}
+		pair := id.Email + "\x00" + id.Password
+		if pairs[pair] {
+			t.Fatalf("duplicate (email, password) pair for %q", id.Email)
+		}
+		emails[id.Email] = true
+		phones[id.Phone] = true
+		pairs[pair] = true
+	}
+	// Hard passwords draw from a 62^10 space: globally unique.
+	for _, id := range hard {
+		if hardPass[id.Password] {
+			t.Fatalf("duplicate hard password %q", id.Password)
+		}
+		hardPass[id.Password] = true
+	}
+}
+
+func TestIdentityFieldsPopulated(t *testing.T) {
+	id := NewGenerator("mail.example", 11).New(Easy)
+	for name, v := range map[string]string{
+		"FirstName": id.FirstName, "LastName": id.LastName,
+		"Street": id.Street, "City": id.City, "State": id.State,
+		"Zip": id.Zip, "Phone": id.Phone, "Employer": id.Employer,
+	} {
+		if v == "" {
+			t.Errorf("identity field %s empty", name)
+		}
+	}
+	if id.Birthday.Year() < 1955 || id.Birthday.Year() > 1995 {
+		t.Errorf("birthday year %d outside plausible adult range", id.Birthday.Year())
+	}
+	if id.Class != Easy {
+		t.Errorf("Class = %v, want Easy", id.Class)
+	}
+}
+
+func TestPasswordClassString(t *testing.T) {
+	if Hard.String() != "hard" || Easy.String() != "easy" {
+		t.Fatalf("String() = %q/%q", Hard, Easy)
+	}
+	if s := PasswordClass(9).String(); !strings.Contains(s, "9") {
+		t.Fatalf("unknown class String() = %q", s)
+	}
+}
+
+func TestEasyWordListSanitized(t *testing.T) {
+	if len(easyWords) == 0 {
+		t.Fatal("easyWords empty after init filter")
+	}
+	for _, w := range easyWords {
+		if len(w) != 7 {
+			t.Fatalf("easy word %q survived filter with length %d", w, len(w))
+		}
+	}
+}
+
+// Property: generated passwords of each class always classify correctly,
+// i.e. the attacker's dictionary predicate exactly separates the classes.
+func TestQuickClassSeparation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return IsEasyShaped(EasyPassword(rng)) && !IsEasyShaped(HardPassword(rng))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

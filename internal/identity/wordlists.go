@@ -1,0 +1,149 @@
+package identity
+
+// Word lists backing identity generation. Names are drawn from common US
+// census names; the adjective/noun lists drive the ArguableGem8317-style
+// local-part scheme; easyWords are exactly seven letters so easy passwords
+// are always eight characters.
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Christopher",
+	"Lisa", "Daniel", "Nancy", "Matthew", "Betty", "Anthony", "Sandra",
+	"Mark", "Margaret", "Donald", "Ashley", "Steven", "Kimberly", "Andrew",
+	"Emily", "Paul", "Donna", "Joshua", "Michelle", "Kenneth", "Carol",
+	"Kevin", "Amanda", "Brian", "Melissa", "George", "Deborah", "Timothy",
+	"Stephanie", "Ronald", "Rebecca", "Jason", "Sharon", "Edward", "Laura",
+	"Jeffrey", "Cynthia", "Ryan", "Dorothy", "Jacob", "Amy", "Gary", "Kathleen",
+	"Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Brenda", "Stephen",
+	"Emma", "Larry", "Anna", "Justin", "Pamela", "Scott", "Nicole", "Brandon",
+	"Samantha", "Benjamin", "Katherine", "Samuel", "Christine", "Gregory",
+	"Helen", "Alexander", "Debra", "Patrick", "Rachel", "Frank", "Carolyn",
+	"Raymond", "Janet", "Jack", "Maria", "Dennis", "Catherine", "Jerry", "Heather",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+	"Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+	"Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+	"Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+	"Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+	"Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+	"Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+	"Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+	"Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+	"Ross", "Foster", "Jimenez",
+}
+
+var adjectives = []string{
+	"Arguable", "Brave", "Calm", "Daring", "Eager", "Fancy", "Gentle",
+	"Happy", "Ideal", "Jolly", "Keen", "Lively", "Merry", "Noble",
+	"Orange", "Polite", "Quiet", "Rapid", "Steady", "Tidy", "Upbeat",
+	"Vivid", "Witty", "Young", "Zesty", "Amber", "Bold", "Crisp",
+	"Dusty", "Early", "Frosty", "Golden", "Hazy", "Icy", "Jade",
+	"Kind", "Lucky", "Misty", "Nimble", "Opal", "Proud", "Quick",
+	"Rustic", "Silver", "Tender", "Urban", "Velvet", "Warm", "Xenial",
+	"Yearly", "Zippy", "Ancient", "Breezy", "Cosmic", "Dapper", "Elegant",
+	"Fearless", "Graceful", "Humble", "Instant", "Jovial", "Knowing",
+	"Limber", "Modest", "Neat", "Ornate", "Placid", "Quaint", "Radiant",
+	"Serene", "Tranquil", "Unique", "Vast", "Wandering", "Youthful", "Zealous",
+}
+
+var nouns = []string{
+	"Gem", "Fox", "Oak", "Star", "Wave", "Leaf", "Moon", "Cloud",
+	"Stone", "River", "Falcon", "Harbor", "Island", "Jungle", "Kettle",
+	"Lantern", "Meadow", "Needle", "Orchard", "Prairie", "Quartz",
+	"Ridge", "Summit", "Thistle", "Umbrella", "Valley", "Willow",
+	"Yarrow", "Zenith", "Anchor", "Badger", "Canyon", "Dolphin",
+	"Ember", "Forest", "Glacier", "Heron", "Iris", "Jasper", "Kite",
+	"Lagoon", "Marble", "Nectar", "Otter", "Pebble", "Quill", "Raven",
+	"Sparrow", "Tundra", "Urchin", "Violet", "Walnut", "Xylem", "Yacht",
+	"Zephyr", "Aspen", "Birch", "Cedar", "Dune", "Egret", "Fjord",
+	"Grove", "Hollow", "Inlet", "Juniper", "Knoll", "Lichen", "Mesa",
+	"Nook", "Osprey", "Pine", "Quarry", "Reef", "Shoal", "Trail",
+}
+
+var easyWords = []string{
+	// Exactly seven letters each: easy password = Word + digit = 8 chars.
+	"website", "account", "freedom", "diamond", "monster", "rainbow",
+	"thunder", "crystal", "phoenix", "warrior", "fantasy", "captain",
+	"soccer7", // placeholder replaced below; kept length-stable via filter
+	"victory", "journey", "passion", "destiny", "america", "charlie",
+	"forever", "hunting", "iceberg", "jackpot", "kingdom", "liberty",
+	"machine", "network", "october", "penguin", "quality", "rocking",
+	"stellar", "trouble", "upgrade", "village", "weather", "another",
+	"brother", "college", "dolphin", "element", "fortune", "gateway",
+	"harmony", "imagine", "justice", "kitchen", "lantern", "miracle",
+	"nothing", "octopus", "picture", "quantum", "reality", "science",
+	"teacher", "uniform", "vampire", "whisper", "amazing", "balance",
+	"cabbage", "dancing", "evening", "fishing", "galaxy7",
+	"history", "insight", "jasmine", "killers", "leopard", "morning",
+	"nirvana", "olympic", "panther", "quietly", "redwood", "shadows",
+	"tornado", "unicorn", "volcano", "wizards", "airport", "bicycle",
+	"cowboys", "dragons", "eclipse", "falcons", "granite", "horizon",
+}
+
+func init() {
+	// Defensive: easy passwords must be Word(7)+digit. Strip any list entry
+	// that is not exactly seven lowercase letters so EasyPassword and
+	// IsEasyShaped agree by construction.
+	kept := easyWords[:0]
+	for _, w := range easyWords {
+		if len(w) != 7 {
+			continue
+		}
+		ok := true
+		for i := 0; i < 7; i++ {
+			if w[i] < 'a' || w[i] > 'z' {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, w)
+		}
+	}
+	easyWords = kept
+}
+
+var cities = []string{
+	"Springfield", "Riverton", "Fairview", "Georgetown", "Salem", "Madison",
+	"Clinton", "Arlington", "Ashland", "Dover", "Oxford", "Jackson",
+	"Burlington", "Manchester", "Milton", "Newport", "Auburn", "Centerville",
+	"Clayton", "Dayton", "Franklin", "Greenville", "Hudson", "Kingston",
+	"Lebanon", "Lexington", "Marion", "Milford", "Oakland", "Princeton",
+}
+
+var states = []string{
+	"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID",
+	"IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS",
+	"MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK",
+	"OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+	"WI", "WY",
+}
+
+var streetNames = []string{
+	"Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Washington", "Lake",
+	"Hill", "Walnut", "Spring", "North", "Ridge", "Church", "Willow",
+	"Mill", "Sunset", "Railroad", "Jackson", "Highland", "Forest", "Meadow",
+	"Park", "Franklin", "River", "Cherry", "Dogwood", "Hickory", "Laurel",
+	"Sycamore",
+}
+
+var streetSuffixes = []string{"St", "Ave", "Rd", "Blvd", "Ln", "Dr", "Ct", "Way", "Pl", "Ter"}
+
+var employers = []string{
+	"Acme Logistics", "Blue Harbor Media", "Cedarline Insurance",
+	"Dynamo Retail Group", "Eastgate Consulting", "Fieldstone Analytics",
+	"Granite Peak Outfitters", "Harborview Clinics", "Ironwood Software",
+	"Junction Freight", "Kestrel Design Co", "Lakeshore Foods",
+	"Meridian Travel", "Northwind Publishing", "Orchard Supply Partners",
+	"Pinnacle Staffing", "Quarry Hill Builders", "Redline Auto Parts",
+	"Silverbrook Dairy", "Trailhead Sports", "Union Square Press",
+	"Vista Energy", "Westbrook Labs", "Yellowstone Tours", "Zenith Optics",
+}

@@ -1,0 +1,224 @@
+package imap
+
+import (
+	"fmt"
+	"net"
+	"strings"
+)
+
+// Client is a minimal IMAP client: the attacker simulation drives it to
+// log in to stolen accounts and siphon mail, producing exactly the
+// provider-side login telemetry Tripwire monitors.
+type Client struct {
+	conn net.Conn
+	r    *lineReader
+	w    *lineWriter
+	tag  int
+}
+
+// Dial starts an IMAP session over conn, consuming the server greeting.
+func Dial(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn, r: newLineReader(conn), w: newLineWriter(conn)}
+	line, err := c.r.ReadLine()
+	if err != nil {
+		return nil, fmt.Errorf("imap: reading greeting: %w", err)
+	}
+	if !strings.HasPrefix(line, "* OK") {
+		return nil, fmt.Errorf("imap: unexpected greeting %q", line)
+	}
+	return c, nil
+}
+
+// Login authenticates. It maps the server's status responses back to the
+// sentinel errors so callers can distinguish wrong-password from frozen
+// from throttled.
+func (c *Client) Login(user, pass string) error {
+	status, err := c.cmd(fmt.Sprintf("LOGIN %q %q", user, pass))
+	if err != nil {
+		return err
+	}
+	switch {
+	case strings.HasPrefix(status, "OK"):
+		return nil
+	case strings.Contains(status, "UNAVAILABLE"):
+		return ErrThrottled
+	case strings.Contains(status, "CONTACTADMIN"):
+		return ErrAccountFrozen
+	default:
+		return ErrAuthFailed
+	}
+}
+
+// Select opens a mailbox and returns its message count.
+func (c *Client) Select(mailbox string) (int, error) {
+	tag := c.nextTag()
+	if err := c.w.WriteLine(fmt.Sprintf("%s SELECT %q", tag, mailbox)); err != nil {
+		return 0, err
+	}
+	count := 0
+	for {
+		line, err := c.r.ReadLine()
+		if err != nil {
+			return 0, err
+		}
+		if strings.HasPrefix(line, "* ") && strings.HasSuffix(line, " EXISTS") {
+			fmt.Sscanf(line, "* %d EXISTS", &count)
+			continue
+		}
+		if strings.HasPrefix(line, tag+" ") {
+			if strings.HasPrefix(line[len(tag)+1:], "OK") {
+				return count, nil
+			}
+			return 0, fmt.Errorf("imap: SELECT failed: %s", line)
+		}
+	}
+}
+
+// Fetch retrieves messages lo..hi (1-based, inclusive).
+func (c *Client) Fetch(lo, hi int) ([]Message, error) {
+	tag := c.nextTag()
+	if err := c.w.WriteLine(fmt.Sprintf("%s FETCH %d:%d (BODY[])", tag, lo, hi)); err != nil {
+		return nil, err
+	}
+	var out []Message
+	for {
+		line, err := c.r.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasPrefix(line, "* ") && strings.Contains(line, "FETCH (BODY[] {") {
+			var seq, size int
+			if _, err := fmt.Sscanf(line, "* %d FETCH (BODY[] {%d}", &seq, &size); err != nil {
+				continue
+			}
+			lit, err := c.r.ReadN(size)
+			if err != nil {
+				return nil, err
+			}
+			// Consume the closing ")" line.
+			if _, err := c.r.ReadLine(); err != nil {
+				return nil, err
+			}
+			out = append(out, parseLiteral(lit))
+			continue
+		}
+		if strings.HasPrefix(line, tag+" ") {
+			if strings.Contains(line, "OK") {
+				return out, nil
+			}
+			return out, fmt.Errorf("imap: FETCH failed: %s", line)
+		}
+	}
+}
+
+// Logout ends the session and closes the connection.
+func (c *Client) Logout() error {
+	tag := c.nextTag()
+	_ = c.w.WriteLine(tag + " LOGOUT")
+	// Read until the tagged reply or EOF; then close.
+	for {
+		line, err := c.r.ReadLine()
+		if err != nil {
+			break
+		}
+		if strings.HasPrefix(line, tag+" ") {
+			break
+		}
+	}
+	return c.conn.Close()
+}
+
+// cmd sends a tagged command and returns the tagged status ("OK ...",
+// "NO ...", "BAD ..."), skipping untagged responses.
+func (c *Client) cmd(body string) (string, error) {
+	tag := c.nextTag()
+	if err := c.w.WriteLine(tag + " " + body); err != nil {
+		return "", err
+	}
+	for {
+		line, err := c.r.ReadLine()
+		if err != nil {
+			return "", err
+		}
+		if strings.HasPrefix(line, tag+" ") {
+			return line[len(tag)+1:], nil
+		}
+	}
+}
+
+func (c *Client) nextTag() string {
+	c.tag++
+	return fmt.Sprintf("a%03d", c.tag)
+}
+
+func parseLiteral(lit string) Message {
+	var m Message
+	head, body, found := strings.Cut(lit, "\r\n\r\n")
+	if !found {
+		m.Body = lit
+		return m
+	}
+	for _, line := range strings.Split(head, "\r\n") {
+		if v, ok := strings.CutPrefix(line, "From: "); ok {
+			m.From = v
+		}
+		if v, ok := strings.CutPrefix(line, "Subject: "); ok {
+			m.Subject = v
+		}
+	}
+	m.Body = body
+	return m
+}
+
+// lineReader reads CRLF lines plus fixed-size literals.
+type lineReader struct {
+	conn net.Conn
+	buf  []byte
+}
+
+func newLineReader(conn net.Conn) *lineReader { return &lineReader{conn: conn} }
+
+func (r *lineReader) fill() error {
+	chunk := make([]byte, 4096)
+	n, err := r.conn.Read(chunk)
+	if n > 0 {
+		r.buf = append(r.buf, chunk[:n]...)
+		return nil
+	}
+	return err
+}
+
+// ReadLine returns the next line without its CRLF.
+func (r *lineReader) ReadLine() (string, error) {
+	for {
+		if i := strings.Index(string(r.buf), "\r\n"); i >= 0 {
+			line := string(r.buf[:i])
+			r.buf = r.buf[i+2:]
+			return line, nil
+		}
+		if err := r.fill(); err != nil {
+			return "", err
+		}
+	}
+}
+
+// ReadN returns exactly n bytes.
+func (r *lineReader) ReadN(n int) (string, error) {
+	for len(r.buf) < n {
+		if err := r.fill(); err != nil {
+			return "", err
+		}
+	}
+	out := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return out, nil
+}
+
+type lineWriter struct{ conn net.Conn }
+
+func newLineWriter(conn net.Conn) *lineWriter { return &lineWriter{conn: conn} }
+
+func (w *lineWriter) WriteLine(s string) error {
+	_, err := w.conn.Write([]byte(s + "\r\n"))
+	return err
+}

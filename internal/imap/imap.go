@@ -1,0 +1,49 @@
+// Package imap implements a minimal IMAP4rev1 subset: enough of the
+// protocol (CAPABILITY, LOGIN, SELECT, FETCH, NOOP, LOGOUT) for the
+// attacker simulation to access stolen honey email accounts the way the
+// paper observed real attackers doing — "typically via IMAP" (§6.4) — and
+// for the email provider to log every successful login with timestamp,
+// remote IP, and method.
+package imap
+
+import (
+	"errors"
+	"net/netip"
+)
+
+// Message is one mailbox entry as exposed over FETCH.
+type Message struct {
+	From    string
+	Subject string
+	Body    string
+}
+
+// Common authentication results a Backend returns.
+var (
+	// ErrAuthFailed means the credentials were wrong.
+	ErrAuthFailed = errors.New("imap: authentication failed")
+	// ErrAccountFrozen means the account exists but has been frozen or
+	// deactivated by the provider.
+	ErrAccountFrozen = errors.New("imap: account frozen")
+	// ErrThrottled means the provider's brute-force defence rejected the
+	// attempt regardless of credential validity.
+	ErrThrottled = errors.New("imap: too many attempts")
+)
+
+// Backend authenticates logins and provides mailbox sessions. The email
+// provider implements this; every successful Login is a tripped wire.
+type Backend interface {
+	// Login authenticates user/pass arriving from remote. Method is the
+	// label recorded in login logs ("IMAP" here).
+	Login(user, pass string, remote netip.Addr) (Session, error)
+}
+
+// Session is an authenticated mailbox view.
+type Session interface {
+	// Select opens a mailbox and returns its message count.
+	Select(mailbox string) (int, error)
+	// Fetch returns the 1-based seq'th message of the selected mailbox.
+	Fetch(seq int) (Message, error)
+	// Logout releases the session.
+	Logout() error
+}

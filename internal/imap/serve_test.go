@@ -1,0 +1,128 @@
+package imap
+
+import (
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// TestServeOverTCP runs the IMAP server on a real loopback listener and
+// drives a full session through the dialer — the same path the attacker's
+// collection tooling would use against a networked provider.
+func TestServeOverTCP(t *testing.T) {
+	b := newMemBackend()
+	b.password["net@mail.test"] = "pw123456"
+	b.boxes["net@mail.test"] = []Message{{From: "x@y.test", Subject: "Hi", Body: "over tcp"}}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer ln.Close()
+	srv := NewServer(b)
+	go srv.Serve(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Login("net@mail.test", "pw123456"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Select("INBOX")
+	if err != nil || n != 1 {
+		t.Fatalf("Select = %d, %v", n, err)
+	}
+	msgs, err := c.Fetch(1, 1)
+	if err != nil || len(msgs) != 1 || msgs[0].Body != "over tcp" {
+		t.Fatalf("Fetch = %+v, %v", msgs, err)
+	}
+	if err := c.Logout(); err != nil {
+		t.Fatal(err)
+	}
+	// The backend saw a real loopback remote address.
+	if len(b.logins) != 1 || !b.logins[0].IsLoopback() {
+		t.Fatalf("backend remote = %v", b.logins)
+	}
+}
+
+// TestServerProtocolErrors drives malformed commands straight down a pipe.
+func TestServerProtocolErrors(t *testing.T) {
+	b := newMemBackend()
+	b.password["err@mail.test"] = "pw123456"
+	srv := NewServer(b)
+	cliConn, srvConn := net.Pipe()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.ServeConn(srvConn, netip.Addr{}); srvConn.Close() }()
+	defer func() { cliConn.Close(); <-done }()
+
+	buf := make([]byte, 1024)
+	read := func() string {
+		n, err := cliConn.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf[:n])
+	}
+	// net.Pipe is unbuffered: every server Write must be consumed. send
+	// reads until the reply that answers the command (tagged with the
+	// command's tag, or any * BAD for malformed input).
+	send := func(line string) string {
+		tag, _, _ := strings.Cut(line, " ")
+		if _, err := cliConn.Write([]byte(line + "\r\n")); err != nil {
+			t.Fatal(err)
+		}
+		var all strings.Builder
+		for {
+			chunk := read()
+			all.WriteString(chunk)
+			if strings.Contains(chunk, tag+" ") || strings.HasPrefix(chunk, "* BAD") {
+				return all.String()
+			}
+		}
+	}
+	if greeting := read(); !strings.HasPrefix(greeting, "* OK") {
+		t.Fatalf("greeting = %q", greeting)
+	}
+	if r := send("garbage"); !strings.Contains(r, "BAD") {
+		t.Fatalf("bare word reply = %q", r)
+	}
+	if r := send("a1 CAPABILITY"); !strings.Contains(r, "IMAP4rev1") {
+		t.Fatalf("capability = %q", r)
+	}
+	if r := send("a2 LOGIN onlyuser"); !strings.Contains(r, "BAD") {
+		t.Fatalf("short login = %q", r)
+	}
+	if r := send("a3 SELECT INBOX"); !strings.Contains(r, "NO") {
+		t.Fatalf("select before login = %q", r)
+	}
+	if r := send("a4 FETCH 1 (BODY[])"); !strings.Contains(r, "NO") {
+		t.Fatalf("fetch before login = %q", r)
+	}
+	if r := send("a5 FROBNICATE"); !strings.Contains(r, "BAD") {
+		t.Fatalf("unknown verb = %q", r)
+	}
+	if r := send(`a6 LOGIN "err@mail.test" "pw123456"`); !strings.Contains(r, "OK") {
+		t.Fatalf("login = %q", r)
+	}
+	if r := send("a7 SELECT Junk"); !strings.Contains(r, "NO") {
+		t.Fatalf("bad mailbox = %q", r)
+	}
+	if r := send("a8 SELECT INBOX"); !strings.Contains(r, "EXISTS") {
+		t.Fatalf("select = %q", r)
+	}
+	if r := send("a9 FETCH x (BODY[])"); !strings.Contains(r, "BAD") {
+		t.Fatalf("bad seq set = %q", r)
+	}
+	if r := send("a10 NOOP"); !strings.Contains(r, "OK") {
+		t.Fatalf("noop = %q", r)
+	}
+	if r := send("a11 LOGOUT"); !strings.Contains(r, "BYE") {
+		t.Fatalf("logout = %q", r)
+	}
+}

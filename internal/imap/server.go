@@ -1,0 +1,254 @@
+package imap
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// Server speaks IMAP4rev1 (subset) over accepted connections, delegating
+// authentication and mailbox access to a Backend.
+type Server struct {
+	Backend Backend
+	// Greeting is announced on connect.
+	Greeting string
+}
+
+// NewServer returns a Server for backend.
+func NewServer(backend Backend) *Server {
+	return &Server{Backend: backend, Greeting: "tripwire-sim IMAP4rev1 ready"}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.ServeConn(conn, remoteAddr(conn))
+		}()
+	}
+}
+
+func remoteAddr(conn net.Conn) netip.Addr {
+	if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
+		return ap.Addr()
+	}
+	return netip.Addr{}
+}
+
+// ServeConn runs one IMAP session. remote is the client address used for
+// login logging; for proxied connections callers pass the proxy exit IP.
+func (s *Server) ServeConn(conn net.Conn, remote netip.Addr) error {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	send := func(format string, args ...any) error {
+		if _, err := fmt.Fprintf(w, format+"\r\n", args...); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	if err := send("* OK %s", s.Greeting); err != nil {
+		return err
+	}
+
+	var sess Session
+	var selected bool
+	defer func() {
+		if sess != nil {
+			_ = sess.Logout()
+		}
+	}()
+
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		tag, verb, args := parseCommand(strings.TrimRight(line, "\r\n"))
+		if tag == "" {
+			if err := send("* BAD malformed command"); err != nil {
+				return err
+			}
+			continue
+		}
+		switch verb {
+		case "CAPABILITY":
+			if err := send("* CAPABILITY IMAP4rev1 LOGINDISABLED-NOT"); err != nil {
+				return err
+			}
+			if err := send("%s OK CAPABILITY completed", tag); err != nil {
+				return err
+			}
+		case "LOGIN":
+			if len(args) < 2 {
+				if err := send("%s BAD LOGIN expects user and password", tag); err != nil {
+					return err
+				}
+				continue
+			}
+			user, pass := unquote(args[0]), unquote(args[1])
+			newSess, err := s.Backend.Login(user, pass, remote)
+			switch {
+			case err == nil:
+				sess = newSess
+				if err := send("%s OK LOGIN completed", tag); err != nil {
+					return err
+				}
+			case err == ErrThrottled:
+				if err := send("%s NO [UNAVAILABLE] too many attempts", tag); err != nil {
+					return err
+				}
+			case err == ErrAccountFrozen:
+				if err := send("%s NO [CONTACTADMIN] account unavailable", tag); err != nil {
+					return err
+				}
+			default:
+				if err := send("%s NO LOGIN failed", tag); err != nil {
+					return err
+				}
+			}
+		case "SELECT":
+			if sess == nil {
+				if err := send("%s NO not authenticated", tag); err != nil {
+					return err
+				}
+				continue
+			}
+			box := "INBOX"
+			if len(args) > 0 {
+				box = unquote(args[0])
+			}
+			n, err := sess.Select(box)
+			if err != nil {
+				if err := send("%s NO no such mailbox", tag); err != nil {
+					return err
+				}
+				continue
+			}
+			selected = true
+			if err := send("* %d EXISTS", n); err != nil {
+				return err
+			}
+			if err := send("* OK [UIDVALIDITY 1] UIDs valid"); err != nil {
+				return err
+			}
+			if err := send("%s OK [READ-ONLY] SELECT completed", tag); err != nil {
+				return err
+			}
+		case "FETCH":
+			if sess == nil || !selected {
+				if err := send("%s NO no mailbox selected", tag); err != nil {
+					return err
+				}
+				continue
+			}
+			if len(args) < 1 {
+				if err := send("%s BAD FETCH expects sequence set", tag); err != nil {
+					return err
+				}
+				continue
+			}
+			lo, hi, ok := parseSeqSet(args[0])
+			if !ok {
+				if err := send("%s BAD bad sequence set", tag); err != nil {
+					return err
+				}
+				continue
+			}
+			for seq := lo; seq <= hi; seq++ {
+				m, err := sess.Fetch(seq)
+				if err != nil {
+					break
+				}
+				lit := fmt.Sprintf("From: %s\r\nSubject: %s\r\n\r\n%s", m.From, m.Subject, m.Body)
+				if err := send("* %d FETCH (BODY[] {%d}", seq, len(lit)); err != nil {
+					return err
+				}
+				if _, err := w.WriteString(lit + ")\r\n"); err != nil {
+					return err
+				}
+				if err := w.Flush(); err != nil {
+					return err
+				}
+			}
+			if err := send("%s OK FETCH completed", tag); err != nil {
+				return err
+			}
+		case "NOOP":
+			if err := send("%s OK NOOP completed", tag); err != nil {
+				return err
+			}
+		case "LOGOUT":
+			_ = send("* BYE logging out")
+			return send("%s OK LOGOUT completed", tag)
+		default:
+			if err := send("%s BAD unsupported command", tag); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// parseCommand splits "tag VERB arg1 arg2..." respecting quoted strings.
+func parseCommand(line string) (tag, verb string, args []string) {
+	fields := splitQuoted(line)
+	if len(fields) < 2 {
+		return "", "", nil
+	}
+	return fields[0], strings.ToUpper(fields[1]), fields[2:]
+}
+
+func splitQuoted(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQ := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			inQ = !inQ
+			cur.WriteByte(c)
+		case c == ' ' && !inQ:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// parseSeqSet handles "n" and "n:m" (and "n:*" as n:large).
+func parseSeqSet(s string) (lo, hi int, ok bool) {
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		a, err1 := strconv.Atoi(s[:i])
+		rest := s[i+1:]
+		if rest == "*" {
+			return a, 1 << 30, err1 == nil && a > 0
+		}
+		b, err2 := strconv.Atoi(rest)
+		return a, b, err1 == nil && err2 == nil && a > 0 && b >= a
+	}
+	n, err := strconv.Atoi(s)
+	return n, n, err == nil && n > 0
+}

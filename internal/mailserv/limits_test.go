@@ -1,0 +1,83 @@
+package mailserv
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+// TestSMTPServeOverTCP accepts a delivery over a real loopback socket.
+func TestSMTPServeOverTCP(t *testing.T) {
+	store := NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer ln.Close()
+	go NewSMTPServer(store).Serve(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := DialSMTP(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Send("a@x.test", "b@relay.test", "tcp subject", "tcp body"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := store.Messages("b@relay.test")
+	if len(msgs) != 1 || msgs[0].Subject != "tcp subject" {
+		t.Fatalf("messages = %+v", msgs)
+	}
+}
+
+// TestSMTPMessageSizeLimit rejects oversized DATA while keeping the session
+// alive for subsequent messages.
+func TestSMTPMessageSizeLimit(t *testing.T) {
+	store := NewServer()
+	srv := NewSMTPServer(store)
+	srv.MaxMessageBytes = 512
+	cliConn, srvConn := net.Pipe()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.ServeConn(srvConn); srvConn.Close() }()
+	defer func() { cliConn.Close(); <-done }()
+
+	cli, err := DialSMTP(cliConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := strings.Repeat("spam and eggs ", 200)
+	if err := cli.Send("a@x.test", "b@y.test", "big", big); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+	if store.Count() != 0 {
+		t.Fatal("oversized message stored")
+	}
+	// The session survives: a small message still goes through.
+	if err := cli.Send("a@x.test", "b@y.test", "small", "ok"); err != nil {
+		t.Fatalf("post-rejection send: %v", err)
+	}
+	if store.Count() != 1 {
+		t.Fatalf("stored %d messages", store.Count())
+	}
+	cli.Close()
+}
+
+// TestHandlerPanicSafety: a message observer that misbehaves must not lose
+// the stored message (handlers run after storage).
+func TestHandlerRunsAfterStorage(t *testing.T) {
+	s := NewServer()
+	sawStored := false
+	s.OnMessage(func(m *Message) {
+		sawStored = s.Count() >= 1
+	})
+	s.Deliver("a@x.test", "b@y.test", "s", "b")
+	if !sawStored {
+		t.Fatal("handler observed pre-storage state")
+	}
+}

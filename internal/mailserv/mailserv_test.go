@@ -1,0 +1,202 @@
+package mailserv
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDeliverStoresAndNotifies(t *testing.T) {
+	s := NewServer()
+	var notified []*Message
+	s.OnMessage(func(m *Message) { notified = append(notified, m) })
+	s.Deliver("a@x.test", "Bob@Relay.Test", "Hi", "body text")
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	msgs := s.Messages("bob@relay.test")
+	if len(msgs) != 1 || msgs[0].Subject != "Hi" {
+		t.Fatalf("Messages = %+v (recipient case-normalization)", msgs)
+	}
+	if len(notified) != 1 || notified[0] != msgs[0] {
+		t.Fatal("handler not notified with the stored message")
+	}
+}
+
+func TestDeliverUsesVirtualClock(t *testing.T) {
+	s := NewServer()
+	fixed := time.Date(2015, 3, 1, 12, 0, 0, 0, time.UTC)
+	s.Now = func() time.Time { return fixed }
+	m := s.Deliver("a@x.test", "b@y.test", "s", "b")
+	if !m.Received.Equal(fixed) {
+		t.Fatalf("Received = %v", m.Received)
+	}
+}
+
+func TestVerificationLinkExtraction(t *testing.T) {
+	cases := []struct {
+		body string
+		want string
+	}{
+		{"Click here: http://site01.test/verify?token=abc123 thanks", "http://site01.test/verify?token=abc123"},
+		{"Go to https://x.test/account/confirm/99 now", "https://x.test/account/confirm/99"},
+		{"Activate: http://x.test/activate?id=7", "http://x.test/activate?id=7"},
+		{"No links here", ""},
+		{"Plain link http://x.test/page is not verification", ""},
+	}
+	for _, tc := range cases {
+		m := &Message{Body: tc.body}
+		got, ok := m.VerificationLink()
+		if (tc.want != "") != ok || got != tc.want {
+			t.Errorf("VerificationLink(%q) = %q, %v; want %q", tc.body, got, ok, tc.want)
+		}
+	}
+}
+
+func TestIsVerification(t *testing.T) {
+	v := &Message{Subject: "Welcome!", Body: "verify at http://x.test/verify?t=1"}
+	if !v.IsVerification() {
+		t.Error("body link not recognized")
+	}
+	v2 := &Message{Subject: "Please confirm your account", Body: "visit http://x.test/x?t=1"}
+	if !v2.IsVerification() {
+		t.Error("verification subject + link not recognized")
+	}
+	w := &Message{Subject: "Welcome to Acme", Body: "Thanks for joining."}
+	if w.IsVerification() {
+		t.Error("welcome mail misclassified as verification")
+	}
+}
+
+func TestSMTPSessionEndToEnd(t *testing.T) {
+	store := NewServer()
+	srv := NewSMTPServer(store)
+	cliConn, srvConn := net.Pipe()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.ServeConn(srvConn); srvConn.Close() }()
+
+	cli, err := DialSMTP(cliConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := "Line one\n.leading dot line\nhttp://x.test/verify?token=zz\n"
+	if err := cli.Send("noreply@site.test", "gem@relay.test", "Please verify", body); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	msgs := store.Messages("gem@relay.test")
+	if len(msgs) != 1 {
+		t.Fatalf("stored %d messages", len(msgs))
+	}
+	m := msgs[0]
+	if m.Subject != "Please verify" {
+		t.Errorf("subject = %q", m.Subject)
+	}
+	if !strings.Contains(m.Body, ".leading dot line") {
+		t.Errorf("dot-stuffing broken: %q", m.Body)
+	}
+	if link, ok := m.VerificationLink(); !ok || link != "http://x.test/verify?token=zz" {
+		t.Errorf("verification link = %q, %v", link, ok)
+	}
+	if m.From != "noreply@site.test" {
+		t.Errorf("from = %q", m.From)
+	}
+}
+
+func TestSMTPMultipleMessagesOneSession(t *testing.T) {
+	store := NewServer()
+	srv := NewSMTPServer(store)
+	cliConn, srvConn := net.Pipe()
+	go func() { _ = srv.ServeConn(srvConn); srvConn.Close() }()
+	cli, err := DialSMTP(cliConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := cli.Send("a@x.test", "b@y.test", "m", "body"); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+	}
+	cli.Close()
+	if store.Count() != 3 {
+		t.Fatalf("stored %d, want 3", store.Count())
+	}
+}
+
+func TestSMTPCommandSequencing(t *testing.T) {
+	store := NewServer()
+	srv := NewSMTPServer(store)
+	cliConn, srvConn := net.Pipe()
+	go func() { _ = srv.ServeConn(srvConn); srvConn.Close() }()
+
+	send := func(line string) string {
+		if _, err := cliConn.Write([]byte(line + "\r\n")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 512)
+		n, err := cliConn.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf[:n])
+	}
+	// Greeting.
+	buf := make([]byte, 512)
+	n, _ := cliConn.Read(buf)
+	if !strings.HasPrefix(string(buf[:n]), "220") {
+		t.Fatalf("greeting = %q", buf[:n])
+	}
+	if r := send("RCPT TO:<x@y.test>"); !strings.HasPrefix(r, "503") {
+		t.Fatalf("RCPT before MAIL = %q", r)
+	}
+	if r := send("DATA"); !strings.HasPrefix(r, "503") {
+		t.Fatalf("DATA before RCPT = %q", r)
+	}
+	if r := send("BOGUS"); !strings.HasPrefix(r, "502") {
+		t.Fatalf("unknown verb = %q", r)
+	}
+	if r := send("MAIL FROM:<a@b.test>"); !strings.HasPrefix(r, "250") {
+		t.Fatalf("MAIL = %q", r)
+	}
+	if r := send("RSET"); !strings.HasPrefix(r, "250") {
+		t.Fatalf("RSET = %q", r)
+	}
+	if r := send("RCPT TO:<x@y.test>"); !strings.HasPrefix(r, "503") {
+		t.Fatalf("RCPT after RSET should need MAIL again: %q", r)
+	}
+	if r := send("QUIT"); !strings.HasPrefix(r, "221") {
+		t.Fatalf("QUIT = %q", r)
+	}
+	cliConn.Close()
+}
+
+func TestDeliverRawParsesHeaders(t *testing.T) {
+	s := NewServer()
+	raw := "From: sender@a.test\r\nSubject: Test subject\r\n\r\nThe body.\r\n"
+	if err := s.DeliverRaw("env@a.test", []string{"r1@b.test", "r2@b.test"}, raw); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want one per recipient", s.Count())
+	}
+	m := s.Messages("r1@b.test")[0]
+	if m.Subject != "Test subject" || !strings.Contains(m.Body, "The body.") {
+		t.Fatalf("parsed message: %+v", m)
+	}
+}
+
+func TestDeliverRawMalformed(t *testing.T) {
+	s := NewServer()
+	if err := s.DeliverRaw("e@a.test", []string{"r@b.test"}, "not a message at all \x00"); err == nil {
+		// net/mail can parse header-less text as a message with no body;
+		// if it parsed, the message must at least be stored.
+		if s.Count() == 0 {
+			t.Fatal("no error and no message stored")
+		}
+	}
+}

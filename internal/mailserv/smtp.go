@@ -1,0 +1,307 @@
+package mailserv
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// SMTPServer accepts RFC 5321 deliveries into a Server. It implements the
+// minimal command set real MTAs require: HELO/EHLO, MAIL FROM, RCPT TO,
+// DATA, RSET, NOOP, QUIT. The email provider's forwarding path delivers
+// honey-account mail to Tripwire through this listener.
+type SMTPServer struct {
+	Store *Server
+	// Hostname is announced in the greeting.
+	Hostname string
+	// MaxMessageBytes caps DATA size; oversized messages are rejected.
+	MaxMessageBytes int
+}
+
+// NewSMTPServer returns an SMTP front end for store.
+func NewSMTPServer(store *Server) *SMTPServer {
+	return &SMTPServer{
+		Store:           store,
+		Hostname:        "mail.tripwire.test",
+		MaxMessageBytes: 1 << 20,
+	}
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *SMTPServer) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			// Per-connection errors end that session only.
+			_ = s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn runs one SMTP session over conn.
+func (s *SMTPServer) ServeConn(conn net.Conn) error {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	reply := func(code int, msg string) error {
+		if _, err := fmt.Fprintf(w, "%d %s\r\n", code, msg); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	if err := reply(220, s.Hostname+" ESMTP tripwire-mailserv"); err != nil {
+		return err
+	}
+
+	var from string
+	var rcpts []string
+	reset := func() { from = ""; rcpts = nil }
+
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		verb, arg := splitVerb(line)
+		switch verb {
+		case "HELO":
+			reset()
+			if err := reply(250, s.Hostname); err != nil {
+				return err
+			}
+		case "EHLO":
+			reset()
+			if _, err := fmt.Fprintf(w, "250-%s\r\n250 SIZE %d\r\n", s.Hostname, s.MaxMessageBytes); err != nil {
+				return err
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		case "MAIL":
+			addr, ok := parsePath(arg, "FROM")
+			if !ok {
+				if err := reply(501, "syntax: MAIL FROM:<address>"); err != nil {
+					return err
+				}
+				continue
+			}
+			from = addr
+			rcpts = nil
+			if err := reply(250, "OK"); err != nil {
+				return err
+			}
+		case "RCPT":
+			if from == "" {
+				if err := reply(503, "need MAIL before RCPT"); err != nil {
+					return err
+				}
+				continue
+			}
+			addr, ok := parsePath(arg, "TO")
+			if !ok || addr == "" {
+				if err := reply(501, "syntax: RCPT TO:<address>"); err != nil {
+					return err
+				}
+				continue
+			}
+			rcpts = append(rcpts, addr)
+			if err := reply(250, "OK"); err != nil {
+				return err
+			}
+		case "DATA":
+			if len(rcpts) == 0 {
+				if err := reply(503, "need RCPT before DATA"); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := reply(354, "end data with <CRLF>.<CRLF>"); err != nil {
+				return err
+			}
+			raw, err := readData(r, s.MaxMessageBytes)
+			if err != nil {
+				if err := reply(552, "message too large"); err != nil {
+					return err
+				}
+				reset()
+				continue
+			}
+			if err := s.Store.DeliverRaw(from, rcpts, raw); err != nil {
+				if err := reply(451, "message rejected: unparseable"); err != nil {
+					return err
+				}
+			} else if err := reply(250, "OK: queued"); err != nil {
+				return err
+			}
+			reset()
+		case "RSET":
+			reset()
+			if err := reply(250, "OK"); err != nil {
+				return err
+			}
+		case "NOOP":
+			if err := reply(250, "OK"); err != nil {
+				return err
+			}
+		case "QUIT":
+			_ = reply(221, "bye")
+			return nil
+		default:
+			if err := reply(502, "command not implemented"); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func splitVerb(line string) (verb, arg string) {
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		return strings.ToUpper(line[:i]), strings.TrimSpace(line[i+1:])
+	}
+	return strings.ToUpper(line), ""
+}
+
+// parsePath parses "FROM:<addr>" / "TO:<addr>" arguments.
+func parsePath(arg, key string) (string, bool) {
+	upper := strings.ToUpper(arg)
+	if !strings.HasPrefix(upper, key+":") {
+		return "", false
+	}
+	rest := strings.TrimSpace(arg[len(key)+1:])
+	rest = strings.TrimPrefix(rest, "<")
+	if i := strings.IndexByte(rest, '>'); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// readData reads dot-terminated DATA content, undoing dot-stuffing.
+func readData(r *bufio.Reader, maxBytes int) (string, error) {
+	var b strings.Builder
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed == "." {
+			return b.String(), nil
+		}
+		if strings.HasPrefix(trimmed, "..") {
+			trimmed = trimmed[1:]
+		}
+		b.WriteString(trimmed)
+		b.WriteString("\r\n")
+		if b.Len() > maxBytes {
+			// Drain to the terminator so the session can continue.
+			for {
+				l, err := r.ReadString('\n')
+				if err != nil || strings.TrimRight(l, "\r\n") == "." {
+					break
+				}
+			}
+			return "", fmt.Errorf("mailserv: message exceeds %d bytes", maxBytes)
+		}
+	}
+}
+
+// SMTPClient is a minimal SMTP sender used by the email provider's
+// forwarding path to push honey-account mail to the Tripwire mail server
+// over a real network connection.
+type SMTPClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// DialSMTP opens an SMTP session over conn and consumes the greeting.
+func DialSMTP(conn net.Conn) (*SMTPClient, error) {
+	c := &SMTPClient{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	if _, err := c.expect(220); err != nil {
+		return nil, err
+	}
+	if err := c.cmd(250, "EHLO forwarder.provider.test"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Send transmits one message.
+func (c *SMTPClient) Send(from, to, subject, body string) error {
+	if err := c.cmd(250, "MAIL FROM:<%s>", from); err != nil {
+		return err
+	}
+	if err := c.cmd(250, "RCPT TO:<%s>", to); err != nil {
+		return err
+	}
+	if err := c.cmd(354, "DATA"); err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "From: %s\r\nTo: %s\r\nSubject: %s\r\n\r\n", from, to, subject)
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.HasPrefix(line, ".") {
+			line = "." + line // dot-stuffing
+		}
+		b.WriteString(line)
+		b.WriteString("\r\n")
+	}
+	b.WriteString(".\r\n")
+	if _, err := c.w.WriteString(b.String()); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.expect(250)
+	return err
+}
+
+// Close quits the session and closes the connection.
+func (c *SMTPClient) Close() error {
+	_ = c.cmd(221, "QUIT")
+	return c.conn.Close()
+}
+
+func (c *SMTPClient) cmd(wantCode int, format string, args ...any) error {
+	if _, err := fmt.Fprintf(c.w, format+"\r\n", args...); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.expect(wantCode)
+	return err
+}
+
+func (c *SMTPClient) expect(code int) (string, error) {
+	var last string
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		last = strings.TrimRight(line, "\r\n")
+		if len(last) < 4 {
+			break
+		}
+		if last[3] == '-' {
+			continue // multi-line reply
+		}
+		break
+	}
+	var got int
+	if _, err := fmt.Sscanf(last, "%d", &got); err != nil {
+		return last, fmt.Errorf("mailserv: malformed reply %q", last)
+	}
+	if got != code {
+		return last, fmt.Errorf("mailserv: got %q, want code %d", last, code)
+	}
+	return last, nil
+}

@@ -1,0 +1,296 @@
+// Package pop3 implements a minimal POP3 (RFC 1939) server and client.
+// The provider's login dumps record access method — "timestamp, remote IP,
+// and method (IMAP, POP, etc.)" (paper §4.2) — and a minority of attacker
+// tooling collects mail over POP3 rather than IMAP; this package provides
+// that second protocol path end to end.
+package pop3
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"tripwire/internal/imap"
+)
+
+// Server speaks POP3 over accepted connections. Authentication and mailbox
+// access delegate to an imap.Backend (the mailbox model is identical:
+// Select("INBOX") + Fetch).
+type Server struct {
+	Backend imap.Backend
+	// Greeting is announced on connect.
+	Greeting string
+}
+
+// NewServer returns a POP3 front end over backend.
+func NewServer(backend imap.Backend) *Server {
+	return &Server{Backend: backend, Greeting: "tripwire-sim POP3 ready"}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			addr := netip.Addr{}
+			if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
+				addr = ap.Addr()
+			}
+			_ = s.ServeConn(conn, addr)
+		}()
+	}
+}
+
+// ServeConn runs one POP3 session; remote is the address recorded on login.
+func (s *Server) ServeConn(conn net.Conn, remote netip.Addr) error {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	ok := func(format string, args ...any) error {
+		if _, err := fmt.Fprintf(w, "+OK "+format+"\r\n", args...); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	bad := func(format string, args ...any) error {
+		if _, err := fmt.Fprintf(w, "-ERR "+format+"\r\n", args...); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	if err := ok("%s", s.Greeting); err != nil {
+		return err
+	}
+
+	var user string
+	var sess imap.Session
+	var count int
+	defer func() {
+		if sess != nil {
+			_ = sess.Logout()
+		}
+	}()
+
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		verb, arg := splitVerb(strings.TrimRight(line, "\r\n"))
+		switch verb {
+		case "USER":
+			user = arg
+			if err := ok("send PASS"); err != nil {
+				return err
+			}
+		case "PASS":
+			if user == "" {
+				if err := bad("USER first"); err != nil {
+					return err
+				}
+				continue
+			}
+			newSess, err := s.Backend.Login(user, arg, remote)
+			if err != nil {
+				if err := bad("authentication failed"); err != nil {
+					return err
+				}
+				continue
+			}
+			sess = newSess
+			count, err = sess.Select("INBOX")
+			if err != nil {
+				count = 0
+			}
+			if err := ok("maildrop has %d messages", count); err != nil {
+				return err
+			}
+		case "STAT":
+			if sess == nil {
+				if err := bad("not authenticated"); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := ok("%d %d", count, count*1024); err != nil {
+				return err
+			}
+		case "LIST":
+			if sess == nil {
+				if err := bad("not authenticated"); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := ok("%d messages", count); err != nil {
+				return err
+			}
+			for i := 1; i <= count; i++ {
+				fmt.Fprintf(w, "%d 1024\r\n", i)
+			}
+			if _, err := w.WriteString(".\r\n"); err != nil {
+				return err
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		case "RETR":
+			if sess == nil {
+				if err := bad("not authenticated"); err != nil {
+					return err
+				}
+				continue
+			}
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 || n > count {
+				if err := bad("no such message"); err != nil {
+					return err
+				}
+				continue
+			}
+			m, err := sess.Fetch(n)
+			if err != nil {
+				if err := bad("fetch failed"); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := ok("message follows"); err != nil {
+				return err
+			}
+			body := fmt.Sprintf("From: %s\r\nSubject: %s\r\n\r\n%s", m.From, m.Subject, m.Body)
+			for _, ln := range strings.Split(body, "\r\n") {
+				if strings.HasPrefix(ln, ".") {
+					ln = "." + ln
+				}
+				fmt.Fprintf(w, "%s\r\n", ln)
+			}
+			if _, err := w.WriteString(".\r\n"); err != nil {
+				return err
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		case "DELE", "RSET":
+			// Honey mailboxes are read-only in the simulation; accept and
+			// ignore, like a maildrop that never expunges.
+			if err := ok("noted"); err != nil {
+				return err
+			}
+		case "NOOP":
+			if err := ok(""); err != nil {
+				return err
+			}
+		case "QUIT":
+			return ok("bye")
+		default:
+			if err := bad("unknown command"); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func splitVerb(line string) (string, string) {
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		return strings.ToUpper(line[:i]), strings.TrimSpace(line[i+1:])
+	}
+	return strings.ToUpper(line), ""
+}
+
+// Client is a minimal POP3 client.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial opens a POP3 session over conn, consuming the greeting.
+func Dial(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	if _, err := c.expectOK(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Auth authenticates with USER/PASS.
+func (c *Client) Auth(user, pass string) error {
+	if _, err := c.cmd("USER " + user); err != nil {
+		return err
+	}
+	if _, err := c.cmd("PASS " + pass); err != nil {
+		return fmt.Errorf("pop3: authentication failed")
+	}
+	return nil
+}
+
+// Stat returns the message count.
+func (c *Client) Stat() (int, error) {
+	line, err := c.cmd("STAT")
+	if err != nil {
+		return 0, err
+	}
+	var n, size int
+	if _, err := fmt.Sscanf(line, "+OK %d %d", &n, &size); err != nil {
+		return 0, fmt.Errorf("pop3: malformed STAT reply %q", line)
+	}
+	return n, nil
+}
+
+// Retr fetches message n (1-based) as raw text.
+func (c *Client) Retr(n int) (string, error) {
+	if _, err := c.cmd(fmt.Sprintf("RETR %d", n)); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed == "." {
+			return b.String(), nil
+		}
+		if strings.HasPrefix(trimmed, "..") {
+			trimmed = trimmed[1:]
+		}
+		b.WriteString(trimmed)
+		b.WriteString("\r\n")
+	}
+}
+
+// Quit ends the session and closes the connection.
+func (c *Client) Quit() error {
+	_, _ = c.cmd("QUIT")
+	return c.conn.Close()
+}
+
+func (c *Client) cmd(line string) (string, error) {
+	if _, err := c.w.WriteString(line + "\r\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	return c.expectOK()
+}
+
+func (c *Client) expectOK() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if !strings.HasPrefix(line, "+OK") {
+		return line, fmt.Errorf("pop3: server said %q", line)
+	}
+	return line, nil
+}

@@ -1,0 +1,175 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tripwire/internal/captcha"
+	"tripwire/internal/core"
+	"tripwire/internal/sim"
+	"tripwire/internal/webgen"
+)
+
+// MissReason classifies why a breached site produced no Tripwire detection,
+// following the paper's §6.2 taxonomy of 50 known breaches it did not catch:
+// 22 missed for scale/scope, 14 for technical limitations, 6 inherently out
+// of scope (plus timing effects the paper's window imposed).
+type MissReason int
+
+const (
+	// MissScaleScope: the site was outside the crawl (rank beyond the
+	// batches) — §6.2.1's "ranked too low according to Alexa".
+	MissScaleScope MissReason = iota
+	// MissLanguage: a non-English site the English-only crawler cannot
+	// process — §6.2.1's seven non-English breaches.
+	MissLanguage
+	// MissTechnical: within scope but the prototype failed — multi-page
+	// forms, bot checks, JS-only forms, unfindable registration pages,
+	// unrecognizable fields (§6.2.2).
+	MissTechnical
+	// MissInherent: no online self-registration, payment required, email
+	// length caps (§6.2.3) — out of scope for any Tripwire.
+	MissInherent
+	// MissNoSignal: Tripwire held an account, but no login signal arrived
+	// in the window — hashed storage protecting the only (hard) account,
+	// cracking/stuffing landing after the study end, or the attacker never
+	// testing that credential.
+	MissNoSignal
+)
+
+// String names the reason with §6.2's vocabulary.
+func (r MissReason) String() string {
+	switch r {
+	case MissScaleScope:
+		return "missed due to scale/scope"
+	case MissLanguage:
+		return "missed due to language"
+	case MissTechnical:
+		return "missed due to technical challenge"
+	case MissInherent:
+		return "missed due to inherent limitations"
+	case MissNoSignal:
+		return "registered but no reuse signal in window"
+	default:
+		return fmt.Sprintf("MissReason(%d)", int(r))
+	}
+}
+
+// Miss is one missed breach with its classification.
+type Miss struct {
+	Domain string
+	Rank   int
+	Reason MissReason
+	Detail string
+}
+
+// MissAnalysis classifies every breach the pilot failed to detect.
+func MissAnalysis(p *sim.Pilot) []Miss {
+	maxRank := 0
+	for _, b := range p.Cfg.Batches {
+		if b.ToRank > maxRank {
+			maxRank = b.ToRank
+		}
+	}
+	var out []Miss
+	for domain := range p.Campaign.Breaches() {
+		if _, detected := p.Monitor.Detection(domain); detected {
+			continue
+		}
+		site, ok := p.Universe.Site(domain)
+		if !ok {
+			continue
+		}
+		out = append(out, classifyMiss(p, site, maxRank))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+func classifyMiss(p *sim.Pilot, site *webgen.Site, maxRank int) Miss {
+	m := Miss{Domain: site.Domain, Rank: site.Rank}
+	regs := p.Ledger.SiteRegistrations(site.Domain)
+	switch {
+	case len(regs) > 0:
+		m.Reason = MissNoSignal
+		m.Detail = noSignalDetail(p, site, regs)
+	case site.Rank > maxRank:
+		m.Reason = MissScaleScope
+		m.Detail = fmt.Sprintf("rank %d beyond crawled top-%d", site.Rank, maxRank)
+	case site.Language != webgen.LangEnglish:
+		m.Reason = MissLanguage
+		m.Detail = string(site.Language) + "-language site"
+	case !site.HasRegistration:
+		m.Reason = MissInherent
+		m.Detail = "no online registration"
+	case site.RequiresPayment:
+		m.Reason = MissInherent
+		m.Detail = "registration requires payment"
+	case site.ExternalAuthOnly:
+		m.Reason = MissInherent
+		m.Detail = "external-auth-only registration"
+	case site.MaxEmailLen > 0:
+		m.Reason = MissInherent
+		m.Detail = fmt.Sprintf("email address capped at %d characters", site.MaxEmailLen)
+	case site.LoadFailure:
+		m.Reason = MissTechnical
+		m.Detail = "site failed to load"
+	case site.MultiStage:
+		m.Reason = MissTechnical
+		m.Detail = "multi-page registration form"
+	case site.Captcha != captcha.None:
+		m.Reason = MissTechnical
+		m.Detail = site.Captcha.String() + " bot check"
+	case site.JSForm:
+		m.Reason = MissTechnical
+		m.Detail = "script-assembled registration form"
+	case site.ObscureRegLink:
+		m.Reason = MissTechnical
+		m.Detail = "registration page not discoverable"
+	default:
+		m.Reason = MissTechnical
+		m.Detail = "registration attempt failed"
+	}
+	return m
+}
+
+func noSignalDetail(p *sim.Pilot, site *webgen.Site, regs []*core.Registration) string {
+	hasEasyValid := false
+	st := p.Universe.Store(site.Domain)
+	for _, reg := range regs {
+		if reg.Identity.Class.String() != "easy" {
+			continue
+		}
+		if st.CheckPassword(reg.Identity.Username, reg.Identity.Password) {
+			hasEasyValid = true
+		}
+	}
+	if !site.Storage.HardRecoverable() && !hasEasyValid {
+		return "hashed storage and no crackable (easy) account at the site"
+	}
+	return "credentials not tested against the provider within the window"
+}
+
+// RenderMisses formats the §6.2 taxonomy.
+func RenderMisses(misses []Miss) string {
+	var b strings.Builder
+	b.WriteString("Undetected compromises (paper §6.2)\n")
+	if len(misses) == 0 {
+		b.WriteString("  every breach in the window was detected\n")
+		return b.String()
+	}
+	counts := make(map[MissReason]int)
+	for _, m := range misses {
+		counts[m.Reason]++
+	}
+	order := []MissReason{MissScaleScope, MissLanguage, MissTechnical, MissInherent, MissNoSignal}
+	for _, r := range order {
+		if counts[r] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-45s %d\n", r.String()+":", counts[r])
+	}
+	fmt.Fprintf(&b, "  %-45s %d\n", "total breaches missed:", len(misses))
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMissAnalysisCoversAllMissedBreaches(t *testing.T) {
+	p := pilot(t)
+	misses := MissAnalysis(p)
+	breaches := p.Campaign.Breaches()
+	detected := 0
+	for domain := range breaches {
+		if _, ok := p.Monitor.Detection(domain); ok {
+			detected++
+		}
+	}
+	if len(misses) != len(breaches)-detected {
+		t.Fatalf("analysis has %d misses; %d breaches, %d detected", len(misses), len(breaches), detected)
+	}
+	for _, m := range misses {
+		if _, ok := p.Monitor.Detection(m.Domain); ok {
+			t.Fatalf("detected site %s classified as missed", m.Domain)
+		}
+		if m.Detail == "" {
+			t.Fatalf("miss %s lacks a detail", m.Domain)
+		}
+	}
+}
+
+func TestMissReasonsMatchGroundTruth(t *testing.T) {
+	p := pilot(t)
+	for _, m := range MissAnalysis(p) {
+		site, _ := p.Universe.Site(m.Domain)
+		regs := p.Ledger.SiteRegistrations(m.Domain)
+		switch m.Reason {
+		case MissNoSignal:
+			if len(regs) == 0 {
+				t.Fatalf("%s: no-signal miss but no registration exists", m.Domain)
+			}
+		case MissLanguage:
+			if site.Language == "en" {
+				t.Fatalf("%s: language miss on an English site", m.Domain)
+			}
+		case MissInherent:
+			if site.HasRegistration && !site.RequiresPayment && !site.ExternalAuthOnly && site.MaxEmailLen == 0 {
+				t.Fatalf("%s: inherent miss but the site is registerable: %+v", m.Domain, site)
+			}
+		}
+	}
+}
+
+func TestRenderMisses(t *testing.T) {
+	p := pilot(t)
+	out := RenderMisses(MissAnalysis(p))
+	if !strings.Contains(out, "total breaches missed") && !strings.Contains(out, "every breach") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+	if RenderMisses(nil) == "" {
+		t.Fatal("empty render")
+	}
+}

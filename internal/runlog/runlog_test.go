@@ -1,0 +1,135 @@
+package runlog
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"tripwire/internal/sim"
+)
+
+var (
+	pilotOnce sync.Once
+	pilotInst *sim.Pilot
+)
+
+func pilot(t *testing.T) *sim.Pilot {
+	t.Helper()
+	pilotOnce.Do(func() {
+		pilotInst = sim.NewPilot(sim.SmallConfig()).Run()
+	})
+	return pilotInst
+}
+
+func TestWriteAndReadBack(t *testing.T) {
+	p := pilot(t)
+	dir := t.TempDir()
+	man, err := Write(dir, p, "summary body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Detections == 0 || man.Attempts == 0 || man.Burned == 0 {
+		t.Fatalf("manifest empty: %+v", man)
+	}
+	if man.Alarms != 0 {
+		t.Fatalf("alarms in manifest: %d", man.Alarms)
+	}
+
+	for _, name := range []string{
+		"manifest.json", "summary.txt", "logins.csv", "attempts.json",
+		"registrations.json", "detections.json", "disclosures.json",
+		"attacker_stats.json",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("artifact %s missing: %v", name, err)
+		}
+	}
+
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != man {
+		t.Fatalf("manifest round trip: %+v vs %+v", got, man)
+	}
+
+	dets, err := ReadDetections(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != man.Detections {
+		t.Fatalf("detections.json has %d records, manifest says %d", len(dets), man.Detections)
+	}
+	for _, d := range dets {
+		if d.AccountsAccessed == 0 || d.TotalLogins == 0 || d.BreachClass == "" {
+			t.Fatalf("detection record incomplete: %+v", d)
+		}
+		if d.FirstSeen.After(d.LastSeen) {
+			t.Fatalf("detection times inverted: %+v", d)
+		}
+	}
+}
+
+func TestRegistrationsJSONConsistent(t *testing.T) {
+	p := pilot(t)
+	dir := t.TempDir()
+	if _, err := Write(dir, p, "s"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "registrations.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs []RegistrationRecord
+	if err := json.Unmarshal(raw, &regs); err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != len(p.Ledger.Registrations()) {
+		t.Fatalf("%d records for %d registrations", len(regs), len(p.Ledger.Registrations()))
+	}
+	validCount := 0
+	for _, r := range regs {
+		if r.Domain == "" || r.Status == "" || r.Class == "" {
+			t.Fatalf("record incomplete: %+v", r)
+		}
+		if r.Valid {
+			validCount++
+		}
+	}
+	if validCount == 0 {
+		t.Fatal("no registration marked valid")
+	}
+}
+
+func TestNoSecretsInArtifacts(t *testing.T) {
+	p := pilot(t)
+	dir := t.TempDir()
+	if _, err := Write(dir, p, "s"); err != nil {
+		t.Fatal(err)
+	}
+	// The dataset and detections must not leak passwords.
+	for _, name := range []string{"logins.csv", "detections.json"} {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := string(raw)
+		for _, reg := range p.Ledger.Registrations() {
+			if strings.Contains(content, reg.Identity.Password) {
+				t.Fatalf("%s leaks a password", name)
+			}
+		}
+	}
+}
+
+func TestReadMissingDir(t *testing.T) {
+	if _, err := ReadManifest(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing manifest read succeeded")
+	}
+	if _, err := ReadDetections(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing detections read succeeded")
+	}
+}

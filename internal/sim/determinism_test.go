@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+
+	"tripwire/internal/crawler"
+)
+
+// TestRunDeterministic asserts that two pilots with identical configuration
+// produce identical results — seeds fully determine the run. (An earlier
+// version leaked Go map-iteration randomness into breach-target selection;
+// this test pins the fix.)
+func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full pilots in -short mode")
+	}
+	cfg := SmallConfig()
+	cfg.Web.NumSites = 600
+	cfg.NumUnused = 500
+	a := NewPilot(cfg).Run()
+	b := NewPilot(cfg).Run()
+
+	if len(a.Attempts) != len(b.Attempts) {
+		t.Fatalf("attempt counts differ: %d vs %d", len(a.Attempts), len(b.Attempts))
+	}
+	for i := range a.Attempts {
+		x, y := a.Attempts[i], b.Attempts[i]
+		if x.Domain != y.Domain || x.Code != y.Code || x.Class != y.Class || !x.When.Equal(y.When) {
+			t.Fatalf("attempt %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+
+	da, db := a.Monitor.Detections(), b.Monitor.Detections()
+	if len(da) != len(db) {
+		t.Fatalf("detection counts differ: %d vs %d", len(da), len(db))
+	}
+	for i := range da {
+		if da[i].Domain != db[i].Domain || !da[i].FirstSeen.Equal(db[i].FirstSeen) ||
+			da[i].AccountsAccessed != db[i].AccountsAccessed {
+			t.Fatalf("detection %d differs: %+v vs %+v", i, da[i], db[i])
+		}
+	}
+
+	// Breach schedules must match exactly.
+	ba, bb := a.Campaign.Breaches(), b.Campaign.Breaches()
+	if len(ba) != len(bb) {
+		t.Fatalf("breach counts differ: %d vs %d", len(ba), len(bb))
+	}
+	for domain, when := range ba {
+		if !bb[domain].Equal(when) {
+			t.Fatalf("breach %s at %v vs %v", domain, when, bb[domain])
+		}
+	}
+
+	// Termination-code histogram as a final cross-check.
+	hist := func(p *Pilot) map[crawler.Code]int {
+		m := make(map[crawler.Code]int)
+		for _, at := range p.Attempts {
+			m[at.Code]++
+		}
+		return m
+	}
+	ha, hb := hist(a), hist(b)
+	for code, n := range ha {
+		if hb[code] != n {
+			t.Fatalf("code %v count %d vs %d", code, n, hb[code])
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math/rand"
+	"net"
+	"net/netip"
+	"strings"
+	"time"
+
+	"tripwire/internal/attacker"
+	"tripwire/internal/browser"
+	"tripwire/internal/captcha"
+	"tripwire/internal/core"
+	"tripwire/internal/crawler"
+	"tripwire/internal/disclosure"
+	"tripwire/internal/dnssim"
+	"tripwire/internal/emailprovider"
+	"tripwire/internal/geo"
+	"tripwire/internal/identity"
+	"tripwire/internal/imap"
+	"tripwire/internal/mailserv"
+	"tripwire/internal/pop3"
+	"tripwire/internal/simclock"
+	"tripwire/internal/webgen"
+)
+
+// ProviderDomain is the partner email provider's mail domain.
+const ProviderDomain = "bigmail.test"
+
+// RelayDomain is the innocuous Tripwire-controlled domain forwarding
+// addresses point at (paper §4.2: forwarding addresses are visible in the
+// provider's web UI, so they must not advertise the study).
+const RelayDomain = "relay.blueharbor-media.test"
+
+// Attempt records one crawl attempt for funnel/table accounting.
+type Attempt struct {
+	Domain   string
+	Rank     int
+	Class    identity.PasswordClass
+	Code     crawler.Code
+	Exposed  bool
+	Manual   bool
+	When     time.Time
+	Email    string // identity email when exposed, else ""
+	PageLoad int
+}
+
+// Pilot wires every subsystem together for one study run.
+type Pilot struct {
+	Cfg Config
+
+	Clock      *simclock.Clock
+	Sched      *simclock.Scheduler
+	Universe   *webgen.Universe
+	Provider   *emailprovider.Provider
+	Mail       *mailserv.Server
+	Ledger     *core.Ledger
+	Monitor    *core.Monitor
+	Space      *geo.Space
+	Pool       *attacker.ProxyPool
+	Stuffer    *attacker.Stuffer
+	Campaign   *attacker.Campaign
+	Crawler    *crawler.Crawler
+	Solver     *captcha.Service
+	Disclosure *disclosure.Campaign
+	DNS        *dnssim.Resolver
+
+	gen        *identity.Generator
+	rng        *rand.Rand
+	verifier   *browser.Client // clicks verification links
+	proxyIP    func(host string) netip.Addr
+	institutIP netip.Addr
+
+	Attempts     []Attempt
+	controlCreds map[string]string // control email -> password
+	mailCursor   int
+	lastDump     time.Time
+	organicSeq   int
+
+	// DetectionTimes records when the monitor first reported each site.
+	DetectionTimes map[string]time.Time
+	// MissedBreaches are breached sites that produced no detection.
+	MissedBreaches []string
+}
+
+// NewPilot builds a fully wired pilot for cfg. Call Run to execute it.
+func NewPilot(cfg Config) *Pilot {
+	clock := simclock.New(cfg.Start)
+	sched := simclock.NewScheduler(clock)
+
+	p := &Pilot{
+		Cfg:            cfg,
+		Clock:          clock,
+		Sched:          sched,
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		gen:            identity.NewGenerator(ProviderDomain, cfg.Seed+1),
+		controlCreds:   make(map[string]string),
+		DetectionTimes: make(map[string]time.Time),
+		lastDump:       cfg.Start,
+	}
+
+	// Synthetic web.
+	p.Universe = webgen.Generate(cfg.Web)
+	p.Universe.Now = clock.Now
+
+	// Email provider.
+	p.Provider = emailprovider.New(ProviderDomain)
+	p.Provider.Now = clock.Now
+	p.Provider.Retention = cfg.Retention
+	p.Universe.Mailer = p.Provider
+
+	// Tripwire mail server, fed by the provider's forwarding over real
+	// SMTP connections.
+	p.Mail = mailserv.NewServer()
+	p.Mail.Now = clock.Now
+	smtpFront := mailserv.NewSMTPServer(p.Mail)
+	p.Provider.Forward = func(from, to, subject, body string) error {
+		return forwardViaSMTP(smtpFront, from, to, subject, body)
+	}
+
+	// Ledger and monitor.
+	p.Ledger = core.NewLedger()
+	p.Monitor = core.NewMonitor(p.Ledger, cfg.Start)
+
+	// Attacker: proxy network over the geo space, stuffing over IMAP.
+	p.Space = geo.NewSpace()
+	p.Pool = attacker.NewProxyPool(p.Space, cfg.Seed+2, 0.25)
+	imapSrv := imap.NewServer(p.Provider)
+	p.Stuffer = attacker.NewStuffer(imapSrv, p.Pool, clock.Now)
+	// A minority of attacker tooling collects over POP3 (§4.2 dumps list
+	// "IMAP, POP, etc."; §6.4: access is "typically via IMAP").
+	p.Stuffer.UsePOP(pop3.NewServer(p.Provider.POPBackend()), 0.08, cfg.Seed+7)
+	acfg := attacker.DefaultCampaignConfig(cfg.End)
+	acfg.Seed = cfg.Seed + 3
+	p.Campaign = attacker.NewCampaign(acfg, sched, p.Stuffer, p.Provider)
+
+	// Crawler with CAPTCHA solving service and virtual-time rate limiting.
+	p.Solver = captcha.NewService(cfg.CaptchaImageErr, cfg.CaptchaKnowledgeErr, cfg.Seed+4)
+	ccfg := crawler.DefaultConfig()
+	ccfg.FaultRate = cfg.CrawlerFaultRate
+	ccfg.Seed = cfg.Seed + 5
+	if cfg.UseLanguagePacks {
+		ccfg.Packs = crawler.BuiltinPacks()
+	}
+	if cfg.UseSearchEngine {
+		ccfg.SearchFn = p.Universe.SearchRegistrationPages
+	}
+	ccfg.MultiStageSupport = cfg.UseMultiStage
+	p.Crawler = crawler.New(ccfg, p.Solver)
+	p.Crawler.Sleep = clock.Advance
+
+	// Research proxy IPs: institution-owned, as in §4.3.2.
+	instRng := rand.New(rand.NewSource(cfg.Seed + 6))
+	p.institutIP = p.Space.SampleIPIn(instRng, "US")
+	p.proxyIP = func(host string) netip.Addr {
+		return p.Space.SampleIPIn(instRng, "US")
+	}
+
+	p.verifier = browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: p.Universe}))
+	p.Disclosure = disclosure.NewCampaign(p.Universe, sched)
+	// Deliverability checks go through the synthetic DNS, as the real
+	// process discovered site J's missing MX record through DNS.
+	p.DNS = dnssim.New(p.Universe, p.Space)
+	p.DNS.AddMX(ProviderDomain, "mx."+ProviderDomain)
+	p.DNS.AddMX(RelayDomain, "mx."+RelayDomain)
+	p.Disclosure.DNS = p.DNS
+	return p
+}
+
+// forwardViaSMTP pushes one message through a real SMTP session over an
+// in-memory duplex connection.
+func forwardViaSMTP(front *mailserv.SMTPServer, from, to, subject, body string) error {
+	cliConn, srvConn := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = front.ServeConn(srvConn)
+		srvConn.Close()
+	}()
+	defer func() { <-done }()
+	cli, err := mailserv.DialSMTP(cliConn)
+	if err != nil {
+		cliConn.Close()
+		return err
+	}
+	if err := cli.Send(from, to, subject, body); err != nil {
+		cli.Close()
+		return err
+	}
+	return cli.Close()
+}
+
+// newSiteBrowser returns a fresh browser session routed through the proxy
+// network — one registration per exit IP per site.
+func (p *Pilot) newSiteBrowser() *browser.Client {
+	return browser.New(browser.WithTransport(&browser.ProxyTransport{
+		Base:   &browser.HandlerTransport{Handler: p.Universe},
+		NextIP: p.proxyIP,
+	}))
+}
+
+// takeIdentity pops an identity from the pool, provisioning more at the
+// provider on demand.
+func (p *Pilot) takeIdentity(class identity.PasswordClass) *identity.Identity {
+	if id := p.Ledger.Take(class); id != nil {
+		return id
+	}
+	p.provisionIdentities(200, class)
+	return p.Ledger.Take(class)
+}
+
+// provisionIdentities creates n fresh identities of class and their
+// provider accounts, skipping collisions and naming-policy rejections just
+// as the provider did for the authors.
+func (p *Pilot) provisionIdentities(n int, class identity.PasswordClass) {
+	for created := 0; created < n; {
+		id := p.gen.New(class)
+		err := p.Provider.CreateAccount(id.Email, id.FullName(), id.Password)
+		if err != nil {
+			continue // collision or policy: identity discarded
+		}
+		fwd := forwardAddress(id.Email)
+		if err := p.Provider.SetForwarding(id.Email, fwd); err != nil {
+			continue
+		}
+		p.Ledger.AddIdentity(id)
+		created++
+	}
+}
+
+// forwardAddress maps a honey address to its relay-domain forwarding
+// address (same local part, Tripwire-controlled domain).
+func forwardAddress(email string) string {
+	local, _, _ := strings.Cut(email, "@")
+	return local + "@" + RelayDomain
+}
+
+// honeyAddress inverts forwardAddress.
+func honeyAddress(relayAddr string) string {
+	local, _, _ := strings.Cut(relayAddr, "@")
+	return local + "@" + ProviderDomain
+}
+
+// drainMail processes mail that arrived since the last drain: statuses are
+// upgraded and verification links are clicked (paper §4.3.3).
+func (p *Pilot) drainMail() {
+	msgs := p.Mail.All()
+	for ; p.mailCursor < len(msgs); p.mailCursor++ {
+		m := msgs[p.mailCursor]
+		honey := honeyAddress(m.To)
+		reg := p.Ledger.NoteEmail(honey, m.IsVerification())
+		if reg == nil {
+			continue
+		}
+		if link, ok := m.VerificationLink(); ok {
+			// Load the verification page and retain it, as the paper's
+			// mail server did.
+			if page, err := p.verifier.Get(link); err == nil {
+				_ = page
+			}
+		}
+	}
+}
+
+func fmtDate(t time.Time) string { return t.Format("2006-01-02") }

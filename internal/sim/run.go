@@ -1,0 +1,453 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"tripwire/internal/browser"
+	"tripwire/internal/captcha"
+	"tripwire/internal/core"
+	"tripwire/internal/crawler"
+	"tripwire/internal/identity"
+	"tripwire/internal/webgen"
+)
+
+// Run executes the full pilot: provisioning, registration batches, attacker
+// campaign, control logins, provider dumps, and monitoring, all on the
+// virtual timeline. It returns the pilot itself for inspection.
+func (p *Pilot) Run() *Pilot {
+	p.provisionUpfront()
+	p.scheduleControls()
+	p.scheduleBatches()
+	p.scheduleBreaches()
+	p.scheduleDumps()
+	p.scheduleDisclosures()
+	p.Sched.RunUntil(p.Cfg.End)
+	p.drainMail()
+	p.recordMisses()
+	return p
+}
+
+// scheduleDisclosures books the paper's two disclosure batches (§6.3.1:
+// "most occurring on September 7th, 2016, and sites compromised after that
+// date on November 4th, 2016"), notifying every detected-but-unnotified
+// site each time.
+func (p *Pilot) scheduleDisclosures() {
+	notified := make(map[string]bool)
+	for _, d := range []time.Time{date(2016, 9, 7), date(2016, 11, 4), p.Cfg.End.Add(-24 * time.Hour)} {
+		if d.After(p.Cfg.End) || d.Before(p.Cfg.Start) {
+			continue
+		}
+		p.Sched.At(d, "disclosure batch "+fmtDate(d), func(now time.Time) {
+			for _, det := range p.Monitor.Detections() {
+				if notified[det.Domain] {
+					continue
+				}
+				notified[det.Domain] = true
+				p.Disclosure.Notify(det.Domain)
+			}
+		})
+	}
+}
+
+// provisionUpfront creates the monitored account population: the unused
+// honeypot set plus control accounts.
+func (p *Pilot) provisionUpfront() {
+	half := p.Cfg.NumUnused / 2
+	p.provisionIdentities(half, identity.Hard)
+	p.provisionIdentities(p.Cfg.NumUnused-half, identity.Easy)
+	for i := 0; i < p.Cfg.NumControls; i++ {
+		id := p.gen.New(identity.Hard)
+		if err := p.Provider.CreateAccount(id.Email, id.FullName(), id.Password); err != nil {
+			continue
+		}
+		p.Ledger.AddControl(id)
+		p.controlCreds[id.Email] = id.Password
+	}
+}
+
+// scheduleControls books periodic control-account logins from the
+// institution's own address; every one must be reported by the provider.
+func (p *Pilot) scheduleControls() {
+	if len(p.controlCreds) == 0 {
+		return
+	}
+	for t := p.Cfg.Start.Add(p.Cfg.ControlLoginEvery); t.Before(p.Cfg.End); t = t.Add(p.Cfg.ControlLoginEvery) {
+		p.Sched.At(t, "control logins", func(now time.Time) {
+			for email, pass := range p.controlCreds {
+				p.Monitor.ExpectControlLogin(email)
+				_ = p.Provider.WebLogin(email, pass, p.institutIP)
+			}
+		})
+	}
+}
+
+// scheduleBatches spreads each registration batch's site visits uniformly
+// over its window.
+func (p *Pilot) scheduleBatches() {
+	for _, b := range p.Cfg.Batches {
+		b := b
+		n := b.ToRank - b.FromRank + 1
+		if n <= 0 {
+			continue
+		}
+		step := b.Duration / time.Duration(n)
+		for rank := b.FromRank; rank <= b.ToRank; rank++ {
+			rank := rank
+			at := b.Start.Add(step * time.Duration(rank-b.FromRank))
+			p.Sched.At(at, fmt.Sprintf("register rank %d (%s)", rank, b.Name), func(now time.Time) {
+				p.registerSite(rank, b.Manual, now)
+			})
+		}
+	}
+}
+
+// registerSite performs the per-site registration protocol: a hard-password
+// attempt first and, if it appears to succeed, an easy-password follow-up
+// (paper §4.1.2). Manual batches register eligible sites by hand.
+func (p *Pilot) registerSite(rank int, manual bool, now time.Time) {
+	site, ok := p.Universe.SiteByRank(rank)
+	if !ok {
+		return
+	}
+	if manual {
+		p.manualRegister(site)
+		return
+	}
+	// Skip sites that already hold a believed-successful registration from
+	// an earlier batch.
+	for _, reg := range p.Ledger.SiteRegistrations(site.Domain) {
+		if reg.Status >= core.StatusOKSubmission {
+			return
+		}
+	}
+	res := p.crawlOnce(site, identity.Hard)
+	if res.Code == crawler.CodeOKSubmission {
+		p.crawlOnce(site, identity.Easy)
+	}
+}
+
+// crawlOnce runs one automated attempt and applies the burn/return rule.
+func (p *Pilot) crawlOnce(site *webgen.Site, class identity.PasswordClass) crawler.Result {
+	id := p.takeIdentity(class)
+	b := p.newSiteBrowser()
+	res := p.Crawler.Register(b, "http://"+site.Domain+"/", id)
+	att := Attempt{
+		Domain:   site.Domain,
+		Rank:     site.Rank,
+		Class:    class,
+		Code:     res.Code,
+		Exposed:  res.Exposed,
+		When:     p.Clock.Now(),
+		PageLoad: res.PageLoads,
+	}
+	if res.Exposed {
+		att.Email = id.Email
+		p.Ledger.Burn(id, site.Domain, site.Rank, site.Category, p.Clock.Now(), res.Code, false)
+	} else {
+		p.Ledger.Return(id)
+	}
+	p.Attempts = append(p.Attempts, att)
+	p.drainMail()
+	return res
+}
+
+// manualRegister emulates the authors registering by hand at eligible
+// English-language top sites: a human reads the form perfectly, solves any
+// CAPTCHA, and completes multi-stage flows. Only the crawler's heuristics
+// are bypassed — the same HTTP endpoints are exercised.
+func (p *Pilot) manualRegister(site *webgen.Site) {
+	if !site.Eligible() {
+		return
+	}
+	for _, reg := range p.Ledger.SiteRegistrations(site.Domain) {
+		if reg.Status >= core.StatusOKSubmission {
+			return // already covered by an automated registration
+		}
+	}
+	id := p.takeIdentity(identity.Easy)
+	b := p.newSiteBrowser()
+	spec := p.Universe.FormSpec(site)
+	vals := url.Values{}
+	for _, f := range spec.Fields {
+		switch f.Kind {
+		case webgen.FieldCSRF:
+			// The browser would echo it; fetch the live form for the token
+			// and the captcha id.
+		case webgen.FieldEmail:
+			vals.Set(f.Name, id.Email)
+		case webgen.FieldPassword, webgen.FieldConfirm:
+			vals.Set(f.Name, id.Password)
+		case webgen.FieldUsername:
+			vals.Set(f.Name, id.Username)
+		case webgen.FieldFirstName:
+			vals.Set(f.Name, id.FirstName)
+		case webgen.FieldLastName:
+			vals.Set(f.Name, id.LastName)
+		case webgen.FieldFullName:
+			vals.Set(f.Name, id.FullName())
+		case webgen.FieldZip:
+			vals.Set(f.Name, id.Zip)
+		case webgen.FieldPhone:
+			vals.Set(f.Name, id.Phone)
+		case webgen.FieldDOB:
+			vals.Set(f.Name, id.Birthday.Format("01/02/2006"))
+		case webgen.FieldState:
+			vals.Set(f.Name, "CA")
+		case webgen.FieldTOS:
+			vals.Set(f.Name, "on")
+		case webgen.FieldCaptcha:
+			// Humans solve their own CAPTCHAs; resolved below from the
+			// live page.
+		}
+	}
+	page, err := b.Get("http://" + site.Domain + site.RegPath)
+	if err != nil || !page.OK() {
+		return
+	}
+	// Copy hidden inputs (CSRF, captcha id) from the live form. A human's
+	// browser executes scripts and renders JS-assembled forms, so for
+	// JSForm sites (where the static DOM is empty) we recover the same
+	// values from ground truth — the human sees them on screen.
+	issuer := p.Universe.Issuer(site)
+	for _, form := range page.Forms() {
+		for _, fld := range form.Fields {
+			if fld.Type == "hidden" && fld.Name != "" {
+				vals.Set(fld.Name, fld.Value)
+			}
+		}
+	}
+	if f, ok := spec.Field(webgen.FieldCSRF); ok && vals.Get(f.Name) == "" {
+		vals.Set(f.Name, webgen.CSRFToken(site.Domain))
+	}
+	if site.Captcha != captcha.None {
+		ch := issuer.Issue(site.Captcha, rand.New(rand.NewSource(int64(site.Rank))))
+		if got := vals.Get("captcha_id"); got != "" {
+			ch = captcha.Challenge{ID: got, Kind: site.Captcha}
+		} else {
+			vals.Set("captcha_id", ch.ID)
+		}
+		if f, ok := spec.Field(webgen.FieldCaptcha); ok {
+			vals.Set(f.Name, issuer.Answer(ch))
+		}
+		if site.Captcha == captcha.Interactive {
+			vals.Set("captcha_token", issuer.Answer(ch))
+		}
+	}
+	resp, err := b.Post("http://"+site.Domain+site.RegPath, vals)
+	exposed := err == nil
+	if exposed {
+		p.Ledger.Burn(id, site.Domain, site.Rank, site.Category, p.Clock.Now(), crawler.CodeOKSubmission, true)
+	} else {
+		p.Ledger.Return(id)
+	}
+	// Multi-stage: the human reads page two and completes it.
+	if err == nil && site.MultiStage {
+		p.completeStep2(b, site, resp)
+	}
+	p.Attempts = append(p.Attempts, Attempt{
+		Domain: site.Domain, Rank: site.Rank, Class: identity.Easy,
+		Code: crawler.CodeOKSubmission, Exposed: exposed, Manual: true,
+		When: p.Clock.Now(), Email: id.Email,
+	})
+	p.drainMail()
+}
+
+// completeStep2 fills the second page of a multi-stage registration the way
+// a human would: every field correctly, checkboxes checked.
+func (p *Pilot) completeStep2(b *browser.Client, site *webgen.Site, step2 *browser.Page) {
+	for _, form := range step2.Forms() {
+		sub := form.Fill()
+		for _, fld := range form.Fields {
+			switch fld.Type {
+			case "hidden", "submit":
+			case "checkbox":
+				sub.Check(fld.Name)
+			default:
+				sub.Set(fld.Name, "Manual Entry")
+			}
+		}
+		if _, err := b.Submit(sub); err == nil {
+			return
+		}
+	}
+}
+
+// recordMisses captures breached sites that never tripped the monitor —
+// the paper's §6.2 undetected-compromise analysis.
+func (p *Pilot) recordMisses() {
+	for domain := range p.Campaign.Breaches() {
+		if _, ok := p.Monitor.Detection(domain); !ok {
+			p.MissedBreaches = append(p.MissedBreaches, domain)
+		}
+	}
+}
+
+// scheduleDumps books the provider's sporadic login-information dumps.
+func (p *Pilot) scheduleDumps() {
+	for _, d := range p.Cfg.DumpDates {
+		d := d
+		if d.After(p.Cfg.End) {
+			continue
+		}
+		p.Sched.At(d, "provider dump "+fmtDate(d), func(now time.Time) {
+			events := p.Provider.DumpSince(p.lastDump)
+			newly := p.Monitor.Ingest(events)
+			for _, domain := range newly {
+				p.DetectionTimes[domain] = now
+			}
+			p.lastDump = now
+			p.Provider.PurgeExpired()
+			if p.Cfg.ReRegisterDetected {
+				p.reRegisterDetected(newly, now)
+			}
+		})
+	}
+}
+
+// reRegisterDetected registers fresh accounts at newly detected sites (the
+// paper did this in mid-May 2016 to see whether sites had recovered).
+func (p *Pilot) reRegisterDetected(domains []string, now time.Time) {
+	for _, domain := range domains {
+		site, ok := p.Universe.Site(domain)
+		if !ok || !site.Eligible() {
+			continue
+		}
+		p.Sched.After(30*24*time.Hour, "re-register "+domain, func(t time.Time) {
+			p.crawlOnce(site, identity.Hard)
+		})
+	}
+}
+
+// scheduleBreaches books the attacker's site compromises: some at sites
+// where Tripwire holds accounts (detectable), some elsewhere (§6.2).
+func (p *Pilot) scheduleBreaches() {
+	rng := rand.New(rand.NewSource(p.Cfg.Seed + 9))
+	window := p.Cfg.BreachWindowEnd.Sub(p.Cfg.BreachWindowStart)
+	breached := make(map[string]bool)
+
+	for i := 0; i < p.Cfg.BreachRegistered; i++ {
+		at := p.Cfg.BreachWindowStart.Add(time.Duration(rng.Int63n(int64(window))))
+		p.Sched.At(at, "breach (registered site)", func(now time.Time) {
+			domain := p.pickBreachTarget(rng, breached, true)
+			if domain == "" {
+				return
+			}
+			breached[domain] = true
+			p.breachSite(domain, now)
+		})
+	}
+	for i := 0; i < p.Cfg.BreachUnregistered; i++ {
+		at := p.Cfg.BreachWindowStart.Add(time.Duration(rng.Int63n(int64(window))))
+		p.Sched.At(at, "breach (unregistered site)", func(now time.Time) {
+			domain := p.pickBreachTarget(rng, breached, false)
+			if domain == "" {
+				return
+			}
+			breached[domain] = true
+			p.breachSite(domain, now)
+		})
+	}
+}
+
+// pickBreachTarget selects a random un-breached site; withAccount selects
+// between sites where Tripwire's account actually exists and ones where it
+// does not.
+func (p *Pilot) pickBreachTarget(rng *rand.Rand, breached map[string]bool, withAccount bool) string {
+	var cands []string
+	if withAccount {
+		for _, domain := range p.Ledger.Sites() {
+			if breached[domain] {
+				continue
+			}
+			if p.tripwireAccountExists(domain) {
+				cands = append(cands, domain)
+			}
+		}
+	} else {
+		sites := p.Universe.Sites()
+		for tries := 0; tries < 200 && len(cands) < 30; tries++ {
+			s := sites[rng.Intn(len(sites))]
+			if !breached[s.Domain] && !p.tripwireAccountExists(s.Domain) {
+				cands = append(cands, s.Domain)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	// Ledger.Sites() iterates a map: sort so runs are reproducible.
+	sort.Strings(cands)
+	return cands[rng.Intn(len(cands))]
+}
+
+// tripwireAccountExists reports whether a Tripwire identity actually has a
+// stored account at domain (the crawler may have believed wrongly).
+func (p *Pilot) tripwireAccountExists(domain string) bool {
+	st := p.Universe.Store(domain)
+	for _, reg := range p.Ledger.SiteRegistrations(domain) {
+		if _, ok := st.Lookup(reg.Identity.Username); ok {
+			return true
+		}
+		local, _, _ := strings.Cut(reg.Identity.Email, "@")
+		if _, ok := st.Lookup(local); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// breachSite populates the organic user base and hands the site to the
+// attacker campaign.
+func (p *Pilot) breachSite(domain string, now time.Time) {
+	st := p.Universe.Store(domain)
+	p.populateOrganics(st, domain)
+	p.Campaign.Breach(domain, st, now)
+}
+
+// organicDomains are where the synthetic organic population's email lives;
+// a share is at the monitored provider (those addresses do not exist there,
+// so stuffing them fails — realistic noise).
+var organicDomains = []string{
+	ProviderDomain, "othermail.test", "webpost.test", "mailbox-corp.test",
+	"fastmail-like.test",
+}
+
+// populateOrganics seeds a site's store with organic users so breached
+// dumps are mostly not Tripwire's accounts.
+func (p *Pilot) populateOrganics(st *webgen.Store, domain string) {
+	rng := rand.New(rand.NewSource(p.Cfg.Seed + int64(len(domain))*31))
+	words := identity.DictionaryWords()
+	n := p.Cfg.OrganicUsersMin
+	if spread := p.Cfg.OrganicUsersMax - p.Cfg.OrganicUsersMin; spread > 0 {
+		n += rng.Intn(spread)
+	}
+	for i := 0; i < n; i++ {
+		p.organicSeq++
+		user := fmt.Sprintf("user%07d", p.organicSeq)
+		email := fmt.Sprintf("%s@%s", user, organicDomains[rng.Intn(len(organicDomains))])
+		var pw string
+		if rng.Float64() < 0.6 {
+			w := words[rng.Intn(len(words))]
+			pw = strings.ToUpper(w[:1]) + w[1:] + string(rune('0'+rng.Intn(10)))
+		} else {
+			pw = randomPassword(rng)
+		}
+		salt := fmt.Sprintf("osalt%07d", p.organicSeq)
+		_, _ = st.Create(user, email, pw, salt, p.Clock.Now())
+	}
+}
+
+func randomPassword(rng *rand.Rand) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	n := 8 + rng.Intn(5)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alpha[rng.Intn(len(alpha))])
+	}
+	return b.String()
+}

@@ -1,0 +1,171 @@
+// Package simclock provides a virtual clock and a deterministic
+// discrete-event scheduler. The Tripwire pilot study spans more than a
+// calendar year (July 2014 – February 2017); simclock lets the whole
+// timeline execute in milliseconds while preserving event ordering.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock. The zero value is not useful; construct with New.
+// Clock is not safe for concurrent use; the simulation driver owns it.
+type Clock struct {
+	now time.Time
+}
+
+// New returns a Clock set to start.
+func New(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Advance moves the clock forward by d. Advance panics if d is negative:
+// virtual time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative advance %v", d))
+	}
+	c.now = c.now.Add(d)
+}
+
+// AdvanceTo moves the clock forward to t. It is a no-op if t is not after
+// the current time, so callers may replay an already-sorted event stream
+// without checking.
+func (c *Clock) AdvanceTo(t time.Time) {
+	if t.After(c.now) {
+		c.now = t
+	}
+}
+
+// Event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled.
+type Event struct {
+	At   time.Time
+	Name string
+	Fn   func(now time.Time)
+
+	seq   uint64
+	index int
+}
+
+// Scheduler is a deterministic discrete-event scheduler driving a Clock.
+type Scheduler struct {
+	clock *Clock
+	pq    eventQueue
+	seq   uint64
+}
+
+// NewScheduler returns a Scheduler driving clock.
+func NewScheduler(clock *Clock) *Scheduler {
+	return &Scheduler{clock: clock}
+}
+
+// Clock returns the scheduler's clock.
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// At schedules fn to run at t. Scheduling in the past is allowed (the event
+// fires immediately on the next Run step at the current clock time); this
+// mirrors how a backlog of provider login dumps is processed on arrival.
+func (s *Scheduler) At(t time.Time, name string, fn func(now time.Time)) *Event {
+	ev := &Event{At: t, Name: name, Fn: fn, seq: s.seq}
+	s.seq++
+	heap.Push(&s.pq, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, name string, fn func(now time.Time)) *Event {
+	return s.At(s.clock.Now().Add(d), name, fn)
+}
+
+// Cancel removes ev from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (s *Scheduler) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(s.pq) || s.pq[ev.index] != ev {
+		return false
+	}
+	heap.Remove(&s.pq, ev.index)
+	return true
+}
+
+// Len reports the number of pending events.
+func (s *Scheduler) Len() int { return len(s.pq) }
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It reports whether an event fired.
+func (s *Scheduler) Step() bool {
+	if len(s.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.pq).(*Event)
+	s.clock.AdvanceTo(ev.At)
+	ev.Fn(s.clock.Now())
+	return true
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// is after deadline. The clock is left at deadline if it ran dry earlier
+// than deadline, so subsequent After() calls measure from the deadline.
+// It returns the number of events fired.
+func (s *Scheduler) RunUntil(deadline time.Time) int {
+	n := 0
+	for len(s.pq) > 0 && !s.pq[0].At.After(deadline) {
+		s.Step()
+		n++
+	}
+	s.clock.AdvanceTo(deadline)
+	return n
+}
+
+// Run fires all pending events, including ones scheduled by fired events.
+// It returns the number of events fired. Run panics after maxEvents events
+// as a guard against runaway self-scheduling loops.
+func (s *Scheduler) Run(maxEvents int) int {
+	n := 0
+	for s.Step() {
+		n++
+		if n >= maxEvents {
+			panic(fmt.Sprintf("simclock: exceeded %d events; runaway schedule?", maxEvents))
+		}
+	}
+	return n
+}
+
+// eventQueue is a min-heap over (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].At.Equal(q[j].At) {
+		return q[i].At.Before(q[j].At)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

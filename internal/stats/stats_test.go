@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5) {
+		t.Fatalf("Mean = %v", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2.138089935) > 1e-6 {
+		t.Fatalf("StdDev = %v", sd)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("empty/degenerate cases wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Median(xs); !approx(q, 2.5) {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile([]float64{7}, 0.99); q != 7 {
+		t.Fatalf("single-element quantile = %v", q)
+	}
+	// Input must not be mutated (Quantile sorts a copy).
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for q=2")
+		}
+	}()
+	Quantile([]float64{1}, 2)
+}
+
+func TestMinMaxAndSummary(t *testing.T) {
+	xs := []float64{5, -1, 3}
+	min, max := MinMax(xs)
+	if min != -1 || max != 5 {
+		t.Fatalf("MinMax = %v, %v", min, max)
+	}
+	s := Summarize(xs)
+	if s.N != 3 || s.Min != -1 || s.Max != 5 || !approx(s.Median, 3) {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if out := s.String(); !strings.Contains(out, "n=3") {
+		t.Fatalf("String() = %q", out)
+	}
+}
+
+// Property: min <= median <= max and mean within [min, max].
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, int(n%50)+1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max && s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, math.Min(q, 1))
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

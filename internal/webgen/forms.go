@@ -1,0 +1,213 @@
+package webgen
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+)
+
+// FieldKind is the semantic meaning of a registration-form field. The
+// server validates submissions against the spec; the crawler only ever sees
+// the rendered HTML and must recover the meaning heuristically — exactly
+// the paper's setting.
+type FieldKind int
+
+// Field kinds appearing on synthetic registration forms.
+const (
+	FieldEmail FieldKind = iota
+	FieldPassword
+	FieldConfirm
+	FieldUsername
+	FieldFirstName
+	FieldLastName
+	FieldFullName
+	FieldZip
+	FieldPhone
+	FieldDOB
+	FieldState
+	FieldTOS
+	FieldNewsletter
+	FieldCaptcha
+	FieldCSRF
+	FieldCreditCard
+)
+
+// String names the kind.
+func (k FieldKind) String() string {
+	names := [...]string{
+		"email", "password", "confirm", "username", "first-name",
+		"last-name", "full-name", "zip", "phone", "dob", "state", "tos",
+		"newsletter", "captcha", "csrf", "credit-card",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("FieldKind(%d)", int(k))
+}
+
+// FieldSpec is one field on a site's registration form.
+type FieldSpec struct {
+	Kind     FieldKind
+	Name     string // the HTML name attribute
+	Label    string // visible label text
+	Type     string // HTML input type: text, password, email, checkbox, hidden, select
+	Required bool
+}
+
+// FormSpec is a site's registration form layout, deterministic per site.
+type FormSpec struct {
+	Fields []FieldSpec
+}
+
+// Field returns the first field of the given kind and whether it exists.
+func (f *FormSpec) Field(kind FieldKind) (FieldSpec, bool) {
+	for _, fs := range f.Fields {
+		if fs.Kind == kind {
+			return fs, true
+		}
+	}
+	return FieldSpec{}, false
+}
+
+// fieldNamePools maps each kind to realistic HTML name attributes.
+var fieldNamePools = map[FieldKind][]string{
+	FieldEmail:      {"email", "user_email", "mail", "email_address", "e-mail"},
+	FieldPassword:   {"password", "pass", "passwd", "user_password", "pwd"},
+	FieldConfirm:    {"password2", "confirm_password", "password_confirm", "pass2", "repeat_password"},
+	FieldUsername:   {"username", "user", "login", "user_name", "nickname"},
+	FieldFirstName:  {"first_name", "fname", "firstname", "given_name"},
+	FieldLastName:   {"last_name", "lname", "lastname", "surname"},
+	FieldFullName:   {"name", "full_name", "fullname", "realname"},
+	FieldZip:        {"zip", "zipcode", "postal_code", "zip_code"},
+	FieldPhone:      {"phone", "telephone", "mobile", "phone_number"},
+	FieldDOB:        {"dob", "birthday", "birth_date", "date_of_birth"},
+	FieldState:      {"state", "region", "province"},
+	FieldTOS:        {"tos", "agree", "accept_terms", "terms"},
+	FieldNewsletter: {"newsletter", "subscribe", "mailing_list", "optin"},
+	FieldCaptcha:    {"captcha", "captcha_answer", "verification", "security_code"},
+	FieldCreditCard: {"card_number", "cc_number", "creditcard"},
+	FieldCSRF:       {"csrf", "csrf_token", "_token", "authenticity_token"},
+}
+
+// fieldLabels maps kinds to visible English label variants.
+var fieldLabels = map[FieldKind][]string{
+	FieldEmail:      {"Email address", "Your email", "E-mail", "Email"},
+	FieldPassword:   {"Password", "Choose a password", "Create password"},
+	FieldConfirm:    {"Confirm password", "Repeat password", "Password again"},
+	FieldUsername:   {"Username", "Choose a username", "Display name"},
+	FieldFirstName:  {"First name", "Given name"},
+	FieldLastName:   {"Last name", "Surname", "Family name"},
+	FieldFullName:   {"Full name", "Your name", "Name"},
+	FieldZip:        {"ZIP code", "Postal code", "Zip"},
+	FieldPhone:      {"Phone number", "Mobile phone", "Telephone"},
+	FieldDOB:        {"Date of birth", "Birthday"},
+	FieldState:      {"State", "Region"},
+	FieldTOS:        {"I agree to the Terms of Service", "I accept the terms and conditions"},
+	FieldNewsletter: {"Send me the newsletter", "Subscribe to updates"},
+	FieldCaptcha:    {"Enter the code shown", "Security check", "Verification code"},
+	FieldCreditCard: {"Credit card number", "Card number"},
+	FieldCSRF:       {""}, // hidden: no visible label
+}
+
+// buildFormSpec constructs the site's registration form deterministically
+// from its seed. The first call is cached by the Universe.
+func buildFormSpec(s *Site) *FormSpec {
+	rng := rand.New(rand.NewSource(s.seed ^ 0x5eed))
+	var spec FormSpec
+	add := func(kind FieldKind, typ string, required bool) {
+		fs := FieldSpec{Kind: kind, Type: typ, Required: required}
+		if s.OddFieldNames && kind != FieldPassword && kind != FieldConfirm && kind != FieldCSRF {
+			// Misleading machine names AND unhelpful labels: the paper's
+			// "field misidentification" failure mode. Password fields stay
+			// identifiable via type=password, as in real browsers.
+			fs.Name = fmt.Sprintf("field_%d", len(spec.Fields)+1)
+			fs.Label = []string{"Required information", "Details", "Entry", "Your info"}[rng.Intn(4)]
+		} else {
+			fs.Name = pickFrom(rng, fieldNamePools[kind])
+			fs.Label = pickFrom(rng, fieldLabels[kind])
+		}
+		spec.Fields = append(spec.Fields, fs)
+	}
+
+	add(FieldCSRF, "hidden", true)
+	if rng.Float64() < 0.5 {
+		add(FieldUsername, "text", true)
+	}
+	add(FieldEmail, pickFrom(rng, []string{"text", "email"}), true)
+	add(FieldPassword, "password", true)
+	if rng.Float64() < 0.6 {
+		add(FieldConfirm, "password", true)
+	}
+	if rng.Float64() < 0.4 {
+		if rng.Float64() < 0.5 {
+			add(FieldFirstName, "text", rng.Float64() < 0.7)
+			add(FieldLastName, "text", rng.Float64() < 0.7)
+		} else {
+			add(FieldFullName, "text", rng.Float64() < 0.7)
+		}
+	}
+	if rng.Float64() < 0.20 {
+		add(FieldZip, "text", rng.Float64() < 0.5)
+	}
+	if rng.Float64() < 0.15 {
+		add(FieldPhone, "text", rng.Float64() < 0.4)
+	}
+	if rng.Float64() < 0.10 {
+		add(FieldDOB, "text", rng.Float64() < 0.5)
+	}
+	if rng.Float64() < 0.10 {
+		add(FieldState, "select", false)
+	}
+	if s.RequiresPayment {
+		add(FieldCreditCard, "text", true)
+	}
+	if rng.Float64() < 0.5 {
+		add(FieldTOS, "checkbox", true)
+	}
+	if rng.Float64() < 0.3 {
+		add(FieldNewsletter, "checkbox", false)
+	}
+	if s.Captcha != 0 { // captcha.None
+		add(FieldCaptcha, "text", true)
+	}
+	return &spec
+}
+
+// profileFormSpec is the second page of a multi-stage registration: the
+// credential fields live on page one, profile fields on page two.
+func profileFormSpec(s *Site) *FormSpec {
+	rng := rand.New(rand.NewSource(s.seed ^ 0x2a6e))
+	var spec FormSpec
+	add := func(kind FieldKind, typ string, required bool) {
+		spec.Fields = append(spec.Fields, FieldSpec{
+			Kind: kind, Type: typ, Required: required,
+			Name:  pickFrom(rng, fieldNamePools[kind]),
+			Label: pickFrom(rng, fieldLabels[kind]),
+		})
+	}
+	add(FieldCSRF, "hidden", true)
+	add(FieldFirstName, "text", true)
+	add(FieldLastName, "text", true)
+	add(FieldZip, "text", rng.Float64() < 0.5)
+	if rng.Float64() < 0.5 {
+		add(FieldTOS, "checkbox", true)
+	}
+	return &spec
+}
+
+func pickFrom(rng *rand.Rand, list []string) string { return list[rng.Intn(len(list))] }
+
+// CSRFToken returns the site's CSRF token — what a human's browser would
+// hold after rendering the (possibly script-assembled) form. Exported for
+// the manual-registration path and tests.
+func CSRFToken(domain string) string { return csrfToken(domain) }
+
+// csrfToken returns the site's CSRF token: an HMAC of the domain, so both
+// the renderer and the validator compute it statelessly.
+func csrfToken(domain string) string {
+	mac := hmac.New(sha256.New, []byte("webgen-csrf"))
+	mac.Write([]byte(domain))
+	return hex.EncodeToString(mac.Sum(nil))[:16]
+}

@@ -1,0 +1,281 @@
+package webgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"tripwire/internal/captcha"
+)
+
+// Config controls universe generation. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	// NumSites is the number of ranked sites to generate.
+	NumSites int
+	// Seed makes generation reproducible.
+	Seed int64
+
+	// Rate knobs, expressed as probabilities. Defaults are calibrated to
+	// the paper's Table 4 manual census (rows at ranks 1, 1,000, 10,000 and
+	// 100,000) and Figure 3.
+	LoadFailureTop, LoadFailureTail       float64 // 3% -> ~8%
+	NonEnglish                            float64 // ~44%
+	NoRegistrationTop, NoRegistrationTail float64 // 7% -> ~29%
+	IneligibleOther                       float64 // ~5%: payment / external auth / short email cap
+
+	// Among eligible sites with forms (paper §7.2):
+	CaptchaRate    float64 // ~19% of sites with registration forms
+	MultiStageRate float64 // ~10%
+	ObscureLink    float64 // registration page not discoverable
+	OddFields      float64 // field names that defeat heuristics
+	JSFormRate     float64 // form assembled by script; invisible statically
+	SpecialCharPwd float64 // password policy requiring special chars
+
+	// Backend behaviour rates.
+	EmailVerifyRate  float64 // sites that send a verification email
+	WelcomeEmailRate float64 // sites that send some non-verification email
+	FlakyBackendRate float64 // accept the POST but store nothing
+	VagueResponse    float64 // success page that trips failure heuristics
+
+	// Password storage mix (must sum to 1). Roughly half of detected
+	// compromises in Table 2 exposed hard passwords, implying widespread
+	// plaintext/reversible storage in the tail.
+	PlaintextFrac, ReversibleFrac, WeakHashFrac, StrongHashFrac float64
+}
+
+// DefaultConfig returns the calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumSites:           33634,
+		Seed:               1,
+		LoadFailureTop:     0.03,
+		LoadFailureTail:    0.08,
+		NonEnglish:         0.443,
+		NoRegistrationTop:  0.07,
+		NoRegistrationTail: 0.33,
+		IneligibleOther:    0.05,
+		CaptchaRate:        0.19,
+		MultiStageRate:     0.10,
+		ObscureLink:        0.04,
+		OddFields:          0.34,
+		JSFormRate:         0.48,
+		SpecialCharPwd:     0.015,
+		EmailVerifyRate:    0.47,
+		WelcomeEmailRate:   0.06,
+		FlakyBackendRate:   0.17,
+		VagueResponse:      0.08,
+		PlaintextFrac:      0.28,
+		ReversibleFrac:     0.12,
+		WeakHashFrac:       0.30,
+		StrongHashFrac:     0.30,
+	}
+}
+
+// lerp interpolates a rank-dependent rate: rank 1 uses top, rank numSites
+// uses tail, linearly in between.
+func lerp(top, tail float64, rank, numSites int) float64 {
+	return lerpPow(top, tail, rank, numSites, 1)
+}
+
+// lerpPow interpolates with a concave exponent (<1 rises fast then
+// flattens), matching the paper's Table 4 observation that registration
+// availability collapses within the first few thousand ranks.
+func lerpPow(top, tail float64, rank, numSites int, exp float64) float64 {
+	if numSites <= 1 {
+		return top
+	}
+	frac := float64(rank-1) / float64(numSites-1)
+	frac = math.Pow(frac, exp)
+	return top + (tail-top)*frac
+}
+
+// Generate builds a deterministic universe of Config.NumSites sites.
+func Generate(cfg Config) *Universe {
+	if cfg.NumSites <= 0 {
+		panic("webgen: Config.NumSites must be positive")
+	}
+	if sum := cfg.PlaintextFrac + cfg.ReversibleFrac + cfg.WeakHashFrac + cfg.StrongHashFrac; sum < 0.999 || sum > 1.001 {
+		panic(fmt.Sprintf("webgen: storage fractions sum to %.3f, want 1", sum))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	u := newUniverse(cfg)
+	for rank := 1; rank <= cfg.NumSites; rank++ {
+		s := generateSite(rng, cfg, rank)
+		u.add(s)
+	}
+	return u
+}
+
+func generateSite(rng *rand.Rand, cfg Config, rank int) *Site {
+	s := &Site{
+		Rank:     rank,
+		Domain:   fmt.Sprintf("site%05d.test", rank),
+		Category: categories[rng.Intn(len(categories))],
+		Language: LangEnglish,
+		seed:     rng.Int63(),
+	}
+	s.Name = siteName(rng, s.Category, rank)
+
+	if rng.Float64() < lerp(cfg.LoadFailureTop, cfg.LoadFailureTail, rank, cfg.NumSites) {
+		s.LoadFailure = true
+		return s
+	}
+	if rng.Float64() < cfg.NonEnglish {
+		s.Language = pickLanguage(rng)
+	}
+	s.HasRegistration = rng.Float64() >= lerpPow(cfg.NoRegistrationTop, cfg.NoRegistrationTail, rank, cfg.NumSites, 0.25)
+	if !s.HasRegistration {
+		return s
+	}
+	if rng.Float64() < cfg.IneligibleOther {
+		// Split ineligibility causes: payment, SSO-only, or a short email cap
+		// (paper §6.2.3: one site capped addresses below 16 characters).
+		switch rng.Intn(3) {
+		case 0:
+			s.RequiresPayment = true
+		case 1:
+			s.ExternalAuthOnly = true
+		default:
+			s.MaxEmailLen = 12 + rng.Intn(6) // 12-17: Tripwire addresses are ~18+
+		}
+	}
+
+	// Registration flow shape. Non-English sites use localized paths, so
+	// neither the anchor text nor the href gives the English-only
+	// heuristics a foothold — such sites are ineligible end to end, as in
+	// the paper's Table 4.
+	if s.Language == LangEnglish {
+		s.RegPath = regPaths[rng.Intn(len(regPaths))]
+	} else {
+		s.RegPath = localizedRegPaths[s.Language][rng.Intn(len(localizedRegPaths[s.Language]))]
+	}
+	s.LinkText = linkTexts[rng.Intn(len(linkTexts))]
+	if rng.Float64() < cfg.MultiStageRate {
+		s.MultiStage = true
+	}
+	if r := rng.Float64(); r < cfg.CaptchaRate {
+		// Mix within CAPTCHA sites: mostly image, some knowledge, some
+		// interactive (unsolvable).
+		switch {
+		case r < cfg.CaptchaRate*0.55:
+			s.Captcha = captcha.Image
+		case r < cfg.CaptchaRate*0.80:
+			s.Captcha = captcha.Knowledge
+		default:
+			s.Captcha = captcha.Interactive
+		}
+	}
+	s.ObscureRegLink = rng.Float64() < cfg.ObscureLink
+	if s.ObscureRegLink {
+		// The registration page also hides behind an opaque path, so the
+		// href heuristic has nothing to match either (paper §6.2.2: pages
+		// "not obvious based on the text of the page").
+		s.RegPath = fmt.Sprintf("/p/%08x", rng.Uint32())
+	}
+	s.OddFieldNames = rng.Float64() < cfg.OddFields
+	s.JSForm = rng.Float64() < cfg.JSFormRate
+
+	// Password policy: nearly every site permits 8-character passwords;
+	// many require at least 8 (paper §4.1.2).
+	s.Passwords = PasswordPolicy{MinLen: 6 + 2*rng.Intn(2), MaxLen: 0}
+	if rng.Float64() < 0.10 {
+		s.Passwords.MaxLen = 12 + rng.Intn(20)
+	}
+	s.Passwords.RequireSpecial = rng.Float64() < cfg.SpecialCharPwd
+
+	// Backend behaviour.
+	s.EmailVerify = rng.Float64() < cfg.EmailVerifyRate
+	s.VerifyToLogin = s.EmailVerify && rng.Float64() < 0.6
+	s.BrokenVerify = s.EmailVerify && rng.Float64() < 0.025
+	if !s.EmailVerify {
+		s.WelcomeEmail = rng.Float64() < cfg.WelcomeEmailRate/(1-cfg.EmailVerifyRate)
+	}
+	switch {
+	case s.EmailVerify:
+		// Verification implies a working pipeline; near-zero flakiness.
+	case s.WelcomeEmail:
+		// Paper: "Email received" accounts were valid 82% of the time.
+		s.FlakyBackend = rng.Float64() < 0.18
+	default:
+		s.FlakyBackend = rng.Float64() < cfg.FlakyBackendRate/(1-cfg.EmailVerifyRate-cfg.WelcomeEmailRate)
+	}
+	s.VagueResponse = rng.Float64() < cfg.VagueResponse
+
+	// Storage policy.
+	r := rng.Float64()
+	switch {
+	case r < cfg.PlaintextFrac:
+		s.Storage = StorePlaintext
+	case r < cfg.PlaintextFrac+cfg.ReversibleFrac:
+		s.Storage = StoreReversible
+	case r < cfg.PlaintextFrac+cfg.ReversibleFrac+cfg.WeakHashFrac:
+		s.Storage = StoreWeakHash
+	default:
+		s.Storage = StoreStrongHash
+	}
+
+	s.PublicMembers = rng.Float64() < 0.35
+	s.RateLimitsLogin = rng.Float64() < 0.55
+
+	generateDisclosureSurface(rng, s)
+	return s
+}
+
+// generateDisclosureSurface rolls the site's §6.3 contactability and
+// response profile. Rates follow the paper: a third of notified sites
+// responded; one had no MX record; one's WHOIS contact pointed at an
+// expired domain; one routed reports into a ticketing system.
+func generateDisclosureSurface(rng *rand.Rand, s *Site) {
+	if rng.Float64() < 0.80 {
+		s.ContactEmail = pickFrom(rng, []string{"contact", "info", "admin", "hello"}) + "@" + s.Domain
+	}
+	s.WhoisEmail = "registrant@" + s.Domain
+	s.WhoisExpired = rng.Float64() < 0.05
+	s.NoMX = rng.Float64() < 0.05
+	s.Responds = !s.NoMX && rng.Float64() < 0.37
+	if s.Responds {
+		// Observed first-response latencies ranged from 10 minutes to six
+		// days.
+		s.ResponseDelay = time.Duration(10+rng.Intn(8600)) * time.Minute
+		r := rng.Float64()
+		switch {
+		case r < 0.45:
+			s.Reaction = ReactDispute
+		case r < 0.80:
+			s.Reaction = ReactAcknowledge
+		case r < 0.92:
+			s.Reaction = ReactCorroborate
+		default:
+			s.Reaction = ReactAutoTicket
+		}
+	}
+}
+
+func pickLanguage(rng *rand.Rand) Language {
+	// Non-English mix: Chinese-heavy, then Russian, per the paper's missed
+	// breaches (§6.2.1: six Chinese, one Russian of seven non-English).
+	r := rng.Float64()
+	switch {
+	case r < 0.35:
+		return LangChinese
+	case r < 0.55:
+		return LangRussian
+	case r < 0.72:
+		return LangSpanish
+	case r < 0.87:
+		return LangGerman
+	default:
+		return LangFrench
+	}
+}
+
+var nameAdjectives = []string{
+	"Daily", "Super", "Mega", "Prime", "Global", "Rapid", "Smart", "Epic",
+	"Ultra", "Metro", "Coastal", "Summit", "Nova", "Atlas", "Pioneer",
+}
+
+func siteName(rng *rand.Rand, category string, rank int) string {
+	return fmt.Sprintf("%s %s %d", nameAdjectives[rng.Intn(len(nameAdjectives))], category, rank)
+}

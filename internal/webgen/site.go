@@ -1,0 +1,242 @@
+// Package webgen generates and serves a synthetic ranked web: thousands of
+// sites with registration forms, multi-page flows, CAPTCHAs, non-English
+// content, load failures, flaky backends, and varied password-storage
+// practices. It substitutes for the live Alexa/Quantcast-ranked Internet
+// that the paper's crawler visited; attribute rates are calibrated to the
+// paper's Table 4 manual census and Figure 3 funnel so the crawler sees the
+// same failure-mode mix.
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tripwire/internal/captcha"
+)
+
+// Language is a site's primary content language. The Tripwire crawler's
+// heuristics only support English (paper §4.3.1), so non-English sites are
+// a major source of ineligibility (44.3% in Table 4).
+type Language string
+
+// Languages appearing in the synthetic web. Distribution loosely follows
+// the paper's §6.2.1 notes (Chinese and Russian sites among missed breaches).
+const (
+	LangEnglish Language = "en"
+	LangChinese Language = "zh"
+	LangRussian Language = "ru"
+	LangSpanish Language = "es"
+	LangGerman  Language = "de"
+	LangFrench  Language = "fr"
+)
+
+// StoragePolicy is how a site stores account passwords. It determines what
+// an attacker recovers from a database breach (paper §6.1.2).
+type StoragePolicy int
+
+const (
+	// StorePlaintext keeps passwords in the clear: a dump exposes every
+	// password, easy and hard.
+	StorePlaintext StoragePolicy = iota
+	// StoreReversible uses an "easily-reversed hash" (e.g. unsalted
+	// homebrew encoding); operationally equivalent to plaintext for an
+	// attacker.
+	StoreReversible
+	// StoreWeakHash is a fast unsalted digest (MD5-style): dictionary
+	// attacks recover easy passwords quickly; random 10-char hard
+	// passwords survive.
+	StoreWeakHash
+	// StoreStrongHash is salted and slow: easy passwords still fall to a
+	// targeted dictionary, but only after substantially more work.
+	StoreStrongHash
+)
+
+// String names the policy.
+func (p StoragePolicy) String() string {
+	switch p {
+	case StorePlaintext:
+		return "plaintext"
+	case StoreReversible:
+		return "reversible"
+	case StoreWeakHash:
+		return "weak-hash"
+	case StoreStrongHash:
+		return "strong-hash"
+	default:
+		return fmt.Sprintf("StoragePolicy(%d)", int(p))
+	}
+}
+
+// HardRecoverable reports whether a breach under this policy exposes hard
+// (random ten-character) passwords.
+func (p StoragePolicy) HardRecoverable() bool {
+	return p == StorePlaintext || p == StoreReversible
+}
+
+// PasswordPolicy is a site's password acceptance rule.
+type PasswordPolicy struct {
+	MinLen         int
+	MaxLen         int
+	RequireSpecial bool // uncommon; defeats Tripwire's pre-generated passwords
+}
+
+// Accepts reports whether pw satisfies the policy.
+func (p PasswordPolicy) Accepts(pw string) bool {
+	if len(pw) < p.MinLen || (p.MaxLen > 0 && len(pw) > p.MaxLen) {
+		return false
+	}
+	if p.RequireSpecial {
+		ok := false
+		for i := 0; i < len(pw); i++ {
+			c := pw[i]
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Site is one synthetic website.
+type Site struct {
+	Rank     int
+	Domain   string
+	Name     string
+	Category string
+	Language Language
+
+	// Availability and eligibility.
+	LoadFailure      bool // site fails to load entirely
+	HasRegistration  bool // some sites have no web registration at all
+	ExternalAuthOnly bool // registration only via Google/Facebook-style SSO
+	RequiresPayment  bool // registration requires a credit card
+	MaxEmailLen      int  // 0 = unlimited; some sites cap the address length
+
+	// Registration-flow shape.
+	MultiStage     bool         // multi-page registration form
+	Captcha        captcha.Kind // bot check on the form
+	ObscureRegLink bool         // reg link not discoverable from home page text
+	OddFieldNames  bool         // misleading field names that defeat heuristics
+	JSForm         bool         // form is script-assembled; absent from static HTML
+	RegPath        string       // path of the registration page
+	LinkText       string       // anchor text of the registration link
+
+	// Backend behaviour.
+	Storage       StoragePolicy
+	Passwords     PasswordPolicy
+	EmailVerify   bool // sends a verification email with a click-back link
+	VerifyToLogin bool // account unusable until the verification link is clicked
+	BrokenVerify  bool // verification links are broken (token mangled)
+	WelcomeEmail  bool // sends a non-verification email on signup
+	FlakyBackend  bool // accepts the POST, shows success, stores nothing
+	VagueResponse bool // success page wording trips the crawler's heuristics
+
+	// PublicMembers exposes a member directory listing usernames — the
+	// §6.3.5 discussion: "Pages on their sites list usernames, and the
+	// company asked if these could have been used by an attacker to
+	// brute-force guess passwords."
+	PublicMembers bool
+	// RateLimitsLogin enables site-side login throttling; sites E and F in
+	// the paper did not have it.
+	RateLimitsLogin bool
+
+	// Disclosure surface (paper §6.3): how the site can be contacted and
+	// how its operators react to a breach notification.
+	ContactEmail  string        // address published on /contact ("" = none)
+	WhoisEmail    string        // registrant address in domain WHOIS
+	WhoisExpired  bool          // WHOIS contact domain expired (site M's fate)
+	NoMX          bool          // domain has no MX record at all (site J)
+	Responds      bool          // operators answer disclosure mail
+	ResponseDelay time.Duration // how long the first reply takes
+	Reaction      Reaction      // what the response says
+
+	seed int64 // per-site noise seed for page rendering
+}
+
+// Reaction is how a notified site responds to a breach disclosure.
+type Reaction int
+
+const (
+	// ReactNone: no human response (two thirds of the paper's sites).
+	ReactNone Reaction = iota
+	// ReactDispute: cannot corroborate, offers no alternative explanation.
+	ReactDispute
+	// ReactAcknowledge: takes it seriously, admits security gaps, promises
+	// (but rarely delivers) remediation.
+	ReactAcknowledge
+	// ReactCorroborate: confirms a known breach (site C in the paper).
+	ReactCorroborate
+	// ReactAutoTicket: a ticketing system swallows the report (site I).
+	ReactAutoTicket
+)
+
+// String names the reaction.
+func (r Reaction) String() string {
+	switch r {
+	case ReactNone:
+		return "no response"
+	case ReactDispute:
+		return "disputed, no alternative explanation"
+	case ReactAcknowledge:
+		return "acknowledged, remediation promised"
+	case ReactCorroborate:
+		return "corroborated a known breach"
+	case ReactAutoTicket:
+		return "auto-ticket, never answered"
+	default:
+		return fmt.Sprintf("Reaction(%d)", int(r))
+	}
+}
+
+// Eligible reports whether the site could in principle be registered on by
+// an English-only automated system: it loads, is in English, has an online
+// registration not gated on payment or external auth. This matches the
+// paper's Table 4 notion of eligibility.
+func (s *Site) Eligible() bool {
+	return !s.LoadFailure &&
+		s.Language == LangEnglish &&
+		s.HasRegistration &&
+		!s.ExternalAuthOnly &&
+		!s.RequiresPayment
+}
+
+// rng returns a fresh deterministic source for rendering this site's pages.
+func (s *Site) rng() *rand.Rand { return rand.New(rand.NewSource(s.seed)) }
+
+// categories is the census of site categories; includes every category from
+// the paper's Table 2 plus generic filler.
+var categories = []string{
+	"Deals", "Gaming", "BitTorrent", "Wallpapers", "RSS Feeds", "Marketing",
+	"Horoscopes", "Classifieds", "Adult", "Vacations", "Outdoors",
+	"Tourism Guide", "Press Releases", "BTC Forum", "News", "Shopping",
+	"Sports", "Technology", "Music", "Video", "Social", "Education",
+	"Finance", "Health", "Recipes", "Weather", "Jobs", "Real Estate",
+	"Photography", "Blogging",
+}
+
+// linkTexts are the registration anchor-text variants sites use.
+var linkTexts = []string{
+	"Sign Up", "Register", "Create Account", "Join Now", "Create an account",
+	"Sign up free", "Register now", "Get started", "Join", "New user? Sign up",
+}
+
+// regPaths are the registration URL paths English sites use.
+var regPaths = []string{
+	"/register", "/signup", "/join", "/account/new", "/users/new",
+	"/user/register", "/create-account", "/registration",
+}
+
+// localizedRegPaths are registration paths on non-English sites; none match
+// the crawler's English href heuristics.
+var localizedRegPaths = map[Language][]string{
+	LangChinese: {"/zhuce", "/xinyonghu", "/kaihu"},
+	LangRussian: {"/registraciya", "/novyi-akkaunt", "/sozdat"},
+	LangSpanish: {"/registro", "/crear-cuenta", "/unirse"},
+	LangGerman:  {"/registrierung", "/konto-erstellen", "/mitglied-werden"},
+	LangFrench:  {"/inscription", "/creer-compte", "/adhesion"},
+}

@@ -1,0 +1,74 @@
+package webgen
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"tripwire/internal/captcha"
+)
+
+// TestServeOverRealTCP proves the synthetic web serves over an actual
+// socket, not just the in-process transport: an http.Server listens on
+// loopback, and a stock http.Client (with Host-header rewriting, the moral
+// equivalent of DNS) performs a full registration.
+func TestServeOverRealTCP(t *testing.T) {
+	u := Generate(smallConfig())
+	var site *Site
+	for _, s := range u.Sites() {
+		if s.Eligible() && !s.MultiStage && s.Captcha == captcha.None && !s.FlakyBackend &&
+			!s.OddFieldNames && !s.ObscureRegLink && !s.JSForm && !s.Passwords.RequireSpecial &&
+			s.MaxEmailLen == 0 {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		t.Skip("no clean site")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	srv := &http.Server{Handler: u, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	addr := ln.Addr().String()
+	// Route every request to the listener while preserving the virtual
+	// Host so the universe can dispatch by site.
+	client := &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(_ context.Context, network, _ string) (net.Conn, error) {
+				return net.Dial(network, addr)
+			},
+		},
+		Timeout: 10 * time.Second,
+	}
+
+	resp, err := client.Get("http://" + site.Domain + site.RegPath)
+	if err != nil {
+		t.Fatalf("GET over TCP: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	vals := fillPerfect(u, site, "tcpuser@mail.test", "Sunshine3aQ")
+	form := url.Values(vals)
+	post, err := client.Post("http://"+site.Domain+site.RegPath,
+		"application/x-www-form-urlencoded", strings.NewReader(form.Encode()))
+	if err != nil {
+		t.Fatalf("POST over TCP: %v", err)
+	}
+	post.Body.Close()
+	if u.Store(site.Domain).Len() != 1 {
+		t.Fatal("registration over real TCP did not create the account")
+	}
+}

@@ -1,0 +1,481 @@
+package webgen
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"tripwire/internal/captcha"
+)
+
+// Mailer is the outbound-email hook sites use to deliver verification and
+// welcome messages. The simulation wires this to the email provider.
+type Mailer interface {
+	Send(from, to, subject, body string) error
+}
+
+// MailerFunc adapts a function to the Mailer interface.
+type MailerFunc func(from, to, subject, body string) error
+
+// Send implements Mailer.
+func (f MailerFunc) Send(from, to, subject, body string) error { return f(from, to, subject, body) }
+
+// Universe is the generated synthetic web: a set of ranked sites plus their
+// live backends, served as an http.Handler that routes on the Host header.
+type Universe struct {
+	cfg      Config
+	sites    []*Site
+	byDomain map[string]*Site
+
+	mu         sync.Mutex
+	stores     map[string]*Store
+	specs      map[string]*FormSpec
+	issuers    map[string]*captcha.Issuer
+	pending    map[string]pendingReg // multi-stage continuations
+	tokenSeq   int
+	loginFails map[string]int // "domain|user" -> consecutive failures
+
+	// Mailer receives site-originated email. Nil drops mail.
+	Mailer Mailer
+	// Now supplies timestamps for account creation; defaults to time.Now.
+	Now func() time.Time
+}
+
+type pendingReg struct {
+	domain   string
+	username string
+	email    string
+	password string
+}
+
+func newUniverse(cfg Config) *Universe {
+	return &Universe{
+		cfg:        cfg,
+		byDomain:   make(map[string]*Site),
+		stores:     make(map[string]*Store),
+		specs:      make(map[string]*FormSpec),
+		issuers:    make(map[string]*captcha.Issuer),
+		pending:    make(map[string]pendingReg),
+		loginFails: make(map[string]int),
+		Now:        time.Now,
+	}
+}
+
+func (u *Universe) add(s *Site) {
+	u.sites = append(u.sites, s)
+	u.byDomain[s.Domain] = s
+}
+
+// Sites returns all sites in rank order. The slice is shared; treat it as
+// read-only.
+func (u *Universe) Sites() []*Site { return u.sites }
+
+// Site returns the site with the given domain.
+func (u *Universe) Site(domain string) (*Site, bool) {
+	s, ok := u.byDomain[strings.ToLower(stripPort(domain))]
+	return s, ok
+}
+
+// SiteByRank returns the site with the given 1-based rank.
+func (u *Universe) SiteByRank(rank int) (*Site, bool) {
+	if rank < 1 || rank > len(u.sites) {
+		return nil, false
+	}
+	return u.sites[rank-1], true
+}
+
+// Store returns (creating on first use) the account database for domain.
+func (u *Universe) Store(domain string) *Store {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.storeLocked(domain)
+}
+
+func (u *Universe) storeLocked(domain string) *Store {
+	st, ok := u.stores[domain]
+	if !ok {
+		site := u.byDomain[domain]
+		policy := StoreWeakHash
+		if site != nil {
+			policy = site.Storage
+		}
+		st = NewStore(policy)
+		u.stores[domain] = st
+	}
+	return st
+}
+
+// FormSpec returns the registration-form layout for site (cached).
+func (u *Universe) FormSpec(s *Site) *FormSpec {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	spec, ok := u.specs[s.Domain]
+	if !ok {
+		spec = buildFormSpec(s)
+		u.specs[s.Domain] = spec
+	}
+	return spec
+}
+
+// Issuer returns the CAPTCHA issuer for site (cached).
+func (u *Universe) Issuer(s *Site) *captcha.Issuer {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	is, ok := u.issuers[s.Domain]
+	if !ok {
+		is = captcha.NewIssuer("captcha-" + s.Domain)
+		u.issuers[s.Domain] = is
+	}
+	return is
+}
+
+func (u *Universe) nextToken(prefix string) string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.tokenSeq++
+	return fmt.Sprintf("%s%08d", prefix, u.tokenSeq)
+}
+
+func stripPort(host string) string {
+	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.Contains(host[i:], "]") {
+		return host[:i]
+	}
+	return host
+}
+
+// ServeHTTP routes requests by Host header to the owning site.
+func (u *Universe) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	site, ok := u.Site(r.Host)
+	if !ok {
+		http.Error(w, "no such site", http.StatusBadGateway)
+		return
+	}
+	if site.LoadFailure {
+		http.Error(w, "service unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	path := r.URL.Path
+	switch {
+	case path == "/" || path == "/about":
+		fmt.Fprint(w, renderHome(site))
+	case path == "/contact":
+		fmt.Fprint(w, renderContact(site))
+	case path == "/members" && site.PublicMembers:
+		u.handleMembers(w, site)
+	case path == "/login" && r.Method == http.MethodGet:
+		fmt.Fprint(w, renderLogin(site))
+	case path == "/login" && r.Method == http.MethodPost:
+		u.handleLogin(w, r, site)
+	case path == "/verify":
+		u.handleVerify(w, r, site)
+	case strings.HasPrefix(path, "/captcha/"):
+		// The synthetic image "renders" its answer the way real CAPTCHA
+		// pixels do; only solving services read it back out.
+		id := strings.TrimSuffix(strings.TrimPrefix(path, "/captcha/"), ".png")
+		ch := captcha.Challenge{ID: id, Kind: captcha.Image}
+		w.Header().Set("Content-Type", "image/png")
+		fmt.Fprint(w, u.Issuer(site).RenderImage(ch))
+	case site.HasRegistration && path == site.RegPath && r.Method == http.MethodGet:
+		fmt.Fprint(w, renderRegistration(site, u.FormSpec(site), u.Issuer(site)))
+	case site.HasRegistration && path == site.RegPath && r.Method == http.MethodPost:
+		u.handleRegister(w, r, site)
+	case site.HasRegistration && site.MultiStage && path == site.RegPath+"/complete" && r.Method == http.MethodPost:
+		u.handleRegisterComplete(w, r, site)
+	default:
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, pageShell(site, "Not found", "<p>Page not found.</p>"))
+	}
+}
+
+// handleRegister validates a registration submission against the site's
+// form spec and either creates the account, advances to step two, or
+// renders a validation failure.
+func (u *Universe) handleRegister(w http.ResponseWriter, r *http.Request, site *Site) {
+	if site.ExternalAuthOnly {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, pageShell(site, "Not found", "<p>Registration is handled by our identity partner.</p>"))
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		fmt.Fprint(w, renderOutcome(site, false, "malformed submission"))
+		return
+	}
+	spec := u.FormSpec(site)
+	get := func(kind FieldKind) string {
+		if f, ok := spec.Field(kind); ok {
+			return strings.TrimSpace(r.PostFormValue(f.Name))
+		}
+		return ""
+	}
+
+	if get(FieldCSRF) != csrfToken(site.Domain) {
+		fmt.Fprint(w, renderOutcome(site, false, "session expired, please reload the form"))
+		return
+	}
+	for _, f := range spec.Fields {
+		if !f.Required || f.Kind == FieldCSRF || f.Kind == FieldCaptcha {
+			continue
+		}
+		if strings.TrimSpace(r.PostFormValue(f.Name)) == "" {
+			fmt.Fprint(w, renderOutcome(site, false, "missing required field: "+f.Label))
+			return
+		}
+	}
+
+	email := get(FieldEmail)
+	if !strings.Contains(email, "@") || strings.Contains(email, " ") {
+		fmt.Fprint(w, renderOutcome(site, false, "invalid email address"))
+		return
+	}
+	if site.MaxEmailLen > 0 && len(email) > site.MaxEmailLen {
+		fmt.Fprint(w, renderOutcome(site, false, fmt.Sprintf("email address must be at most %d characters", site.MaxEmailLen)))
+		return
+	}
+	password := get(FieldPassword)
+	if !site.Passwords.Accepts(password) {
+		fmt.Fprint(w, renderOutcome(site, false, "password does not meet requirements"))
+		return
+	}
+	if _, hasConfirm := spec.Field(FieldConfirm); hasConfirm && get(FieldConfirm) != password {
+		fmt.Fprint(w, renderOutcome(site, false, "passwords do not match"))
+		return
+	}
+	if site.Captcha != captcha.None {
+		ch := captcha.Challenge{ID: r.PostFormValue("captcha_id"), Kind: site.Captcha}
+		answer := get(FieldCaptcha)
+		if site.Captcha == captcha.Interactive {
+			answer = r.PostFormValue("captcha_token")
+		}
+		if !u.Issuer(site).Verify(ch, answer) {
+			fmt.Fprint(w, renderOutcome(site, false, "the verification code was incorrect"))
+			return
+		}
+	}
+
+	username := get(FieldUsername)
+	if username == "" {
+		username = email[:strings.IndexByte(email, '@')]
+	}
+
+	if site.MultiStage {
+		cont := u.nextToken("cont")
+		u.mu.Lock()
+		u.pending[cont] = pendingReg{domain: site.Domain, username: username, email: email, password: password}
+		u.mu.Unlock()
+		fmt.Fprint(w, renderStep2(site, profileFormSpec(site), cont))
+		return
+	}
+	u.finishRegistration(w, site, username, email, password)
+}
+
+// handleRegisterComplete finishes a multi-stage registration.
+func (u *Universe) handleRegisterComplete(w http.ResponseWriter, r *http.Request, site *Site) {
+	if err := r.ParseForm(); err != nil {
+		fmt.Fprint(w, renderOutcome(site, false, "malformed submission"))
+		return
+	}
+	cont := r.PostFormValue("continuation")
+	u.mu.Lock()
+	pend, ok := u.pending[cont]
+	if ok {
+		delete(u.pending, cont)
+	}
+	u.mu.Unlock()
+	if !ok || pend.domain != site.Domain {
+		fmt.Fprint(w, renderOutcome(site, false, "registration session expired"))
+		return
+	}
+	spec := profileFormSpec(site)
+	for _, f := range spec.Fields {
+		if !f.Required || f.Kind == FieldCSRF {
+			continue
+		}
+		if strings.TrimSpace(r.PostFormValue(f.Name)) == "" {
+			fmt.Fprint(w, renderOutcome(site, false, "missing required field: "+f.Label))
+			return
+		}
+	}
+	u.finishRegistration(w, site, pend.username, pend.email, pend.password)
+}
+
+func (u *Universe) finishRegistration(w http.ResponseWriter, site *Site, username, email, password string) {
+	if site.FlakyBackend {
+		// The paper's "OK submission, 59% valid" / "Email received, 82%
+		// valid" residue: the site renders success — and its decoupled
+		// marketing pipeline may even send a welcome mail — but the account
+		// store persists nothing.
+		if site.WelcomeEmail {
+			u.sendMail(site, email,
+				"Welcome to "+site.Name,
+				fmt.Sprintf("Hi!\r\n\r\nThanks for joining %s. We are glad to have you.\r\n\r\nThe %s team\r\n", site.Name, site.Name))
+		}
+		fmt.Fprint(w, renderOutcome(site, true, ""))
+		return
+	}
+	st := u.Store(site.Domain)
+	salt := ""
+	if site.Storage == StoreStrongHash {
+		salt = u.nextToken("salt")
+	}
+	if _, err := st.Create(username, email, password, salt, u.Now()); err != nil {
+		fmt.Fprint(w, renderOutcome(site, false, "that username is already taken"))
+		return
+	}
+	switch {
+	case site.EmailVerify:
+		tok := u.nextToken("vfy")
+		st.IssueVerifyToken(username, tok)
+		if site.BrokenVerify {
+			// The emailed link carries a mangled token: clicking it never
+			// verifies the account (one source of the paper's ~2% failures
+			// in the Email-verified bin).
+			tok = "broken-" + tok
+		}
+		u.sendMail(site, email,
+			"Please verify your account at "+site.Name,
+			fmt.Sprintf("Welcome to %s!\r\n\r\nPlease confirm your email address by clicking the link below:\r\nhttp://%s/verify?token=%s\r\n\r\nIf you did not register, ignore this message.\r\n", site.Name, site.Domain, tok))
+	case site.WelcomeEmail:
+		u.sendMail(site, email,
+			"Welcome to "+site.Name,
+			fmt.Sprintf("Hi!\r\n\r\nThanks for joining %s. We are glad to have you.\r\n\r\nThe %s team\r\n", site.Name, site.Name))
+	}
+	fmt.Fprint(w, renderOutcome(site, true, ""))
+}
+
+func (u *Universe) sendMail(site *Site, to, subject, body string) {
+	if u.Mailer == nil {
+		return
+	}
+	// Errors are deliberately dropped: a site does not care whether its
+	// welcome mail bounced, and neither does the simulation.
+	_ = u.Mailer.Send("noreply@"+site.Domain, to, subject, body)
+}
+
+// DomainWhois is a domain-registration WHOIS record (distinct from the IP
+// WHOIS in internal/geo). The disclosure process emails the registrant
+// listed here (paper §6.3.1).
+type DomainWhois struct {
+	Domain     string
+	Registrant string
+	// Expired marks registrant addresses whose domain has lapsed and been
+	// re-registered by a squatter (the paper's site M).
+	Expired bool
+}
+
+// Whois returns the domain-WHOIS record for host.
+func (u *Universe) Whois(host string) (DomainWhois, bool) {
+	site, ok := u.Site(host)
+	if !ok {
+		return DomainWhois{}, false
+	}
+	return DomainWhois{Domain: site.Domain, Registrant: site.WhoisEmail, Expired: site.WhoisExpired}, true
+}
+
+// SearchRegistrationPages plays the role of a public search engine's index
+// for the synthetic web (the paper's §6.2.2 suggestion: "it may be possible
+// to rely on search engines to help locate the registration pages"). A
+// search engine has crawled every reachable page, including ones linked
+// only through image-text anchors, so it can answer "registration page for
+// <domain>" queries the on-page text heuristics cannot.
+func (u *Universe) SearchRegistrationPages(host string) []string {
+	site, ok := u.Site(host)
+	if !ok || site.LoadFailure || !site.HasRegistration || site.ExternalAuthOnly {
+		return nil
+	}
+	return []string{"http://" + site.Domain + site.RegPath}
+}
+
+// handleVerify consumes a verification token.
+func (u *Universe) handleVerify(w http.ResponseWriter, r *http.Request, site *Site) {
+	tok := r.URL.Query().Get("token")
+	if u.Store(site.Domain).Verify(tok) {
+		fmt.Fprint(w, pageShell(site, "Verified", "<p>Your email address has been verified. Thank you!</p>"))
+		return
+	}
+	w.WriteHeader(http.StatusBadRequest)
+	fmt.Fprint(w, pageShell(site, "Invalid token", "<p>This verification link is invalid or has expired.</p>"))
+}
+
+// handleMembers serves the public member directory: one list item per
+// registered username. Attackers harvest these for brute-force targeting.
+func (u *Universe) handleMembers(w http.ResponseWriter, site *Site) {
+	var b strings.Builder
+	b.WriteString("<h2>Members</h2>\n<ul class=\"members\">\n")
+	for _, e := range u.Store(site.Domain).Dump() {
+		fmt.Fprintf(&b, "<li class=\"member\">%s</li>\n", escape(e.Username))
+	}
+	b.WriteString("</ul>\n")
+	fmt.Fprint(w, pageShell(site, "Members", b.String()))
+}
+
+// loginThrottled applies the site's own brute-force defence (when it has
+// one): more than 10 consecutive failures against one account return 429s.
+// Sites without rate limiting — the paper's sites E and F — never throttle.
+func (u *Universe) loginThrottled(site *Site, user string) bool {
+	if !site.RateLimitsLogin {
+		return false
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.loginFails[site.Domain+"|"+strings.ToLower(user)] > 10
+}
+
+func (u *Universe) noteLogin(site *Site, user string, ok bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	key := site.Domain + "|" + strings.ToLower(user)
+	if ok {
+		delete(u.loginFails, key)
+	} else {
+		u.loginFails[key]++
+	}
+}
+
+// handleLogin authenticates a username/email + password pair. The
+// registration-validation probes in the simulation use this endpoint the
+// way the authors manually tested sampled accounts (paper §5.2.3).
+func (u *Universe) handleLogin(w http.ResponseWriter, r *http.Request, site *Site) {
+	if err := r.ParseForm(); err != nil {
+		fmt.Fprint(w, renderOutcome(site, false, "malformed submission"))
+		return
+	}
+	login := strings.TrimSpace(r.PostFormValue("login"))
+	password := r.PostFormValue("password")
+	if u.loginThrottled(site, login) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, pageShell(site, "Slow down", "<p class=\"error\">Too many attempts. Try again later.</p>"))
+		return
+	}
+	st := u.Store(site.Domain)
+	acct, ok := st.Lookup(login)
+	if !ok && strings.Contains(login, "@") {
+		// Allow login by email address.
+		for _, e := range st.Dump() {
+			if strings.EqualFold(e.Email, login) {
+				acct, ok = st.Lookup(e.Username)
+				break
+			}
+		}
+	}
+	if !ok || !st.CheckPassword(acct.Username, password) {
+		u.noteLogin(site, login, false)
+		w.WriteHeader(http.StatusUnauthorized)
+		fmt.Fprint(w, pageShell(site, "Login failed", "<p class=\"error\">Invalid username or password.</p>"))
+		return
+	}
+	u.noteLogin(site, login, true)
+	if site.VerifyToLogin && !acct.Verified {
+		w.WriteHeader(http.StatusForbidden)
+		fmt.Fprint(w, pageShell(site, "Not verified", "<p class=\"error\">Please verify your email address before logging in.</p>"))
+		return
+	}
+	// The landing page after login doubles as the account overview and
+	// shows the address on file — which is how an attacker who guessed a
+	// site password learns the email account to pivot to (§6.3.5).
+	fmt.Fprint(w, pageShell(site, "Welcome", fmt.Sprintf(
+		"<p>%s, %s!</p>\n<p class=\"account-email\">Email on file: %s</p>",
+		site.lex().welcome, escape(acct.Username), escape(acct.Email))))
+}

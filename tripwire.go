@@ -1,0 +1,142 @@
+// Package tripwire is a reproduction of "Tripwire: Inferring Internet Site
+// Compromise" (DeBlasio, Savage, Voelker, Snoeren — IMC 2017).
+//
+// Tripwire registers honey accounts at third-party websites, each sharing a
+// unique password with a dedicated email account at a major provider. Any
+// later successful login to one of those email accounts is strong — and
+// false-positive-free — evidence that the corresponding website's credential
+// database was stolen and exploited for password reuse.
+//
+// The library bundles every subsystem the technique requires, implemented
+// from scratch on the standard library: a headless browser and HTML DOM, a
+// heuristic registration crawler, an email-provider model with IMAP and
+// login telemetry, a Tripwire-side SMTP mail server, an attacker simulation
+// (breaches, a real dictionary cracker, a credential-stuffing botnet over a
+// synthetic global proxy space), and the inference engine that turns login
+// dumps into compromise detections.
+//
+// Quick start:
+//
+//	study := tripwire.NewStudy(tripwire.SmallConfig())
+//	study.Run()
+//	fmt.Println(study.Summary())
+//
+// The full paper-scale pilot (33,634 sites over the July 2014 – February
+// 2017 virtual timeline) runs with DefaultConfig; see cmd/tripwire.
+package tripwire
+
+import (
+	"strings"
+
+	"tripwire/internal/core"
+	"tripwire/internal/disclosure"
+	"tripwire/internal/report"
+	"tripwire/internal/sim"
+)
+
+// Config parameterizes a study; it is the simulation configuration
+// re-exported for public use.
+type Config = sim.Config
+
+// Batch is one registration campaign over a rank range.
+type Batch = sim.Batch
+
+// Detection is the evidence of compromise at one site.
+type Detection = core.Detection
+
+// BreachClass classifies what a detection implies about the site's
+// password storage.
+type BreachClass = core.BreachClass
+
+// Breach classes.
+const (
+	BreachHashedOnly    = core.BreachHashedOnly
+	BreachPlaintext     = core.BreachPlaintext
+	BreachIndeterminate = core.BreachIndeterminate
+)
+
+// DefaultConfig returns the paper-scale pilot configuration.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// SmallConfig returns a scaled-down configuration suitable for tests,
+// examples, and quick demos.
+func SmallConfig() Config { return sim.SmallConfig() }
+
+// Study is one end-to-end Tripwire pilot: registration, monitoring,
+// attacker activity, and inference over a virtual timeline.
+type Study struct {
+	pilot *sim.Pilot
+	ran   bool
+}
+
+// NewStudy builds a fully wired study. Call Run to execute it.
+func NewStudy(cfg Config) *Study {
+	return &Study{pilot: sim.NewPilot(cfg)}
+}
+
+// Run executes the study to its configured end date. It is idempotent:
+// subsequent calls return immediately.
+func (s *Study) Run() *Study {
+	if !s.ran {
+		s.pilot.Run()
+		s.ran = true
+	}
+	return s
+}
+
+// Pilot exposes the underlying simulation state for advanced inspection
+// and for the benchmark harness.
+func (s *Study) Pilot() *sim.Pilot { return s.pilot }
+
+// Detections returns detected site compromises in first-login order.
+func (s *Study) Detections() []*Detection { return s.pilot.Monitor.Detections() }
+
+// Classify returns what the detection implies about the site's password
+// storage (plaintext-equivalent vs hashed).
+func (s *Study) Classify(d *Detection) BreachClass { return s.pilot.Monitor.Classify(d) }
+
+// IntegrityOK reports whether the monitor saw zero integrity alarms: no
+// unused honeypot account was ever accessed.
+func (s *Study) IntegrityOK() bool { return len(s.pilot.Monitor.Alarms()) == 0 }
+
+// Summary renders every table and figure of the paper from this run.
+func (s *Study) Summary() string {
+	p := s.pilot
+	var b strings.Builder
+	b.WriteString("== Table 1: Estimates of accounts created by account status ==\n")
+	b.WriteString(report.RenderTable1(report.Table1(p)))
+	b.WriteString("\n== Table 2: Sites with detected login activity ==\n")
+	b.WriteString(report.RenderTable2(report.Table2(p)))
+	b.WriteString("\n== Table 3: Login activity for compromised accounts ==\n")
+	b.WriteString(report.RenderTable3(report.Table3(p)))
+	b.WriteString("\n== Table 4: Registration eligibility by rank ==\n")
+	b.WriteString(report.RenderTable4(report.Table4(p, eligibilityRanks(p))))
+	b.WriteString("\n== Figure 1: Crawler termination codes ==\n")
+	b.WriteString(report.RenderFig1(report.Fig1(p)))
+	b.WriteString("\n== Figure 2: Registration and login timeline ==\n")
+	b.WriteString(report.Fig2(p))
+	b.WriteString("\n== Figure 3: Registration funnel ==\n")
+	b.WriteString(report.RenderFig3(report.Fig3(p)))
+	b.WriteString("\n== Section 6.2: Undetected compromises ==\n")
+	b.WriteString(report.RenderMisses(report.MissAnalysis(p)))
+	b.WriteString("\n== Section 6.3: Disclosure ==\n")
+	b.WriteString(disclosure.Render(disclosure.Summarize(p.Disclosure.Notifications())))
+	b.WriteString("\n== Section 6.4: Attacker behaviour ==\n")
+	b.WriteString(report.RenderSec64(report.Sec64(p)))
+	return b.String()
+}
+
+// eligibilityRanks picks the Table 4 sample windows available in the
+// configured universe (the paper used ranks 1, 1,000, 10,000 and 100,000).
+func eligibilityRanks(p *sim.Pilot) []int {
+	var out []int
+	for _, r := range []int{1, 1000, 10000, 100000} {
+		if r+99 <= p.Cfg.Web.NumSites {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}

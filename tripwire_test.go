@@ -1,0 +1,83 @@
+package tripwire_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tripwire"
+)
+
+var (
+	studyOnce sync.Once
+	study     *tripwire.Study
+)
+
+func sharedStudy(t *testing.T) *tripwire.Study {
+	t.Helper()
+	studyOnce.Do(func() {
+		study = tripwire.NewStudy(tripwire.SmallConfig()).Run()
+	})
+	return study
+}
+
+func TestStudyRunIdempotent(t *testing.T) {
+	s := sharedStudy(t)
+	before := len(s.Detections())
+	s.Run() // second Run must be a no-op
+	if got := len(s.Detections()); got != before {
+		t.Fatalf("second Run changed detections: %d -> %d", before, got)
+	}
+}
+
+func TestStudyDetectsAndClassifies(t *testing.T) {
+	s := sharedStudy(t)
+	dets := s.Detections()
+	if len(dets) == 0 {
+		t.Fatal("no detections")
+	}
+	sawClass := map[tripwire.BreachClass]bool{}
+	for _, d := range dets {
+		sawClass[s.Classify(d)] = true
+	}
+	if !sawClass[tripwire.BreachPlaintext] && !sawClass[tripwire.BreachHashedOnly] {
+		t.Fatalf("no breach class assigned: %v", sawClass)
+	}
+}
+
+func TestStudyIntegrity(t *testing.T) {
+	if !sharedStudy(t).IntegrityOK() {
+		t.Fatal("integrity alarms on a healthy run")
+	}
+}
+
+func TestStudySummaryContainsEveryArtifact(t *testing.T) {
+	out := sharedStudy(t).Summary()
+	for _, heading := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4",
+		"Figure 1", "Figure 2", "Figure 3", "Section 6.4",
+	} {
+		if !strings.Contains(out, heading) {
+			t.Errorf("summary missing %q", heading)
+		}
+	}
+	if len(out) < 1500 {
+		t.Errorf("summary suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestConfigsAreDistinct(t *testing.T) {
+	small, paper := tripwire.SmallConfig(), tripwire.DefaultConfig()
+	if small.Web.NumSites >= paper.Web.NumSites {
+		t.Fatal("small config is not smaller than paper config")
+	}
+	if paper.Web.NumSites != 33634 {
+		t.Fatalf("paper config covers %d sites, want 33634 (paper §5)", paper.Web.NumSites)
+	}
+	if paper.NumUnused < 100000 {
+		t.Fatalf("paper config monitors %d unused accounts, want >=100000 (paper §4.4)", paper.NumUnused)
+	}
+	if len(paper.Batches) != 4 {
+		t.Fatalf("paper config has %d batches, want the paper's 4 registration occasions", len(paper.Batches))
+	}
+}
