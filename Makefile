@@ -1,0 +1,31 @@
+# Tier-1 verification loop for the Tripwire reproduction.
+#
+#   make build   compile everything
+#   make test    the seed tier-1 gate (build + tests)
+#   make race    full suite under the race detector
+#   make ci      what a PR must pass: build, vet, race-enabled tests
+#   make bench   parallel crawl engine benchmark (1/2/4/8 workers)
+#   make fuzz    a short fuzzing session on the crawler heuristics
+
+GO ?= go
+
+.PHONY: build test race ci bench fuzz
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench BenchmarkParallelCrawl -benchtime 3x ./internal/sim/
+
+fuzz:
+	$(GO) test -fuzz FuzzFieldHeuristics -fuzztime 30s ./internal/crawler/

@@ -2,15 +2,24 @@
 // generates the synthetic web, crawls a rank range, and reports the
 // termination code for every site plus the Figure-1 distribution.
 //
+// Crawls are sharded across -workers goroutines. Output is identical for a
+// given seed regardless of worker count: identities are minted serially in
+// rank order, every per-site random draw derives from (seed, rank), and
+// results are reported in rank order.
+//
 // Usage:
 //
-//	tripwire-crawl [-sites N] [-from R] [-to R] [-seed N] [-v]
+//	tripwire-crawl [-sites N] [-from R] [-to R] [-seed N] [-workers N] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
+	"sync"
+	"time"
 
 	"tripwire/internal/browser"
 	"tripwire/internal/captcha"
@@ -19,17 +28,34 @@ import (
 	"tripwire/internal/webgen"
 )
 
+// deriveSeed mixes (seed, rank, stream) into an independent child seed,
+// mirroring the pilot engine's per-task RNG derivation.
+func deriveSeed(seed int64, rank int, stream int64) int64 {
+	z := uint64(seed) + uint64(rank)*0x9e3779b97f4a7c15 + uint64(stream)*0xff51afd7ed558ccd
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 func main() {
 	numSites := flag.Int("sites", 2000, "number of sites in the generated web")
 	from := flag.Int("from", 1, "first rank to crawl")
 	to := flag.Int("to", 200, "last rank to crawl")
 	seed := flag.Int64("seed", 1, "generation seed")
+	workers := flag.Int("workers", 0, "concurrent crawl workers (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print one line per site")
 	flag.Parse()
 
 	if *from < 1 || *to < *from {
 		fmt.Fprintln(os.Stderr, "tripwire-crawl: invalid rank range")
 		os.Exit(2)
+	}
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
 	}
 
 	webCfg := webgen.DefaultConfig()
@@ -43,18 +69,55 @@ func main() {
 	ccfg.Seed = *seed + 3
 	c := crawler.New(ccfg, solver)
 
+	last := *to
+	if last > *numSites {
+		last = *numSites
+	}
+	n := last - *from + 1
+	if n < 0 {
+		n = 0
+	}
+
+	// Identities are drawn from one sequential generator stream, so mint
+	// them before fanning out: slot i always gets the same identity.
+	ids := make([]*identity.Identity, n)
+	for i := range ids {
+		ids[i] = gen.New(identity.Hard)
+	}
+
+	results := make([]crawler.Result, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < nw && w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += nw {
+				rank := *from + i
+				site, _ := universe.SiteByRank(rank)
+				b := browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: universe}))
+				env := &crawler.Env{
+					Rng:    rand.New(rand.NewSource(deriveSeed(*seed, rank, 1))),
+					Solver: solver.Derive(deriveSeed(*seed, rank, 2)),
+					Sleep:  func(time.Duration) {},
+				}
+				results[i] = c.RegisterWith(env, b, "http://"+site.Domain+"/", ids[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
 	counts := make(map[crawler.Code]int)
 	exposed := 0
-	for rank := *from; rank <= *to && rank <= *numSites; rank++ {
-		site, _ := universe.SiteByRank(rank)
-		b := browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: universe}))
-		id := gen.New(identity.Hard)
-		res := c.Register(b, "http://"+site.Domain+"/", id)
+	for i, res := range results {
+		rank := *from + i
 		counts[res.Code]++
 		if res.Exposed {
 			exposed++
 		}
 		if *verbose {
+			site, _ := universe.SiteByRank(rank)
 			fmt.Printf("%-16s rank=%-6d lang=%-3s %-30s %s\n",
 				site.Domain, rank, site.Language, res.Code, res.Detail)
 		}
@@ -64,7 +127,8 @@ func main() {
 	for _, n := range counts {
 		total += n
 	}
-	fmt.Printf("\nCrawled %d sites (ranks %d..%d); %d identities exposed\n", total, *from, *to, exposed)
+	fmt.Printf("\nCrawled %d sites (ranks %d..%d) with %d workers in %v; %d identities exposed\n",
+		total, *from, last, nw, elapsed.Round(time.Millisecond), exposed)
 	for _, code := range []crawler.Code{
 		crawler.CodeNoRegistration, crawler.CodeFieldsMissing,
 		crawler.CodeSubmissionFailed, crawler.CodeOKSubmission,

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tripwire [-scale small|paper] [-seed N] [-detections-only]
+//	tripwire [-scale small|paper] [-seed N] [-workers N] [-detections-only]
 //
 // The paper scale crawls 33,634 synthetic sites and monitors >100,000 honey
 // accounts; small scale runs the same pipeline on a 1,200-site web in a few
@@ -26,6 +26,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	detectionsOnly := flag.Bool("detections-only", false, "print only detected compromises")
 	saveDir := flag.String("save", "", "write a results directory (summary, dataset, JSON records)")
+	workers := flag.Int("workers", 0, "crawl workers per registration wave (0 = GOMAXPROCS); any value yields identical output for a given seed")
 	flag.Parse()
 
 	var cfg tripwire.Config
@@ -39,6 +40,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Seed = *seed
+	cfg.CrawlWorkers = *workers
 
 	fmt.Fprintf(os.Stderr, "tripwire: generating %d-site web and running pilot (%s scale, seed %d)...\n",
 		cfg.Web.NumSites, *scale, *seed)

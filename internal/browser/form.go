@@ -136,8 +136,14 @@ func nearestLabelText(n *htmldom.Node) string {
 
 // Context returns all the text a heuristic can match against for this
 // field: name, id, label, and placeholder, space-joined and lower-cased.
+// Fields built without a parsed DOM node (synthetic fields in tests or
+// callers classifying bare attribute tuples) simply contribute no id.
 func (f *Field) Context() string {
-	parts := []string{f.Name, f.Node.ID(), f.Label, f.Placeholder}
+	id := ""
+	if f.Node != nil {
+		id = f.Node.ID()
+	}
+	parts := []string{f.Name, id, f.Label, f.Placeholder}
 	return strings.ToLower(strings.Join(parts, " "))
 }
 

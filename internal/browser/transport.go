@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/netip"
 	"sync"
+	"time"
 )
 
 // HandlerTransport is an http.RoundTripper that dispatches requests to an
@@ -81,6 +82,11 @@ type ProxyTransport struct {
 	// NextIP selects the source address for a host. It is called once per
 	// host; the choice is cached so retries reuse the same exit.
 	NextIP func(host string) netip.Addr
+	// Latency, when positive, blocks each round trip for one emulated
+	// network round-trip time (wall-clock, unlike the crawler's virtual-time
+	// rate limit). It reproduces the latency-bound character of real
+	// crawling so concurrent workers have something to overlap.
+	Latency time.Duration
 
 	mu     sync.Mutex
 	byHost map[string]netip.Addr
@@ -101,6 +107,9 @@ func (t *ProxyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		t.byHost[host] = ip
 	}
 	t.mu.Unlock()
+	if t.Latency > 0 {
+		time.Sleep(t.Latency)
+	}
 	r2 := req.Clone(req.Context())
 	r2.Header.Set("X-Forwarded-For", ip.String())
 	return t.Base.RoundTrip(r2)

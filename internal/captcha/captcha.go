@@ -165,6 +165,13 @@ type Service struct {
 	KnowledgeErrorRate float64
 	rng                *rand.Rand
 
+	stats *serviceStats
+}
+
+// serviceStats is the solve/fail tally, shared between a Service and every
+// stream Derive mints from it so aggregate accounting survives fan-out.
+type serviceStats struct {
+	mu     sync.Mutex
 	solved int
 	failed int
 }
@@ -175,6 +182,21 @@ func NewService(imageErr, knowledgeErr float64, seed int64) *Service {
 		ImageErrorRate:     imageErr,
 		KnowledgeErrorRate: knowledgeErr,
 		rng:                rand.New(rand.NewSource(seed)),
+		stats:              &serviceStats{},
+	}
+}
+
+// Derive returns an independent solver stream with the same error rates but
+// its own RNG seeded by seed. Derived streams share the parent's Stats
+// counters. The parallel crawl engine gives each site its own stream so
+// solver outcomes depend only on (seed, site) — never on the order in which
+// concurrent attempts reach the service.
+func (s *Service) Derive(seed int64) *Service {
+	return &Service{
+		ImageErrorRate:     s.ImageErrorRate,
+		KnowledgeErrorRate: s.KnowledgeErrorRate,
+		rng:                rand.New(rand.NewSource(seed)),
+		stats:              s.stats,
 	}
 }
 
@@ -185,15 +207,15 @@ func (s *Service) SolveImage(imageData string) (string, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !strings.HasPrefix(imageData, ImagePrefix) {
-		s.failed++
+		s.stats.add(0, 1)
 		return "", false
 	}
 	answer := imageData[len(ImagePrefix):]
 	if s.rng.Float64() < s.ImageErrorRate {
-		s.failed++
+		s.stats.add(0, 1)
 		return garble(answer, s.rng), true
 	}
-	s.solved++
+	s.stats.add(1, 0)
 	return answer, true
 }
 
@@ -207,22 +229,30 @@ func (s *Service) SolveKnowledge(question string) (string, bool) {
 	for _, qa := range knowledgeQA {
 		if strings.ToLower(qa.q) == q {
 			if s.rng.Float64() < s.KnowledgeErrorRate {
-				s.failed++
+				s.stats.add(0, 1)
 				return "unknown", true
 			}
-			s.solved++
+			s.stats.add(1, 0)
 			return qa.a, true
 		}
 	}
-	s.failed++
+	s.stats.add(0, 1)
 	return "", false
 }
 
-// Stats returns (correct solves, failures/wrong answers) so far.
+func (st *serviceStats) add(solved, failed int) {
+	st.mu.Lock()
+	st.solved += solved
+	st.failed += failed
+	st.mu.Unlock()
+}
+
+// Stats returns (correct solves, failures/wrong answers) so far, aggregated
+// across this service and every stream derived from it.
 func (s *Service) Stats() (solved, failed int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.solved, s.failed
+	s.stats.mu.Lock()
+	defer s.stats.mu.Unlock()
+	return s.stats.solved, s.stats.failed
 }
 
 // garble corrupts an answer the way OCR-based solvers do: one character

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tripwire/internal/crawler"
+	"tripwire/internal/emailprovider"
+	"tripwire/internal/identity"
+)
+
+// TestLedgerParallelStress hammers the ledger from many goroutines the way
+// a crawl wave does — concurrent takes, burns, returns, mail notes, and
+// readers — and checks the conservation invariant afterwards. Run under
+// -race this doubles as the data-race proof for the parallel engine's
+// shared ledger.
+func TestLedgerParallelStress(t *testing.T) {
+	t.Parallel()
+	const (
+		goroutines = 8
+		perWorker  = 50
+	)
+	l := NewLedger()
+	g := identity.NewGenerator("bigmail.test", 101)
+	total := goroutines * perWorker
+	for i := 0; i < total; i++ {
+		l.AddIdentity(g.New(identity.Hard))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				id := l.Take(identity.Hard)
+				if id == nil {
+					t.Error("pool ran dry: Take lost an identity")
+					return
+				}
+				switch rng.Intn(3) {
+				case 0:
+					l.Return(id)
+				case 1:
+					domain := fmt.Sprintf("w%d-i%d.test", w, i)
+					l.Burn(id, domain, w*1000+i, "Stress", t0, crawler.CodeOKSubmission, false)
+					l.NoteEmail(id.Email, rng.Intn(2) == 0)
+				default:
+					domain := fmt.Sprintf("w%d-i%d.test", w, i)
+					l.Burn(id, domain, w*1000+i, "Stress", t0, crawler.CodeSubmissionFailed, false)
+					// Idempotent re-burn to the same site must stay legal
+					// concurrently.
+					l.Burn(id, domain, w*1000+i, "Stress", t0, crawler.CodeSubmissionFailed, false)
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers: the monitor and report layers walk these views
+	// while waves are in flight.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = l.Sites()
+				_ = l.Registrations()
+				_ = l.PoolSize()
+				_ = l.UnusedCount()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	burned := len(l.Registrations())
+	if got := l.PoolSize() + burned; got != total {
+		t.Fatalf("identities not conserved: pool %d + burned %d = %d, want %d",
+			l.PoolSize(), burned, got, total)
+	}
+	if l.UnusedCount() != l.PoolSize() {
+		t.Fatalf("unused %d != pool %d: burn/unused bookkeeping diverged",
+			l.UnusedCount(), l.PoolSize())
+	}
+	for _, domain := range l.Sites() {
+		for _, reg := range l.SiteRegistrations(domain) {
+			if reg.Domain != domain {
+				t.Fatalf("registration for %s filed under %s", reg.Domain, domain)
+			}
+		}
+	}
+}
+
+// TestControlsNeverTripProperty is the §4.2 control-account property: no
+// attacker login schedule may ever turn a control account into an alarm or
+// a detection — even while registration burns mutate the ledger
+// concurrently with dump ingestion. testing/quick drives randomized
+// schedules; -race checks the concurrent access.
+func TestControlsNeverTripProperty(t *testing.T) {
+	t.Parallel()
+	property := func(seed int64, nEvents uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLedger()
+		g := identity.NewGenerator("bigmail.test", seed)
+		m := NewMonitor(l, t0)
+
+		var controls []*identity.Identity
+		for i := 0; i < 5; i++ {
+			id := g.New(identity.Hard)
+			l.AddControl(id)
+			controls = append(controls, id)
+		}
+		var pool []*identity.Identity
+		for i := 0; i < 20; i++ {
+			id := g.New(identity.Hard)
+			l.AddIdentity(id)
+			pool = append(pool, id)
+		}
+
+		// Crawl waves burn identities while the attacker's dump is being
+		// ingested: the two must not interfere.
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if id := l.Take(identity.Hard); id != nil {
+					l.Burn(id, fmt.Sprintf("burn%d.test", i), i+1, "Stress",
+						t0.Add(time.Duration(i)*time.Hour), crawler.CodeOKSubmission, false)
+				}
+			}
+		}()
+
+		// Arbitrary attacker schedule: logins against control accounts,
+		// honeypot pool accounts, and unknown accounts, in any order, from
+		// any IP, expected or not.
+		events := make([]emailprovider.LoginEvent, 0, nEvents)
+		for i := 0; i < int(nEvents); i++ {
+			var account string
+			switch rng.Intn(3) {
+			case 0:
+				account = controls[rng.Intn(len(controls))].Email
+			case 1:
+				account = pool[rng.Intn(len(pool))].Email
+			default:
+				account = fmt.Sprintf("stranger%d@bigmail.test", rng.Intn(50))
+			}
+			if rng.Intn(2) == 0 {
+				m.ExpectControlLogin(account) // expectation must not matter
+			}
+			events = append(events, emailprovider.LoginEvent{
+				Account: account,
+				Time:    t0.Add(time.Duration(rng.Intn(10000)) * time.Minute),
+				IP:      netip.AddrFrom4([4]byte{10, byte(rng.Intn(256)), byte(rng.Intn(256)), 1}),
+				Method:  []string{"IMAP", "POP3", "WEB"}[rng.Intn(3)],
+			})
+		}
+		// Ingest in two concurrent halves like overlapping dump deliveries.
+		half := len(events) / 2
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Ingest(events[:half])
+		}()
+		m.Ingest(events[half:])
+		wg.Wait()
+
+		isControl := func(email string) bool {
+			for _, c := range controls {
+				if c.Email == email {
+					return true
+				}
+			}
+			return false
+		}
+		for _, a := range m.Alarms() {
+			if isControl(a.Event.Account) {
+				return false // control login raised an integrity alarm
+			}
+		}
+		for _, d := range m.Detections() {
+			for account := range d.Logins {
+				if isControl(account) {
+					return false // control login attributed as a compromise
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatalf("control account tripped the monitor: %v", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"tripwire/internal/browser"
@@ -122,13 +123,34 @@ func DefaultConfig() Config {
 
 // Crawler performs registration attempts. Each attempt uses a caller-
 // provided browser session so that "individual instances of the crawler
-// have only the identity assigned to one site" (paper §4.4).
+// have only the identity assigned to one site" (paper §4.4). A Crawler is
+// safe for concurrent use: attempts that supply an Env share no mutable
+// state at all, and attempts without one serialize their draws from the
+// crawler's default fault RNG.
 type Crawler struct {
 	cfg    Config
 	solver *captcha.Service
-	rng    *rand.Rand
-	// Sleep is called for rate-limiting between page loads. The simulation
-	// wires it to the virtual clock; nil means no delay accounting.
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+	// Sleep is called for rate-limiting between page loads when an attempt
+	// does not carry its own Env.Sleep; nil means no delay accounting.
+	Sleep func(time.Duration)
+}
+
+// Env carries the per-attempt dependencies that would otherwise be shared
+// crawler state. The parallel crawl engine derives every member from
+// (seed, site rank), which makes each attempt's outcome a pure function of
+// the site — bit-identical regardless of worker count or completion order.
+type Env struct {
+	// Rng drives fault injection for this attempt. Nil falls back to the
+	// crawler's own seeded RNG (serialized under a mutex).
+	Rng *rand.Rand
+	// Solver overrides the crawler's CAPTCHA solving service, typically
+	// with a Service.Derive stream.
+	Solver *captcha.Service
+	// Sleep receives rate-limit delays, letting each worker keep its own
+	// virtual-time account. Nil falls back to the crawler's Sleep hook.
 	Sleep func(time.Duration)
 }
 
@@ -137,23 +159,56 @@ func New(cfg Config, solver *captcha.Service) *Crawler {
 	return &Crawler{cfg: cfg, solver: solver, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
-func (c *Crawler) sleep() {
-	if c.Sleep != nil && c.cfg.RateLimit > 0 {
+func (c *Crawler) sleep(env *Env) {
+	if c.cfg.RateLimit <= 0 {
+		return
+	}
+	if env != nil && env.Sleep != nil {
+		env.Sleep(c.cfg.RateLimit)
+		return
+	}
+	if c.Sleep != nil {
 		c.Sleep(c.cfg.RateLimit)
 	}
 }
 
-// Register attempts to create an account at siteURL for id, driving b.
+// solverFor returns the solving service an attempt should use.
+func (c *Crawler) solverFor(env *Env) *captcha.Service {
+	if env != nil && env.Solver != nil {
+		return env.Solver
+	}
+	return c.solver
+}
+
+// faultDraw draws the fault-injection variate for one attempt.
+func (c *Crawler) faultDraw(env *Env) float64 {
+	if env != nil && env.Rng != nil {
+		return env.Rng.Float64()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// Register attempts to create an account at siteURL for id, driving b. It
+// uses the crawler's shared RNG, solver, and Sleep hook; concurrent callers
+// should prefer RegisterWith.
 func (c *Crawler) Register(b *browser.Client, siteURL string, id *identity.Identity) Result {
+	return c.RegisterWith(nil, b, siteURL, id)
+}
+
+// RegisterWith runs one registration attempt with per-attempt dependencies
+// taken from env (any nil member falls back to the crawler's shared one).
+func (c *Crawler) RegisterWith(env *Env, b *browser.Client, siteURL string, id *identity.Identity) Result {
 	res := Result{Site: hostOf(siteURL)}
 
-	if c.cfg.FaultRate > 0 && c.rng.Float64() < c.cfg.FaultRate {
+	if c.cfg.FaultRate > 0 && c.faultDraw(env) < c.cfg.FaultRate {
 		res.Code = CodeSystemError
 		res.Detail = "injected crawler fault"
 		return res
 	}
 
-	c.sleep()
+	c.sleep(env)
 	page, err := b.Get(siteURL)
 	res.PageLoads++
 	if err != nil || page.StatusCode >= 500 {
@@ -165,9 +220,9 @@ func (c *Crawler) Register(b *browser.Client, siteURL string, id *identity.Ident
 	// Figure 1: "Is registration page?" — if the landing page itself has a
 	// registration form, use it; otherwise follow the most likely
 	// registration link, up to the budget.
-	regPage, form := c.findRegistrationForm(b, page, &res)
+	regPage, form := c.findRegistrationForm(env, b, page, &res)
 	if (regPage == nil || form == nil) && c.cfg.SearchFn != nil {
-		regPage, form = c.searchForForm(b, &res)
+		regPage, form = c.searchForForm(env, b, &res)
 	}
 	if regPage == nil || form == nil {
 		if res.Code == 0 && res.Detail == "" {
@@ -179,7 +234,7 @@ func (c *Crawler) Register(b *browser.Client, siteURL string, id *identity.Ident
 	res.RegURL = regPage.URL.String()
 
 	// Identify and fill each field serially.
-	sub, fillErr := c.fillForm(b, regPage, form, id)
+	sub, fillErr := c.fillForm(env, b, regPage, form, id)
 	if fillErr != "" {
 		res.Code = CodeFieldsMissing
 		res.Detail = fillErr
@@ -189,7 +244,7 @@ func (c *Crawler) Register(b *browser.Client, siteURL string, id *identity.Ident
 	// Submission: from here the identity is exposed to the site (the
 	// horizontal line in Figure 1).
 	res.Exposed = true
-	c.sleep()
+	c.sleep(env)
 	resp, err := b.Submit(sub)
 	res.PageLoads++
 	if err != nil || resp.StatusCode >= 500 {
@@ -202,7 +257,7 @@ func (c *Crawler) Register(b *browser.Client, siteURL string, id *identity.Ident
 		return res
 	}
 	if c.cfg.MultiStageSupport {
-		if done := c.continueMultiStage(b, resp, id, &res); done {
+		if done := c.continueMultiStage(env, b, resp, id, &res); done {
 			return res
 		}
 	}
@@ -215,7 +270,7 @@ func (c *Crawler) Register(b *browser.Client, siteURL string, id *identity.Ident
 // (a POST form with fillable fields but no credential fields — credentials
 // were page one) and completes it. It reports whether it produced a final
 // result in res.
-func (c *Crawler) continueMultiStage(b *browser.Client, resp *browser.Page, id *identity.Identity, res *Result) bool {
+func (c *Crawler) continueMultiStage(env *Env, b *browser.Client, resp *browser.Page, id *identity.Identity, res *Result) bool {
 	for _, form := range resp.Forms() {
 		if form.Method != "POST" {
 			continue
@@ -269,7 +324,7 @@ func (c *Crawler) continueMultiStage(b *browser.Client, resp *browser.Page, id *
 				}
 			}
 		}
-		c.sleep()
+		c.sleep(env)
 		final, err := b.Submit(sub)
 		res.PageLoads++
 		if err != nil || final.StatusCode >= 500 {
@@ -291,7 +346,7 @@ func (c *Crawler) continueMultiStage(b *browser.Client, resp *browser.Page, id *
 
 // findRegistrationForm locates the registration form starting from the
 // landing page, following up to MaxLinkTries scored links.
-func (c *Crawler) findRegistrationForm(b *browser.Client, landing *browser.Page, res *Result) (*browser.Page, *browser.Form) {
+func (c *Crawler) findRegistrationForm(env *Env, b *browser.Client, landing *browser.Page, res *Result) (*browser.Page, *browser.Form) {
 	if f := bestForm(landing); f != nil {
 		return landing, f
 	}
@@ -312,7 +367,7 @@ func (c *Crawler) findRegistrationForm(b *browser.Client, landing *browser.Page,
 		tries = len(cands)
 	}
 	for i := 0; i < tries; i++ {
-		c.sleep()
+		c.sleep(env)
 		page, err := b.Get(cands[i].l.URL.String())
 		res.PageLoads++
 		if err != nil || page.StatusCode >= 500 {
@@ -327,14 +382,14 @@ func (c *Crawler) findRegistrationForm(b *browser.Client, landing *browser.Page,
 
 // searchForForm consults the configured search engine for registration-page
 // candidates (covering image-text links and otherwise obscure pages).
-func (c *Crawler) searchForForm(b *browser.Client, res *Result) (*browser.Page, *browser.Form) {
+func (c *Crawler) searchForForm(env *Env, b *browser.Client, res *Result) (*browser.Page, *browser.Form) {
 	urls := c.cfg.SearchFn(res.Site)
 	tries := c.cfg.MaxLinkTries
 	if tries > len(urls) {
 		tries = len(urls)
 	}
 	for i := 0; i < tries; i++ {
-		c.sleep()
+		c.sleep(env)
 		page, err := b.Get(urls[i])
 		res.PageLoads++
 		if err != nil || page.StatusCode >= 500 {
@@ -392,7 +447,7 @@ func bestForm(p *browser.Page) *browser.Form {
 // fillForm classifies and fills every field. It returns a non-empty reason
 // string when a required field cannot be satisfied, which maps to the
 // "Required fields missing" termination code.
-func (c *Crawler) fillForm(b *browser.Client, p *browser.Page, form *browser.Form, id *identity.Identity) (*browser.Submission, string) {
+func (c *Crawler) fillForm(env *Env, b *browser.Client, p *browser.Page, form *browser.Form, id *identity.Identity) (*browser.Submission, string) {
 	sub := form.Fill()
 	var sawEmail, sawPassword bool
 	for i := range form.Fields {
@@ -435,7 +490,7 @@ func (c *Crawler) fillForm(b *browser.Client, p *browser.Page, form *browser.For
 		case MeaningNewsletter:
 			// Leave unchecked: minimize the footprint of honey accounts.
 		case MeaningCaptcha:
-			ans, ok := c.solveCaptcha(b, p, fld)
+			ans, ok := c.solveCaptcha(env, b, p, fld)
 			if !ok {
 				return nil, "unsolvable bot check: " + fld.Context()
 			}
@@ -463,8 +518,9 @@ func (c *Crawler) fillForm(b *browser.Client, p *browser.Page, form *browser.For
 // knowledge questions it submits the question text; interactive challenges
 // are unsolvable (paper §7.2: "the crawler has no ability to handle
 // interactive CAPTCHA services").
-func (c *Crawler) solveCaptcha(b *browser.Client, p *browser.Page, fld *browser.Field) (string, bool) {
-	if c.solver == nil {
+func (c *Crawler) solveCaptcha(env *Env, b *browser.Client, p *browser.Page, fld *browser.Field) (string, bool) {
+	solver := c.solverFor(env)
+	if solver == nil {
 		return "", false
 	}
 	if p.DOM.First(func(n *htmldom.Node) bool {
@@ -481,15 +537,15 @@ func (c *Crawler) solveCaptcha(b *browser.Client, p *browser.Page, fld *browser.
 		if err != nil {
 			return "", false
 		}
-		c.sleep()
+		c.sleep(env)
 		imgPage, err := b.Get(u.String())
 		if err != nil || !imgPage.OK() {
 			return "", false
 		}
-		return c.solver.SolveImage(imgPage.Raw)
+		return solver.SolveImage(imgPage.Raw)
 	}
 	// No image: treat the field's label as a free-form question.
-	return c.solver.SolveKnowledge(fld.Label)
+	return solver.SolveKnowledge(fld.Label)
 }
 
 func hostOf(rawURL string) string {

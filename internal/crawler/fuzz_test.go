@@ -10,6 +10,7 @@ import (
 	"tripwire/internal/browser"
 	"tripwire/internal/captcha"
 	"tripwire/internal/identity"
+	"tripwire/internal/webgen"
 )
 
 // TestQuickRegisterNeverPanicsOnHostileHTML throws random byte soup and
@@ -88,4 +89,68 @@ func TestQuickAdversarialForms(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(31))}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// FuzzFieldHeuristics feeds arbitrary HTML and attribute soup through the
+// full heuristic surface: page parsing, field classification, form scoring,
+// link scoring, and success detection. None of it may panic, and
+// classification must be a pure function of the markup (the parallel crawl
+// engine classifies fields from many goroutines at once, so any hidden
+// state would also be a race). The seed corpus is real rendered markup from
+// webgen's registration templates.
+func FuzzFieldHeuristics(f *testing.F) {
+	// Seed with webgen-rendered registration pages: the realistic side of
+	// the input space.
+	wcfg := webgen.DefaultConfig()
+	wcfg.NumSites = 60
+	u := webgen.Generate(wcfg)
+	seeded := 0
+	for _, s := range u.Sites() {
+		if !s.Eligible() || seeded >= 6 {
+			continue
+		}
+		b := browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: u}))
+		page, err := b.Get("http://" + s.Domain + s.RegPath)
+		if err != nil || !page.OK() {
+			continue
+		}
+		f.Add(page.Raw, "email", "text", "Email address", "you@example.com")
+		seeded++
+	}
+	// Hostile hand-written seeds.
+	f.Add(`<form method="post"><input name="pw" type="password"></form>`, "pass word", "PASSWORD", "<b>", `"><script>`)
+	f.Add(`<form><select name="state"><option>CA</select></form>`, "state", "select", "", "")
+	f.Add("<form", "", "", "", "")
+
+	f.Fuzz(func(t *testing.T, html, name, typ, label, placeholder string) {
+		// Attribute soup straight into the classifier.
+		fld := browser.Field{Name: name, Type: typ, Label: label, Placeholder: placeholder}
+		first := ClassifyField(&fld)
+		if again := ClassifyField(&fld); again != first {
+			t.Fatalf("ClassifyField not deterministic: %v then %v for %+v", first, again, fld)
+		}
+		// The same soup embedded in markup, through the real parse path.
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `<html><body>%s<form method="post" action="/s"><input name=%q type=%q placeholder=%q><label>%s</label></form></body></html>`,
+				html, name, typ, placeholder, label)
+		})
+		b := browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: h}))
+		page, err := b.Get("http://fuzz.test/")
+		if err != nil {
+			return
+		}
+		for _, form := range page.Forms() {
+			for i := range form.Fields {
+				m := ClassifyField(&form.Fields[i])
+				if m2 := ClassifyField(&form.Fields[i]); m2 != m {
+					t.Fatalf("parsed-field classification flapped: %v then %v", m, m2)
+				}
+			}
+			_ = FormScore(form, page.Raw)
+		}
+		for _, l := range page.Links() {
+			_ = ScoreRegistrationLink(l)
+		}
+		_ = LooksLikeSuccess(page.Raw)
+	})
 }

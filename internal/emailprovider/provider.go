@@ -218,8 +218,9 @@ func (p *Provider) Deliver(from, to, subject, body string) error {
 	a.inbox = append(a.inbox, imap.Message{From: from, Subject: subject, Body: body})
 	fwd := a.forwardTo
 	forward := p.Forward
+	deactivated := a.state == Deactivated
 	p.mu.Unlock()
-	if fwd != "" && forward != nil && a.state != Deactivated {
+	if fwd != "" && forward != nil && !deactivated {
 		return forward(from, fwd, subject, body)
 	}
 	return nil

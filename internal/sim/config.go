@@ -79,6 +79,18 @@ type Config struct {
 	// ReRegisterDetected re-registers accounts at detected sites in
 	// May 2016 to test recovery (paper §6.1.4).
 	ReRegisterDetected bool
+
+	// CrawlWorkers is how many goroutines crawl a registration wave
+	// concurrently. Zero means runtime.GOMAXPROCS(0). Results are
+	// bit-identical for a given seed regardless of the value: each site's
+	// outcome derives only from (seed, rank, attempt), and waves merge in
+	// rank order (see parallel.go).
+	CrawlWorkers int
+	// NetLatency emulates one network round-trip of wall-clock delay per
+	// crawler page load (real crawling is latency-bound, not CPU-bound).
+	// Zero — the default — keeps simulations instant; benchmarks set it to
+	// measure how well workers overlap network waits.
+	NetLatency time.Duration
 }
 
 func date(y int, m time.Month, d int) time.Time {

@@ -68,8 +68,8 @@ type Pilot struct {
 	gen        *identity.Generator
 	rng        *rand.Rand
 	verifier   *browser.Client // clicks verification links
-	proxyIP    func(host string) netip.Addr
 	institutIP netip.Addr
+	taskSeq    int64 // crawl-task creation counter (see parallel.go)
 
 	Attempts     []Attempt
 	controlCreds map[string]string // control email -> password
@@ -147,14 +147,12 @@ func NewPilot(cfg Config) *Pilot {
 	}
 	ccfg.MultiStageSupport = cfg.UseMultiStage
 	p.Crawler = crawler.New(ccfg, p.Solver)
-	p.Crawler.Sleep = clock.Advance
+	// Rate-limit delays are charged to each crawl task's private virtual
+	// time account (parallel.go), not to the global clock: a wave of
+	// concurrent crawls must not move time for everyone else.
 
 	// Research proxy IPs: institution-owned, as in §4.3.2.
-	instRng := rand.New(rand.NewSource(cfg.Seed + 6))
-	p.institutIP = p.Space.SampleIPIn(instRng, "US")
-	p.proxyIP = func(host string) netip.Addr {
-		return p.Space.SampleIPIn(instRng, "US")
-	}
+	p.institutIP = p.Space.SampleIPIn(rand.New(rand.NewSource(cfg.Seed+6)), "US")
 
 	p.verifier = browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: p.Universe}))
 	p.Disclosure = disclosure.NewCampaign(p.Universe, sched)
@@ -188,15 +186,6 @@ func forwardViaSMTP(front *mailserv.SMTPServer, from, to, subject, body string) 
 		return err
 	}
 	return cli.Close()
-}
-
-// newSiteBrowser returns a fresh browser session routed through the proxy
-// network — one registration per exit IP per site.
-func (p *Pilot) newSiteBrowser() *browser.Client {
-	return browser.New(browser.WithTransport(&browser.ProxyTransport{
-		Base:   &browser.HandlerTransport{Handler: p.Universe},
-		NextIP: p.proxyIP,
-	}))
 }
 
 // takeIdentity pops an identity from the pool, provisioning more at the

@@ -9,8 +9,6 @@ import (
 	"time"
 
 	"tripwire/internal/browser"
-	"tripwire/internal/captcha"
-	"tripwire/internal/core"
 	"tripwire/internal/crawler"
 	"tripwire/internal/identity"
 	"tripwire/internal/webgen"
@@ -87,7 +85,10 @@ func (p *Pilot) scheduleControls() {
 }
 
 // scheduleBatches spreads each registration batch's site visits uniformly
-// over its window.
+// over its window, grouped into fixed-size waves. A wave is one scheduler
+// event that crawls its ranks in parallel (see parallel.go); the wave
+// boundaries depend only on the batch's rank range — never on the worker
+// count — so the schedule is identical however many workers execute it.
 func (p *Pilot) scheduleBatches() {
 	for _, b := range p.Cfg.Batches {
 		b := b
@@ -96,82 +97,40 @@ func (p *Pilot) scheduleBatches() {
 			continue
 		}
 		step := b.Duration / time.Duration(n)
-		for rank := b.FromRank; rank <= b.ToRank; rank++ {
-			rank := rank
-			at := b.Start.Add(step * time.Duration(rank-b.FromRank))
-			p.Sched.At(at, fmt.Sprintf("register rank %d (%s)", rank, b.Name), func(now time.Time) {
-				p.registerSite(rank, b.Manual, now)
+		for lo := b.FromRank; lo <= b.ToRank; lo += crawlWaveSize {
+			hi := lo + crawlWaveSize - 1
+			if hi > b.ToRank {
+				hi = b.ToRank
+			}
+			wave := make([]rankAt, 0, hi-lo+1)
+			for rank := lo; rank <= hi; rank++ {
+				wave = append(wave, rankAt{rank: rank, at: b.Start.Add(step * time.Duration(rank-b.FromRank))})
+			}
+			manual := b.Manual
+			p.Sched.At(wave[0].at, fmt.Sprintf("register ranks %d-%d (%s)", lo, hi, b.Name), func(now time.Time) {
+				p.runWave(wave, manual)
 			})
 		}
 	}
 }
 
-// registerSite performs the per-site registration protocol: a hard-password
-// attempt first and, if it appears to succeed, an easy-password follow-up
-// (paper §4.1.2). Manual batches register eligible sites by hand.
-func (p *Pilot) registerSite(rank int, manual bool, now time.Time) {
-	site, ok := p.Universe.SiteByRank(rank)
-	if !ok {
-		return
-	}
-	if manual {
-		p.manualRegister(site)
-		return
-	}
-	// Skip sites that already hold a believed-successful registration from
-	// an earlier batch.
-	for _, reg := range p.Ledger.SiteRegistrations(site.Domain) {
-		if reg.Status >= core.StatusOKSubmission {
-			return
-		}
-	}
-	res := p.crawlOnce(site, identity.Hard)
-	if res.Code == crawler.CodeOKSubmission {
-		p.crawlOnce(site, identity.Easy)
-	}
-}
-
-// crawlOnce runs one automated attempt and applies the burn/return rule.
+// crawlOnce runs one automated attempt serially — collection, crawl, merge,
+// and mail drain in a single step. Used outside batch waves (re-registration
+// probes); the task machinery keeps its RNG streams on the same derivation
+// scheme as the parallel engine.
 func (p *Pilot) crawlOnce(site *webgen.Site, class identity.PasswordClass) crawler.Result {
-	id := p.takeIdentity(class)
-	b := p.newSiteBrowser()
-	res := p.Crawler.Register(b, "http://"+site.Domain+"/", id)
-	att := Attempt{
-		Domain:   site.Domain,
-		Rank:     site.Rank,
-		Class:    class,
-		Code:     res.Code,
-		Exposed:  res.Exposed,
-		When:     p.Clock.Now(),
-		PageLoad: res.PageLoads,
-	}
-	if res.Exposed {
-		att.Email = id.Email
-		p.Ledger.Burn(id, site.Domain, site.Rank, site.Category, p.Clock.Now(), res.Code, false)
-	} else {
-		p.Ledger.Return(id)
-	}
-	p.Attempts = append(p.Attempts, att)
+	t := p.newTask(site, class, false, p.Clock.Now())
+	t.id = p.takeIdentity(class)
+	p.crawlTask(t)
+	p.mergeTask(t)
 	p.drainMail()
-	return res
+	return t.res
 }
 
-// manualRegister emulates the authors registering by hand at eligible
-// English-language top sites: a human reads the form perfectly, solves any
-// CAPTCHA, and completes multi-stage flows. Only the crawler's heuristics
-// are bypassed — the same HTTP endpoints are exercised.
-func (p *Pilot) manualRegister(site *webgen.Site) {
-	if !site.Eligible() {
-		return
-	}
-	for _, reg := range p.Ledger.SiteRegistrations(site.Domain) {
-		if reg.Status >= core.StatusOKSubmission {
-			return // already covered by an automated registration
-		}
-	}
-	id := p.takeIdentity(identity.Easy)
-	b := p.newSiteBrowser()
-	spec := p.Universe.FormSpec(site)
+// manualFormValues fills a registration form from ground truth the way a
+// human reads it off the screen: every field correctly. CSRF and CAPTCHA
+// values are resolved later from the live page.
+func manualFormValues(spec *webgen.FormSpec, id *identity.Identity) url.Values {
 	vals := url.Values{}
 	for _, f := range spec.Fields {
 		switch f.Kind {
@@ -201,60 +160,10 @@ func (p *Pilot) manualRegister(site *webgen.Site) {
 		case webgen.FieldTOS:
 			vals.Set(f.Name, "on")
 		case webgen.FieldCaptcha:
-			// Humans solve their own CAPTCHAs; resolved below from the
-			// live page.
+			// Humans solve their own CAPTCHAs; resolved from the live page.
 		}
 	}
-	page, err := b.Get("http://" + site.Domain + site.RegPath)
-	if err != nil || !page.OK() {
-		return
-	}
-	// Copy hidden inputs (CSRF, captcha id) from the live form. A human's
-	// browser executes scripts and renders JS-assembled forms, so for
-	// JSForm sites (where the static DOM is empty) we recover the same
-	// values from ground truth — the human sees them on screen.
-	issuer := p.Universe.Issuer(site)
-	for _, form := range page.Forms() {
-		for _, fld := range form.Fields {
-			if fld.Type == "hidden" && fld.Name != "" {
-				vals.Set(fld.Name, fld.Value)
-			}
-		}
-	}
-	if f, ok := spec.Field(webgen.FieldCSRF); ok && vals.Get(f.Name) == "" {
-		vals.Set(f.Name, webgen.CSRFToken(site.Domain))
-	}
-	if site.Captcha != captcha.None {
-		ch := issuer.Issue(site.Captcha, rand.New(rand.NewSource(int64(site.Rank))))
-		if got := vals.Get("captcha_id"); got != "" {
-			ch = captcha.Challenge{ID: got, Kind: site.Captcha}
-		} else {
-			vals.Set("captcha_id", ch.ID)
-		}
-		if f, ok := spec.Field(webgen.FieldCaptcha); ok {
-			vals.Set(f.Name, issuer.Answer(ch))
-		}
-		if site.Captcha == captcha.Interactive {
-			vals.Set("captcha_token", issuer.Answer(ch))
-		}
-	}
-	resp, err := b.Post("http://"+site.Domain+site.RegPath, vals)
-	exposed := err == nil
-	if exposed {
-		p.Ledger.Burn(id, site.Domain, site.Rank, site.Category, p.Clock.Now(), crawler.CodeOKSubmission, true)
-	} else {
-		p.Ledger.Return(id)
-	}
-	// Multi-stage: the human reads page two and completes it.
-	if err == nil && site.MultiStage {
-		p.completeStep2(b, site, resp)
-	}
-	p.Attempts = append(p.Attempts, Attempt{
-		Domain: site.Domain, Rank: site.Rank, Class: identity.Easy,
-		Code: crawler.CodeOKSubmission, Exposed: exposed, Manual: true,
-		When: p.Clock.Now(), Email: id.Email,
-	})
-	p.drainMail()
+	return vals
 }
 
 // completeStep2 fills the second page of a multi-stage registration the way

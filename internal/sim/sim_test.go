@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -9,14 +10,19 @@ import (
 	"tripwire/internal/identity"
 )
 
-// runSmall executes one small pilot, shared across tests in this package.
-var smallPilot *Pilot
+// smallPilot is one small pilot run shared across tests in this package.
+// Tests treat it as read-only; initialization is guarded by a sync.Once so
+// tests marked t.Parallel cannot race on first use.
+var (
+	smallPilot     *Pilot
+	smallPilotOnce sync.Once
+)
 
 func pilot(t *testing.T) *Pilot {
 	t.Helper()
-	if smallPilot == nil {
+	smallPilotOnce.Do(func() {
 		smallPilot = NewPilot(SmallConfig()).Run()
-	}
+	})
 	return smallPilot
 }
 

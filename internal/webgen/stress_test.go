@@ -1,0 +1,109 @@
+package webgen
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestParallelRegistrationsOneBackend drives many concurrent registrations
+// against a single site's backend — the store, token counters, and mailer a
+// crawl wave shares — and verifies every account landed intact. Under -race
+// this is the data-race proof for the universe's shared maps.
+func TestParallelRegistrationsOneBackend(t *testing.T) {
+	t.Parallel()
+	u, site := universeForSite(t, nil)
+
+	var mailMu sync.Mutex
+	mails := 0
+	u.Mailer = MailerFunc(func(from, to, subject, body string) error {
+		mailMu.Lock()
+		mails++
+		mailMu.Unlock()
+		return nil
+	})
+
+	const users = 32
+	var wg sync.WaitGroup
+	errs := make([]error, users)
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			email := fmt.Sprintf("stress%02d@mail.test", i)
+			vals := fillPerfect(u, site, email, "Sunshine3aQ")
+			if f, ok := u.FormSpec(site).Field(FieldUsername); ok {
+				vals.Set(f.Name, fmt.Sprintf("stressuser%02d", i))
+			}
+			req := httptest.NewRequest(http.MethodPost, "http://"+site.Domain+site.RegPath,
+				strings.NewReader(vals.Encode()))
+			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+			rec := httptest.NewRecorder()
+			u.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				errs[i] = fmt.Errorf("registration %d returned %d", i, rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := u.Store(site.Domain)
+	if st.Len() != users {
+		t.Fatalf("store holds %d accounts, want %d", st.Len(), users)
+	}
+	for i := 0; i < users; i++ {
+		email := fmt.Sprintf("stress%02d@mail.test", i)
+		user := fmt.Sprintf("stressuser%02d", i)
+		if _, ok := u.FormSpec(site).Field(FieldUsername); !ok {
+			user = email[:strings.IndexByte(email, '@')]
+		}
+		entry, ok := st.Lookup(user)
+		if !ok {
+			t.Fatalf("account %s missing after concurrent registration", user)
+		}
+		if entry.Email != email {
+			t.Fatalf("account %s stored email %s, want %s", user, entry.Email, email)
+		}
+	}
+	if site.EmailVerify || site.WelcomeEmail {
+		if mails != users {
+			t.Fatalf("%d mails sent for %d registrations", mails, users)
+		}
+	}
+}
+
+// TestPerDomainTokensAreInterleavingFree checks that tokens minted for one
+// domain are a pure function of that domain's own registration count: a
+// registration at some other site slipped in between must not perturb them.
+func TestPerDomainTokensAreInterleavingFree(t *testing.T) {
+	t.Parallel()
+	mint := func(interleave bool) string {
+		u := Generate(smallConfig())
+		a := u.nextToken("alpha.test", "vfy")
+		if interleave {
+			u.nextToken("beta.test", "vfy")
+		}
+		return a + "|" + u.nextToken("alpha.test", "vfy")
+	}
+	plain, interleaved := mint(false), mint(true)
+	if plain != interleaved {
+		t.Fatalf("alpha.test tokens depend on beta.test activity: %q vs %q", plain, interleaved)
+	}
+	u := Generate(smallConfig())
+	tok := u.nextToken("gamma.test", "salt")
+	if !strings.Contains(tok, "gamma.test") || !strings.HasPrefix(tok, "salt-") {
+		t.Fatalf("token %q does not carry its prefix and domain", tok)
+	}
+	// Tokens never collide across domains even at equal counters.
+	if a, b := u.nextToken("x.test", "vfy"), u.nextToken("y.test", "vfy"); a == b {
+		t.Fatalf("cross-domain token collision: %q", a)
+	}
+}

@@ -34,7 +34,7 @@ type Universe struct {
 	specs      map[string]*FormSpec
 	issuers    map[string]*captcha.Issuer
 	pending    map[string]pendingReg // multi-stage continuations
-	tokenSeq   int
+	tokenSeq   map[string]int        // per-domain token counters
 	loginFails map[string]int // "domain|user" -> consecutive failures
 
 	// Mailer receives site-originated email. Nil drops mail.
@@ -131,11 +131,18 @@ func (u *Universe) Issuer(s *Site) *captcha.Issuer {
 	return is
 }
 
-func (u *Universe) nextToken(prefix string) string {
+// nextToken mints an opaque token. Counters are kept per domain — not
+// globally — so a token's value depends only on the minting site's own
+// history, never on how registrations at different sites interleave. That
+// keeps the parallel crawl engine's output independent of worker schedule.
+func (u *Universe) nextToken(domain, prefix string) string {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	u.tokenSeq++
-	return fmt.Sprintf("%s%08d", prefix, u.tokenSeq)
+	if u.tokenSeq == nil {
+		u.tokenSeq = make(map[string]int)
+	}
+	u.tokenSeq[domain]++
+	return fmt.Sprintf("%s-%s-%08d", prefix, domain, u.tokenSeq[domain])
 }
 
 func stripPort(host string) string {
@@ -261,7 +268,7 @@ func (u *Universe) handleRegister(w http.ResponseWriter, r *http.Request, site *
 	}
 
 	if site.MultiStage {
-		cont := u.nextToken("cont")
+		cont := u.nextToken(site.Domain, "cont")
 		u.mu.Lock()
 		u.pending[cont] = pendingReg{domain: site.Domain, username: username, email: email, password: password}
 		u.mu.Unlock()
@@ -318,7 +325,7 @@ func (u *Universe) finishRegistration(w http.ResponseWriter, site *Site, usernam
 	st := u.Store(site.Domain)
 	salt := ""
 	if site.Storage == StoreStrongHash {
-		salt = u.nextToken("salt")
+		salt = u.nextToken(site.Domain, "salt")
 	}
 	if _, err := st.Create(username, email, password, salt, u.Now()); err != nil {
 		fmt.Fprint(w, renderOutcome(site, false, "that username is already taken"))
@@ -326,7 +333,7 @@ func (u *Universe) finishRegistration(w http.ResponseWriter, site *Site, usernam
 	}
 	switch {
 	case site.EmailVerify:
-		tok := u.nextToken("vfy")
+		tok := u.nextToken(site.Domain, "vfy")
 		st.IssueVerifyToken(username, tok)
 		if site.BrokenVerify {
 			// The emailed link carries a mangled token: clicking it never
