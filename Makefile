@@ -1,15 +1,23 @@
 # Tier-1 verification loop for the Tripwire reproduction.
 #
-#   make build   compile everything
-#   make test    the seed tier-1 gate (build + tests)
-#   make race    full suite under the race detector
-#   make ci      what a PR must pass: build, vet, race-enabled tests
-#   make bench   parallel crawl engine benchmark (1/2/4/8 workers)
-#   make fuzz    a short fuzzing session on the crawler heuristics
+#   make build       compile everything
+#   make test        the seed tier-1 gate (build + tests)
+#   make race        full suite under the race detector
+#   make ci          what a PR must pass: build, vet, race tests, bench smoke
+#   make bench       parallel crawl engine benchmark (1/2/4/8 workers)
+#   make bench-json  run the hot-path benchmarks and write BENCH_crawl.json
+#                    (ns/op, allocs/op, pages/s) with BENCH_baseline.json
+#                    embedded for before/after comparison
+#   make fuzz        a short fuzzing session on the crawler heuristics
 
 GO ?= go
 
-.PHONY: build test race ci bench fuzz
+# Packages with per-component hot-path benchmarks (tokenize/parse/classify/
+# serve). The end-to-end crawl benchmark lives in ./internal/sim/ and runs
+# with a smaller iteration count because one iteration is a full wave.
+BENCH_PKGS = ./internal/htmldom/ ./internal/crawler/ ./internal/webgen/
+
+.PHONY: build test race ci bench bench-json fuzz
 
 build:
 	$(GO) build ./...
@@ -23,9 +31,17 @@ race:
 ci: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 bench:
 	$(GO) test -run xxx -bench BenchmarkParallelCrawl -benchtime 3x ./internal/sim/
+
+bench-json: build
+	@{ $(GO) test -run xxx -bench . -benchmem -benchtime 1000x $(BENCH_PKGS) ; \
+	   $(GO) test -run xxx -bench BenchmarkParallelCrawl -benchmem -benchtime 2x ./internal/sim/ ; } \
+	 | $(GO) run ./cmd/tripwire-bench -baseline BENCH_baseline.json -out BENCH_crawl.json \
+	     -note "hot-path run vs seed baseline; acceptance: tokenize+parse+classify allocs/op down >=40% vs baseline (allocs/op is deterministic; ns/op on shared hardware is noisy)"
+	@echo "wrote BENCH_crawl.json"
 
 fuzz:
 	$(GO) test -fuzz FuzzFieldHeuristics -fuzztime 30s ./internal/crawler/

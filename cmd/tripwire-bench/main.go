@@ -1,0 +1,138 @@
+// Command tripwire-bench converts `go test -bench` output into the
+// tracked BENCH_crawl.json format, so hot-path regressions show up as a
+// diff instead of a feeling.
+//
+// It reads benchmark text on stdin and writes JSON with one entry per
+// benchmark: ns/op, B/op, allocs/op, and any custom metrics the benchmark
+// reported (MB/s, sites/s, pages/s). With -baseline, the named file's
+// benchmark map is embedded under "baseline" so before/after live in one
+// document.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | tripwire-bench -out BENCH_crawl.json -baseline BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the written BENCH JSON document.
+type Doc struct {
+	Schema     string            `json:"schema"`
+	Note       string            `json:"note,omitempty"`
+	Baseline   map[string]Result `json:"baseline,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// parseLine parses one `BenchmarkName-8  N  1234 ns/op  ...` line; ok is
+// false for non-benchmark lines (headers, PASS, pkg banners).
+func parseLine(line string) (name string, r Result, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", r, false
+	}
+	name = f[0]
+	// Strip the -GOMAXPROCS suffix so names are machine-independent.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return "", r, false
+	}
+	r.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", r, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return name, r, true
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "existing BENCH JSON whose benchmarks become this document's baseline")
+	note := flag.String("note", "", "free-form note recorded in the document")
+	flag.Parse()
+
+	doc := Doc{Schema: "tripwire-bench/1", Note: *note, Benchmarks: make(map[string]Result)}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tripwire-bench:", err)
+			os.Exit(1)
+		}
+		var base Doc
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "tripwire-bench: parsing %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		doc.Baseline = base.Benchmarks
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if name, r, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "tripwire-bench:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "tripwire-bench: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tripwire-bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tripwire-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,10 @@
 // Usage:
 //
 //	tripwire-crawl [-sites N] [-from R] [-to R] [-seed N] [-workers N] [-v]
+//	               [-cpuprofile FILE] [-memprofile FILE]
+//
+// The profile flags capture the crawl hot path for pprof: -cpuprofile
+// records the whole crawl, -memprofile writes a post-crawl heap profile.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -47,11 +52,26 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	workers := flag.Int("workers", 0, "concurrent crawl workers (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print one line per site")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the crawl to this file")
+	memprofile := flag.String("memprofile", "", "write a post-crawl heap profile to this file")
 	flag.Parse()
 
 	if *from < 1 || *to < *from {
 		fmt.Fprintln(os.Stderr, "tripwire-crawl: invalid rank range")
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tripwire-crawl:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tripwire-crawl:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	nw := *workers
 	if nw <= 0 {
@@ -135,5 +155,19 @@ func main() {
 		crawler.CodeSystemError,
 	} {
 		fmt.Printf("  %-30s %6d  %5.1f%%\n", code, counts[code], 100*float64(counts[code])/float64(total))
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tripwire-crawl:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tripwire-crawl:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -20,6 +20,12 @@ type Field struct {
 	Placeholder string
 	Required    bool
 	Options     []string // select options (values)
+
+	// ctx memoizes Context(): field attributes never change after
+	// extraction, and the crawler's classifier asks for the context of the
+	// same field repeatedly (once per scoring pass).
+	ctx   string
+	ctxOK bool
 }
 
 // Form is one parsed <form>.
@@ -138,13 +144,20 @@ func nearestLabelText(n *htmldom.Node) string {
 // field: name, id, label, and placeholder, space-joined and lower-cased.
 // Fields built without a parsed DOM node (synthetic fields in tests or
 // callers classifying bare attribute tuples) simply contribute no id.
+// The result is computed once per field: every downstream regex pass gets
+// pre-lowered text without re-scanning mixed-case markup.
 func (f *Field) Context() string {
+	if f.ctxOK {
+		return f.ctx
+	}
 	id := ""
 	if f.Node != nil {
 		id = f.Node.ID()
 	}
 	parts := []string{f.Name, id, f.Label, f.Placeholder}
-	return strings.ToLower(strings.Join(parts, " "))
+	f.ctx = strings.ToLower(strings.Join(parts, " "))
+	f.ctxOK = true
+	return f.ctx
 }
 
 // Submission is a filled form ready to send.

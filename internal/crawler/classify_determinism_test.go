@@ -1,0 +1,77 @@
+package crawler
+
+import (
+	"testing"
+
+	"tripwire/internal/browser"
+)
+
+// TestClassifyPriorityCoversFieldRules pins the invariant that makes
+// classification deterministic: meaning selection iterates classifyPriority
+// (a fixed slice), never the fieldRules map, so every rule set must appear
+// in the priority list exactly once. A meaning added to fieldRules but not
+// to classifyPriority would silently never be selected.
+func TestClassifyPriorityCoversFieldRules(t *testing.T) {
+	seen := make(map[Meaning]int)
+	for _, m := range classifyPriority {
+		seen[m]++
+		if seen[m] > 1 {
+			t.Errorf("classifyPriority lists %v more than once", m)
+		}
+		if _, ok := fieldRules[m]; !ok {
+			t.Errorf("classifyPriority lists %v, which has no fieldRules entry", m)
+		}
+	}
+	for m := range fieldRules {
+		if seen[m] == 0 {
+			t.Errorf("fieldRules has %v but classifyPriority does not rank it", m)
+		}
+	}
+}
+
+// TestClassifyTieBreakDeterministic feeds the classifier a context that
+// scores identically for two meanings and checks that the documented
+// tie-break — earlier entry in classifyPriority wins — holds on every
+// invocation. Were selection ever to range over the fieldRules map, Go's
+// randomized map order would flip this answer between runs.
+func TestClassifyTieBreakDeterministic(t *testing.T) {
+	// "zip" scores 3.0 for MeaningZip and "phone" 3.0 for MeaningPhone;
+	// zip precedes phone in classifyPriority.
+	const ctx = "zip phone"
+	for i := 0; i < 200; i++ {
+		if got := classifyUncached("text", ctx); got != MeaningZip {
+			t.Fatalf("iteration %d: classifyUncached(%q) = %v, want %v (priority tie-break)", i, ctx, got, MeaningZip)
+		}
+	}
+	// The memoized entry point must agree with the uncached computation.
+	f := &browser.Field{Type: "text", Name: "zip phone"}
+	for i := 0; i < 3; i++ {
+		if got := ClassifyField(f); got != MeaningZip {
+			t.Fatalf("ClassifyField = %v, want %v", got, MeaningZip)
+		}
+	}
+}
+
+// TestClassifyCacheConsistent checks that the memo returns exactly what a
+// fresh computation returns for a spread of realistic contexts — the
+// property that lets re-visited pages skip classification without any risk
+// to worker-count invariance.
+func TestClassifyCacheConsistent(t *testing.T) {
+	cases := []struct {
+		typ, name string
+	}{
+		{"text", "username"}, {"text", "email"}, {"password", "password"},
+		{"password", "password2"}, {"text", "first_name"}, {"text", "zip"},
+		{"checkbox", "tos"}, {"checkbox", "newsletter"}, {"select", "state"},
+		{"text", "captcha_answer"}, {"text", "whatever"},
+	}
+	for _, c := range cases {
+		f := &browser.Field{Type: c.typ, Name: c.name}
+		want := classifyUncached(c.typ, f.Context())
+		for i := 0; i < 3; i++ {
+			if got := ClassifyField(f); got != want {
+				t.Errorf("ClassifyField(%s %q) = %v, want %v (cache pass %d)", c.typ, c.name, got, want, i)
+			}
+		}
+	}
+}

@@ -403,23 +403,27 @@ func (c *Crawler) searchForForm(env *Env, b *browser.Client, res *Result) (*brow
 }
 
 // scoreLink combines the base English rules with any configured language
-// packs.
+// packs. Link text and path are lowered once, here, for every rule set.
 func (c *Crawler) scoreLink(l browser.Link) float64 {
-	s := ScoreRegistrationLink(l)
+	text := strings.ToLower(l.Text)
+	path := strings.ToLower(l.URL.Path)
+	s := scoreRegistrationLinkLower(text, path)
 	for _, p := range c.cfg.Packs {
-		s += score(p.linkText, l.Text) + score(p.linkHref, strings.ToLower(l.URL.Path))
+		s += score(p.linkText, text) + score(p.linkHref, path)
 	}
 	return s
 }
 
 // looksLikeSuccess extends the base outcome heuristics with language packs.
+// The page text is lowered once for the base rules and every pack.
 func (c *Crawler) looksLikeSuccess(pageText string) bool {
-	if LooksLikeSuccess(pageText) {
+	lower := strings.ToLower(pageText)
+	if looksLikeSuccessLower(lower) {
 		return true
 	}
 	for _, p := range c.cfg.Packs {
-		succ := score(p.success, pageText)
-		fail := score(p.failure, pageText)
+		succ := score(p.success, lower)
+		fail := score(p.failure, lower)
 		if succ >= 2.0 && succ > fail {
 			return true
 		}
@@ -432,7 +436,8 @@ func (c *Crawler) looksLikeSuccess(pageText string) bool {
 func bestForm(p *browser.Page) *browser.Form {
 	var best *browser.Form
 	bestScore := 0.0
-	text := p.DOM.Text()
+	// Lower once: FormScore's internal ToLower is then a no-op scan.
+	text := strings.ToLower(p.DOM.Text())
 	for _, f := range p.Forms() {
 		if s := FormScore(f, text); s > bestScore {
 			best, bestScore = f, s

@@ -2,7 +2,9 @@ package crawler
 
 import (
 	"regexp"
+	"regexp/syntax"
 	"strings"
+	"sync"
 
 	"tripwire/internal/browser"
 )
@@ -52,16 +54,34 @@ func (m Meaning) String() string {
 // rule is one weighted regular expression, the paper's §4.3.1 heuristic
 // primitive: "a series of weighted regular expressions and sets of DOM
 // elements to which they apply."
+//
+// Rules are matched against pre-lowered text: instead of compiling with
+// (?i) and letting every MatchString case-fold its way through the page,
+// the pattern itself is lowered at construction and each caller lowers its
+// input exactly once. lits is a prefilter — literal substrings extracted
+// from the pattern such that any match must contain at least one of them —
+// letting score skip the regex engine for the common no-match case.
 type rule struct {
 	re     *regexp.Regexp
+	lits   []string
 	weight float64
 }
 
 func rules(pairs ...any) []rule {
 	var out []rule
 	for i := 0; i < len(pairs); i += 2 {
+		pat := pairs[i].(string)
+		// Lowering the pattern must not change its meaning: an upper-case
+		// escape class (\B, \W, \D, \S, \P) would silently invert.
+		for j := 0; j+1 < len(pat); j++ {
+			if pat[j] == '\\' && pat[j+1] >= 'A' && pat[j+1] <= 'Z' {
+				panic("crawler: rule pattern uses upper-case escape, incompatible with lowered matching: " + pat)
+			}
+		}
+		low := strings.ToLower(pat)
 		out = append(out, rule{
-			re:     regexp.MustCompile("(?i)" + pairs[i].(string)),
+			re:     regexp.MustCompile(low),
+			lits:   requiredLits(low),
 			weight: toF(pairs[i+1]),
 		})
 	}
@@ -79,14 +99,95 @@ func toF(v any) float64 {
 	}
 }
 
+// requiredLits extracts literal substrings from pat such that every match
+// of pat contains at least one of them, or nil when no such guarantee can
+// be derived. The set drives score's Contains prefilter.
+func requiredLits(pat string) []string {
+	re, err := syntax.Parse(pat, syntax.Perl)
+	if err != nil {
+		return nil
+	}
+	lits, ok := litsOf(re.Simplify())
+	if !ok {
+		return nil
+	}
+	return lits
+}
+
+func litsOf(re *syntax.Regexp) ([]string, bool) {
+	switch re.Op {
+	case syntax.OpLiteral:
+		if re.Flags&syntax.FoldCase != 0 || len(re.Rune) == 0 {
+			return nil, false
+		}
+		return []string{string(re.Rune)}, true
+	case syntax.OpCapture, syntax.OpPlus:
+		return litsOf(re.Sub[0])
+	case syntax.OpRepeat:
+		if re.Min >= 1 {
+			return litsOf(re.Sub[0])
+		}
+		return nil, false
+	case syntax.OpConcat:
+		// Any single required sub suffices; prefer the most selective one
+		// (longest minimum literal).
+		var best []string
+		bestLen := 0
+		for _, sub := range re.Sub {
+			if lits, ok := litsOf(sub); ok {
+				if l := minLitLen(lits); l > bestLen {
+					best, bestLen = lits, l
+				}
+			}
+		}
+		return best, best != nil
+	case syntax.OpAlternate:
+		// Every branch must contribute, else a match could avoid the set.
+		var all []string
+		for _, sub := range re.Sub {
+			lits, ok := litsOf(sub)
+			if !ok {
+				return nil, false
+			}
+			all = append(all, lits...)
+		}
+		return all, true
+	}
+	return nil, false
+}
+
+func minLitLen(lits []string) int {
+	m := len(lits[0])
+	for _, l := range lits[1:] {
+		if len(l) < m {
+			m = len(l)
+		}
+	}
+	return m
+}
+
+// score sums the weights of rules matching text. text must already be
+// lower-cased; rules are compiled lowered to match.
 func score(rs []rule, text string) float64 {
 	var s float64
 	for _, r := range rs {
+		if r.lits != nil && !containsAny(text, r.lits) {
+			continue
+		}
 		if r.re.MatchString(text) {
 			s += r.weight
 		}
 	}
 	return s
+}
+
+func containsAny(text string, lits []string) bool {
+	for _, l := range lits {
+		if strings.Contains(text, l) {
+			return true
+		}
+	}
+	return false
 }
 
 // fieldRules maps each meaning to its scoring rules, applied to a field's
@@ -150,9 +251,15 @@ var fieldRules = map[Meaning][]rule{
 	),
 }
 
-// classifyPriority orders meanings for disambiguation: more specific
-// patterns win ties (confirm-password before password, first/last before
-// full name).
+// classifyPriority fixes the meaning-selection order. It must list every
+// key of fieldRules exactly once (a regression test enforces this):
+// classification iterates this slice, never the fieldRules map, so Go's
+// randomized map-range order can never influence the outcome.
+//
+// Tie-break rule: candidates are scanned in this order and a later meaning
+// replaces the best only on a strictly greater score, so on equal scores
+// the earlier (more specific) meaning wins — confirm-password before
+// password, first/last name before full name.
 var classifyPriority = []Meaning{
 	MeaningCaptcha, MeaningConfirmPassword, MeaningPassword, MeaningEmail,
 	MeaningUsername, MeaningFirstName, MeaningLastName, MeaningZip,
@@ -163,15 +270,59 @@ var classifyPriority = []Meaning{
 // classifyThreshold is the minimum score to accept a meaning.
 const classifyThreshold = 1.5
 
+// classifyCache memoizes classification by (input type, context).
+// classifyUncached is a pure function of those two strings, so memoized
+// results are exact — re-visited pages (the paper's monthly re-crawls)
+// skip the weighted-regex scan entirely, and worker-count invariance is
+// untouched because a cache hit returns byte-for-byte what a fresh
+// computation would. The two-level map keeps lookups allocation-free.
+var classifyCache = struct {
+	sync.RWMutex
+	m map[string]map[string]Meaning
+	n int
+}{m: make(map[string]map[string]Meaning)}
+
+// classifyCacheMax bounds the memo; on overflow the whole cache resets
+// (simple, and correctness never depends on residency).
+const classifyCacheMax = 1 << 13
+
 // ClassifyField guesses a field's meaning from its markup context.
 func ClassifyField(f *browser.Field) Meaning {
 	if f.Type == "hidden" {
 		return MeaningHidden
 	}
 	ctx := f.Context()
+	classifyCache.RLock()
+	m, ok := classifyCache.m[f.Type][ctx]
+	classifyCache.RUnlock()
+	if ok {
+		return m
+	}
+	m = classifyUncached(f.Type, ctx)
+	classifyCache.Lock()
+	if classifyCache.n >= classifyCacheMax {
+		classifyCache.m = make(map[string]map[string]Meaning)
+		classifyCache.n = 0
+	}
+	inner := classifyCache.m[f.Type]
+	if inner == nil {
+		inner = make(map[string]Meaning)
+		classifyCache.m[f.Type] = inner
+	}
+	if _, dup := inner[ctx]; !dup {
+		inner[ctx] = m
+		classifyCache.n++
+	}
+	classifyCache.Unlock()
+	return m
+}
+
+// classifyUncached scores a (type, context) pair against the heuristics.
+// ctx must be lower-cased (browser.Field.Context lowers it).
+func classifyUncached(typ, ctx string) Meaning {
 	// Structural signals first: input type is the strongest evidence a
 	// rendering engine offers.
-	switch f.Type {
+	switch typ {
 	case "password":
 		// Distinguish confirm-password by textual context.
 		if score(fieldRules[MeaningConfirmPassword], ctx) >= classifyThreshold {
@@ -234,10 +385,15 @@ var (
 // ScoreRegistrationLink returns the heuristic score that a link leads to a
 // registration page.
 func ScoreRegistrationLink(l browser.Link) float64 {
-	s := score(regLinkTextRules, l.Text) +
-		score(regLinkHrefRules, strings.ToLower(l.URL.Path)) +
-		score(regLinkNegative, l.Text)
-	return s
+	return scoreRegistrationLinkLower(strings.ToLower(l.Text), strings.ToLower(l.URL.Path))
+}
+
+// scoreRegistrationLinkLower is ScoreRegistrationLink over text and path
+// the caller has already lower-cased (once per link, not once per rule).
+func scoreRegistrationLinkLower(text, path string) float64 {
+	return score(regLinkTextRules, text) +
+		score(regLinkHrefRules, path) +
+		score(regLinkNegative, text)
 }
 
 // Registration-page and submission-outcome heuristics.
@@ -273,8 +429,13 @@ var (
 // LooksLikeSuccess evaluates a post-submission page: success keywords must
 // outscore failure keywords and clear a minimum bar.
 func LooksLikeSuccess(pageText string) bool {
-	succ := score(successRules, pageText)
-	fail := score(failureRules, pageText)
+	return looksLikeSuccessLower(strings.ToLower(pageText))
+}
+
+// looksLikeSuccessLower is LooksLikeSuccess over already-lowered text.
+func looksLikeSuccessLower(lower string) bool {
+	succ := score(successRules, lower)
+	fail := score(failureRules, lower)
 	return succ >= 2.0 && succ > fail
 }
 

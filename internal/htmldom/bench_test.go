@@ -1,0 +1,93 @@
+package htmldom
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchPage approximates one synthetic registration page as webgen renders
+// it: chrome, nav, blurbs, a decoy search form, and a ~10-field
+// registration form. Benchmarks over it track the crawler's per-page cost.
+var benchPage = func() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>Create your account - Example Site</title></head>\n")
+	b.WriteString("<body>\n<div id=\"header\"><h1>Example Site</h1>\n<ul id=\"nav\">\n")
+	for _, item := range []string{"Home", "About", "Contact", "Log in"} {
+		fmt.Fprintf(&b, "<li><a href=\"/%s\">%s</a></li>\n", strings.ToLower(item), item)
+	}
+	b.WriteString("</ul></div>\n<div id=\"content\">\n")
+	b.WriteString("<p>Join thousands of members who trust us every day &amp; browse our catalog.</p>\n")
+	b.WriteString("<form action=\"/search\" method=\"get\"><input type=\"text\" name=\"q\"><input type=\"submit\" value=\"Search\"></form>\n")
+	b.WriteString("<h2>Create your account</h2>\n<form id=\"regform\" action=\"/register\" method=\"post\">\n")
+	b.WriteString("<input type=\"hidden\" name=\"csrf_token\" value=\"deadbeef01234567\">\n")
+	fields := []struct{ label, typ, name string }{
+		{"Username", "text", "username"},
+		{"Email address", "email", "email"},
+		{"Password", "password", "password"},
+		{"Confirm password", "password", "password2"},
+		{"First name", "text", "first_name"},
+		{"Last name", "text", "last_name"},
+		{"ZIP code", "text", "zip"},
+		{"Phone number", "text", "phone"},
+	}
+	for _, f := range fields {
+		fmt.Fprintf(&b, "<p><label for=\"%s\">%s *</label><input type=%q name=%q id=%q required></p>\n",
+			f.name, f.label, f.typ, f.name, f.name)
+	}
+	b.WriteString("<p><select name=\"state\"><option value=\"\"></option><option value=\"CA\">CA</option><option value=\"NY\">NY</option></select></p>\n")
+	b.WriteString("<p><input type=\"checkbox\" name=\"tos\" value=\"on\" required> <label>I agree to the Terms of Service</label></p>\n")
+	b.WriteString("<input type=\"submit\" value=\"Create account\">\n</form>\n")
+	b.WriteString("<script>if (a < b) { track(\"reg&amp;view\"); }</script>\n")
+	b.WriteString("</div>\n<div id=\"footer\"><p>&copy; Example Site</p></div>\n</body></html>\n")
+	return b.String()
+}()
+
+func BenchmarkTokenize(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchPage)))
+	for i := 0; i < b.N; i++ {
+		Tokenize(benchPage)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchPage)))
+	for i := 0; i < b.N; i++ {
+		Parse(benchPage)
+	}
+}
+
+func BenchmarkText(b *testing.B) {
+	doc := Parse(benchPage)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc.Text()
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	doc := Parse(benchPage)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Render(doc)
+	}
+}
+
+func BenchmarkDecodeEntities(b *testing.B) {
+	b.Run("clean", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			DecodeEntities("Join thousands of members who trust us every day")
+		}
+	})
+	b.Run("entities", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			DecodeEntities("a&amp;b &lt;strong&gt; &#65;&#x42; &nbsp;done")
+		}
+	})
+}

@@ -2,6 +2,9 @@ package htmldom
 
 import (
 	"strings"
+	"sync"
+	"unicode"
+	"unicode/utf8"
 )
 
 // NodeType identifies the kind of a DOM node.
@@ -57,23 +60,76 @@ func (n *Node) HasAttr(name string) bool {
 // ID returns the element's id attribute, or "".
 func (n *Node) ID() string { return n.AttrOr("id", "") }
 
+// bufPool recycles scratch byte buffers for Text and Render. Pooling the
+// backing slice (rather than a strings.Builder, whose Reset discards it)
+// is what makes repeated calls allocation-cheap.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
 // Text returns the concatenation of all descendant text, with runs of
 // whitespace collapsed to single spaces and the result trimmed.
 func (n *Node) Text() string {
-	var b strings.Builder
-	n.appendText(&b)
-	return strings.Join(strings.Fields(b.String()), " ")
+	bp := bufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	pending := false
+	var collect func(*Node)
+	collect = func(x *Node) {
+		if x.Type == TextNode {
+			buf, pending = appendCollapsed(buf, x.Data, pending)
+			pending = true // text nodes are whitespace-separated
+			return
+		}
+		for _, c := range x.Children {
+			collect(c)
+		}
+	}
+	collect(n)
+	s := string(buf)
+	*bp = buf
+	bufPool.Put(bp)
+	return s
 }
 
-func (n *Node) appendText(b *strings.Builder) {
-	if n.Type == TextNode {
-		b.WriteString(n.Data)
-		b.WriteByte(' ')
-		return
+// appendCollapsed appends s to buf with runs of Unicode whitespace
+// collapsed to single spaces, trimming leading space when buf is empty.
+// pending carries an unflushed separator between calls.
+func appendCollapsed(buf []byte, s string, pending bool) ([]byte, bool) {
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f' {
+				pending = true
+				i++
+				continue
+			}
+			if pending && len(buf) > 0 {
+				buf = append(buf, ' ')
+			}
+			pending = false
+			buf = append(buf, c)
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if unicode.IsSpace(r) {
+			pending = true
+			i += size
+			continue
+		}
+		if pending && len(buf) > 0 {
+			buf = append(buf, ' ')
+		}
+		pending = false
+		// Append the original bytes, preserving invalid UTF-8 exactly as
+		// strings.Fields would.
+		buf = append(buf, s[i:i+size]...)
+		i += size
 	}
-	for _, c := range n.Children {
-		c.appendText(b)
-	}
+	return buf, pending
 }
 
 // Walk calls fn for n and every descendant in document order. If fn returns
@@ -176,24 +232,64 @@ var autoClose = map[string][]string{
 	"dt":     {"dd", "dt"},
 }
 
-// Parse builds a DOM from src. It never fails.
+// nodeSlab hands out nodes from chunked backing arrays so a parse performs
+// a handful of slab allocations instead of one per node. Pointers stay
+// valid because a chunk is abandoned, never regrown, once full.
+type nodeSlab struct {
+	chunk []Node
+}
+
+func (s *nodeSlab) new(n Node) *Node {
+	if len(s.chunk) == cap(s.chunk) {
+		s.chunk = make([]Node, 0, 64)
+	}
+	s.chunk = append(s.chunk, n)
+	return &s.chunk[len(s.chunk)-1]
+}
+
+// Parse builds a DOM from src. It never fails. Tokens are consumed
+// directly from the streaming tokenizer; no token slice is materialized.
 func Parse(src string) *Node {
-	doc := &Node{Type: DocumentNode}
-	stack := []*Node{doc}
+	var slab nodeSlab
+	doc := slab.new(Node{Type: DocumentNode})
+	stack := make([]*Node, 1, 16)
+	stack[0] = doc
 	top := func() *Node { return stack[len(stack)-1] }
 	appendChild := func(c *Node) {
 		c.Parent = top()
 		top().Children = append(top().Children, c)
 	}
-	for _, tok := range Tokenize(src) {
-		switch tok.Type {
-		case TextToken:
-			if strings.TrimSpace(tok.Data) == "" && top() == doc {
-				continue // ignore inter-tag whitespace at document level
+	// Adjacent text tokens (the tokenizer may split around degraded markup
+	// and raw-text bodies) merge into one TextNode, as browsers build one
+	// character-data run.
+	pendingText := ""
+	flushText := func() {
+		if pendingText == "" {
+			return
+		}
+		if !(top() == doc && strings.TrimSpace(pendingText) == "") {
+			appendChild(slab.new(Node{Type: TextNode, Data: pendingText}))
+		}
+		pendingText = ""
+	}
+	z := Tokenizer{src: src}
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		if tok.Type == TextToken {
+			if pendingText == "" {
+				pendingText = tok.Data
+			} else {
+				pendingText += tok.Data
 			}
-			appendChild(&Node{Type: TextNode, Data: tok.Data})
+			continue
+		}
+		flushText()
+		switch tok.Type {
 		case CommentToken:
-			appendChild(&Node{Type: CommentNode, Data: tok.Data})
+			appendChild(slab.new(Node{Type: CommentNode, Data: tok.Data}))
 		case DoctypeToken:
 			// Recorded nowhere: the crawler does not need it.
 		case StartTagToken, SelfClosingTagToken:
@@ -207,7 +303,7 @@ func Parse(src string) *Node {
 					}
 				}
 			}
-			el := &Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs}
+			el := slab.new(Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs})
 			appendChild(el)
 			if tok.Type == StartTagToken && !voidElements[tok.Data] {
 				stack = append(stack, el)
@@ -222,5 +318,6 @@ func Parse(src string) *Node {
 			}
 		}
 	}
+	flushText()
 	return doc
 }

@@ -1,63 +1,89 @@
 package htmldom
 
-import (
-	"strings"
-)
-
 // Render serializes a DOM back to HTML. Text is entity-escaped, attribute
 // values are quoted and escaped, and void elements render without end tags,
 // so Parse(Render(doc)) reproduces an equivalent tree. Render is mainly a
 // debugging and testing aid: the crawler works on parsed trees, but tests
 // use the round-trip property to validate the parser.
 func Render(n *Node) string {
-	var b strings.Builder
-	renderTo(&b, n)
-	return b.String()
+	bp := bufPool.Get().(*[]byte)
+	buf := renderTo((*bp)[:0], n)
+	s := string(buf)
+	*bp = buf
+	bufPool.Put(bp)
+	return s
 }
 
-func renderTo(b *strings.Builder, n *Node) {
+func renderTo(buf []byte, n *Node) []byte {
 	switch n.Type {
 	case DocumentNode:
 		for _, c := range n.Children {
-			renderTo(b, c)
+			buf = renderTo(buf, c)
 		}
 	case TextNode:
-		b.WriteString(escapeText(n.Data))
+		buf = appendEscaped(buf, n.Data, false)
 	case CommentNode:
-		b.WriteString("<!--")
-		b.WriteString(n.Data)
-		b.WriteString("-->")
+		buf = append(buf, "<!--"...)
+		buf = append(buf, n.Data...)
+		buf = append(buf, "-->"...)
 	case ElementNode:
-		b.WriteByte('<')
-		b.WriteString(n.Tag)
+		buf = append(buf, '<')
+		buf = append(buf, n.Tag...)
 		for _, a := range n.Attrs {
-			b.WriteByte(' ')
-			b.WriteString(a.Key)
-			b.WriteString(`="`)
-			b.WriteString(escapeAttr(a.Val))
-			b.WriteByte('"')
+			buf = append(buf, ' ')
+			buf = append(buf, a.Key...)
+			buf = append(buf, `="`...)
+			buf = appendEscaped(buf, a.Val, true)
+			buf = append(buf, '"')
 		}
-		b.WriteByte('>')
+		buf = append(buf, '>')
 		if voidElements[n.Tag] {
-			return
+			return buf
 		}
 		for _, c := range n.Children {
-			renderTo(b, c)
+			buf = renderTo(buf, c)
 		}
-		b.WriteString("</")
-		b.WriteString(n.Tag)
-		b.WriteByte('>')
+		buf = append(buf, "</"...)
+		buf = append(buf, n.Tag...)
+		buf = append(buf, '>')
 	}
+	return buf
+}
+
+// appendEscaped appends s with &, <, > (and, for attribute values, ")
+// replaced by entities.
+func appendEscaped(buf []byte, s string, attr bool) []byte {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var ent string
+		switch s[i] {
+		case '&':
+			ent = "&amp;"
+		case '<':
+			ent = "&lt;"
+		case '>':
+			ent = "&gt;"
+		case '"':
+			if !attr {
+				continue
+			}
+			ent = "&quot;"
+		default:
+			continue
+		}
+		buf = append(buf, s[start:i]...)
+		buf = append(buf, ent...)
+		start = i + 1
+	}
+	return append(buf, s[start:]...)
 }
 
 func escapeText(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
+	return string(appendEscaped(nil, s, false))
 }
 
 func escapeAttr(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	return string(appendEscaped(nil, s, true))
 }
 
 // Equal reports whether two trees are structurally identical: same node

@@ -8,6 +8,12 @@
 // The parser is deliberately forgiving, in the spirit of real browsers:
 // unknown tags, stray end tags, and unclosed elements never fail; they
 // produce the most reasonable tree.
+//
+// The tokenizer streams: Parse consumes tokens one at a time from a
+// Tokenizer without materializing a token slice, tag and attribute names
+// are interned, and entity decoding has an allocation-free fast path, so
+// the steady-state crawl loop parses pages with a near-minimal number of
+// allocations.
 package htmldom
 
 import (
@@ -46,102 +52,204 @@ type Token struct {
 	Attrs []Attr
 }
 
-// Tokenize lexes src into tokens. It never fails: malformed markup
-// degrades to text.
-func Tokenize(src string) []Token {
-	var toks []Token
-	i := 0
-	n := len(src)
-	for i < n {
-		lt := strings.IndexByte(src[i:], '<')
-		if lt < 0 {
-			toks = appendText(toks, src[i:])
-			break
-		}
-		if lt > 0 {
-			toks = appendText(toks, src[i:i+lt])
-			i += lt
+// Tokenizer lexes a document incrementally. The zero value is not usable;
+// construct with NewTokenizer. Adjacent text may be emitted as multiple
+// TextTokens (Tokenize and Parse coalesce them); malformed markup never
+// fails, it degrades to text.
+type Tokenizer struct {
+	src string
+	i   int
+	// queue holds tokens already lexed but not yet returned: the raw-text
+	// body and close tag of a <script>/<style> element are produced
+	// together with its start tag.
+	queue [2]Token
+	qn    int // tokens in queue
+	qi    int // next queue slot to return
+}
+
+// NewTokenizer returns a tokenizer over src.
+func NewTokenizer(src string) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+// Next returns the next token. ok is false when the input is exhausted.
+func (z *Tokenizer) Next() (tok Token, ok bool) {
+	if z.qi < z.qn {
+		tok = z.queue[z.qi]
+		z.qi++
+		return tok, true
+	}
+	src, n := z.src, len(z.src)
+	for z.i < n {
+		i := z.i
+		if src[i] != '<' {
+			return z.lexText(), true
 		}
 		// src[i] == '<'
 		if i+1 >= n {
-			toks = appendText(toks, src[i:])
-			break
+			z.i = n
+			return Token{Type: TextToken, Data: DecodeEntities(src[i:])}, true
 		}
 		switch {
 		case strings.HasPrefix(src[i:], "<!--"):
 			end := strings.Index(src[i+4:], "-->")
 			if end < 0 {
-				toks = append(toks, Token{Type: CommentToken, Data: src[i+4:]})
-				i = n
-			} else {
-				toks = append(toks, Token{Type: CommentToken, Data: src[i+4 : i+4+end]})
-				i += 4 + end + 3
+				z.i = n
+				return Token{Type: CommentToken, Data: src[i+4:]}, true
 			}
+			z.i = i + 4 + end + 3
+			return Token{Type: CommentToken, Data: src[i+4 : i+4+end]}, true
 		case src[i+1] == '!':
 			end := strings.IndexByte(src[i:], '>')
 			if end < 0 {
-				toks = appendText(toks, src[i:])
-				i = n
-			} else {
-				toks = append(toks, Token{Type: DoctypeToken, Data: strings.TrimSpace(src[i+2 : i+end])})
-				i += end + 1
+				z.i = n
+				return Token{Type: TextToken, Data: DecodeEntities(src[i:])}, true
 			}
+			z.i = i + end + 1
+			return Token{Type: DoctypeToken, Data: strings.TrimSpace(src[i+2 : i+end])}, true
 		case src[i+1] == '/':
 			end := strings.IndexByte(src[i:], '>')
 			if end < 0 {
-				toks = appendText(toks, src[i:])
-				i = n
-			} else {
-				name := strings.ToLower(strings.TrimSpace(src[i+2 : i+end]))
-				if isTagName(name) {
-					toks = append(toks, Token{Type: EndTagToken, Data: name})
-				}
-				i += end + 1
+				z.i = n
+				return Token{Type: TextToken, Data: DecodeEntities(src[i:])}, true
 			}
+			z.i = i + end + 1
+			name := lowerName(strings.TrimSpace(src[i+2 : i+end]))
+			if isTagName(name) {
+				return Token{Type: EndTagToken, Data: name}, true
+			}
+			continue // dropped invalid end tag: no token
 		case isNameStart(src[i+1]):
 			tok, adv := lexStartTag(src[i:])
-			toks = append(toks, tok)
-			i += adv
+			z.i = i + adv
 			// Raw-text elements: swallow everything up to the matching
 			// close tag so scripts/styles never parse as markup.
 			if tok.Type == StartTagToken && (tok.Data == "script" || tok.Data == "style") {
-				closeTag := "</" + tok.Data
-				rest := strings.ToLower(src[i:])
-				idx := strings.Index(rest, closeTag)
-				if idx < 0 {
-					toks = appendText(toks, src[i:])
-					i = n
-					break
-				}
-				if idx > 0 {
-					toks = append(toks, Token{Type: TextToken, Data: src[i : i+idx]})
-				}
-				gt := strings.IndexByte(src[i+idx:], '>')
-				toks = append(toks, Token{Type: EndTagToken, Data: tok.Data})
-				if gt < 0 {
-					i = n
-				} else {
-					i += idx + gt + 1
-				}
+				z.queueRawText(tok.Data)
 			}
+			return tok, true
 		default:
-			// A lone '<' that does not begin a tag is text.
-			toks = appendText(toks, "<")
-			i++
+			// A lone '<' that does not begin a tag is text; lexText
+			// consumes it together with any following character data.
+			return z.lexText(), true
 		}
 	}
-	return toks
+	return Token{}, false
 }
 
-func appendText(toks []Token, s string) []Token {
-	if s == "" {
-		return toks
+// lexText consumes a maximal run of character data starting at z.i. Lone
+// '<' characters that do not open a tag, comment, or doctype are part of
+// the run.
+func (z *Tokenizer) lexText() Token {
+	src, n := z.src, len(z.src)
+	start := z.i
+	i := start
+	for {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			i = n
+			break
+		}
+		i += lt
+		if i+1 >= n {
+			i = n // trailing '<' is text
+			break
+		}
+		c := src[i+1]
+		if c == '!' || c == '/' || isNameStart(c) {
+			break // a construct begins here (it may still degrade to text)
+		}
+		i++ // lone '<': keep scanning
 	}
-	if len(toks) > 0 && toks[len(toks)-1].Type == TextToken {
-		toks[len(toks)-1].Data += DecodeEntities(s)
-		return toks
+	z.i = i
+	return Token{Type: TextToken, Data: DecodeEntities(src[start:i])}
+}
+
+// queueRawText lexes the raw-text body and close tag of a just-opened
+// <script>/<style> element into the token queue.
+func (z *Tokenizer) queueRawText(name string) {
+	src, n := z.src, len(z.src)
+	i := z.i
+	z.qn, z.qi = 0, 0
+	idx := indexCloseTag(src[i:], name)
+	if idx < 0 {
+		if i < n {
+			z.queue[z.qn] = Token{Type: TextToken, Data: DecodeEntities(src[i:])}
+			z.qn++
+		}
+		z.i = n
+		return
 	}
-	return append(toks, Token{Type: TextToken, Data: DecodeEntities(s)})
+	if idx > 0 {
+		z.queue[z.qn] = Token{Type: TextToken, Data: src[i : i+idx]}
+		z.qn++
+	}
+	z.queue[z.qn] = Token{Type: EndTagToken, Data: name}
+	z.qn++
+	gt := strings.IndexByte(src[i+idx:], '>')
+	if gt < 0 {
+		z.i = n
+	} else {
+		z.i = i + idx + gt + 1
+	}
+}
+
+// indexCloseTag returns the index of the first "</name" in s, matched
+// ASCII-case-insensitively, or -1. It replaces lower-casing the whole
+// remaining document per raw-text element.
+func indexCloseTag(s, name string) int {
+	for j := 0; ; {
+		k := strings.Index(s[j:], "</")
+		if k < 0 {
+			return -1
+		}
+		j += k
+		if len(s)-j >= 2+len(name) && asciiFoldEqual(s[j+2:j+2+len(name)], name) {
+			return j
+		}
+		j += 2
+	}
+}
+
+// asciiFoldEqual reports whether a equals b under ASCII case folding; b
+// must already be lower-case.
+func asciiFoldEqual(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		c := a[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tokenize lexes src into tokens. It never fails: malformed markup
+// degrades to text. Adjacent text is coalesced, matching what Parse builds.
+func Tokenize(src string) []Token {
+	var toks []Token
+	z := Tokenizer{src: src}
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			return toks
+		}
+		if tok.Type == TextToken {
+			if tok.Data == "" {
+				continue
+			}
+			if len(toks) > 0 && toks[len(toks)-1].Type == TextToken {
+				toks[len(toks)-1].Data += tok.Data
+				continue
+			}
+		}
+		toks = append(toks, tok)
+	}
 }
 
 // lexStartTag lexes a start tag beginning at src[0] == '<'. It returns the
@@ -153,7 +261,7 @@ func lexStartTag(src string) (Token, int) {
 	for i < n && isNameChar(src[i]) {
 		i++
 	}
-	tok := Token{Type: StartTagToken, Data: strings.ToLower(src[start:i])}
+	tok := Token{Type: StartTagToken, Data: lowerName(src[start:i])}
 	for {
 		for i < n && isSpace(src[i]) {
 			i++
@@ -182,7 +290,7 @@ func lexStartTag(src string) (Token, int) {
 		for i < n && src[i] != '=' && src[i] != '>' && src[i] != '/' && !isSpace(src[i]) {
 			i++
 		}
-		name := strings.ToLower(src[aStart:i])
+		name := lowerName(src[aStart:i])
 		val := ""
 		for i < n && isSpace(src[i]) {
 			i++
@@ -212,6 +320,9 @@ func lexStartTag(src string) (Token, int) {
 			}
 		}
 		if name != "" {
+			if tok.Attrs == nil {
+				tok.Attrs = make([]Attr, 0, 4)
+			}
 			tok.Attrs = append(tok.Attrs, Attr{Key: name, Val: DecodeEntities(val)})
 		}
 	}
@@ -239,56 +350,133 @@ func isTagName(s string) bool {
 	return true
 }
 
+// internTable dedups the tag and attribute names that dominate real
+// markup, so parsed trees do not retain per-node name strings (or, for
+// mixed-case input, per-node lower-cased copies).
+var internTable = func() map[string]string {
+	names := []string{
+		// tags
+		"html", "head", "title", "meta", "link", "body", "div", "span",
+		"p", "a", "ul", "ol", "li", "h1", "h2", "h3", "h4", "br", "hr",
+		"img", "form", "input", "label", "select", "option", "textarea",
+		"button", "table", "tr", "td", "th", "thead", "tbody", "script",
+		"style", "strong", "em", "b", "i", "small", "footer", "header",
+		"nav", "section", "article",
+		// attributes
+		"id", "class", "href", "src", "alt", "name", "value", "type",
+		"action", "method", "placeholder", "required", "for", "rel",
+		"content", "charset", "checked", "selected", "disabled",
+		"data-sitekey",
+	}
+	m := make(map[string]string, len(names))
+	for _, s := range names {
+		m[s] = s
+	}
+	return m
+}()
+
+// lowerName lower-cases an ASCII tag/attribute name, interning common
+// names and avoiding any allocation when s is already lower-case.
+func lowerName(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		if in, ok := internTable[s]; ok {
+			return in
+		}
+		return s
+	}
+	if len(s) <= 64 {
+		var buf [64]byte
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			buf[i] = c
+		}
+		// Map lookup with a converted []byte key does not allocate.
+		if in, ok := internTable[string(buf[:len(s)])]; ok {
+			return in
+		}
+		return string(buf[:len(s)])
+	}
+	return strings.ToLower(s)
+}
+
 // DecodeEntities decodes the common named HTML entities and numeric
-// character references.
+// character references. When s contains nothing decodable it is returned
+// as-is, with no allocation.
 func DecodeEntities(s string) string {
-	if !strings.ContainsRune(s, '&') {
+	i := strings.IndexByte(s, '&')
+	if i < 0 {
 		return s
 	}
 	var b strings.Builder
-	b.Grow(len(s))
-	for i := 0; i < len(s); {
+	started := false
+	start := 0 // beginning of the pending literal run
+	for i < len(s) {
 		if s[i] != '&' {
-			b.WriteByte(s[i])
-			i++
-			continue
-		}
-		semi := strings.IndexByte(s[i:], ';')
-		if semi < 0 || semi > 10 {
-			b.WriteByte('&')
-			i++
-			continue
-		}
-		ent := s[i+1 : i+semi]
-		switch {
-		case ent == "amp":
-			b.WriteByte('&')
-		case ent == "lt":
-			b.WriteByte('<')
-		case ent == "gt":
-			b.WriteByte('>')
-		case ent == "quot":
-			b.WriteByte('"')
-		case ent == "apos":
-			b.WriteByte('\'')
-		case ent == "nbsp":
-			b.WriteByte(' ')
-		case strings.HasPrefix(ent, "#"):
-			r := parseNumericRef(ent[1:])
-			if r < 0 {
-				b.WriteByte('&')
-				i++
-				continue
+			next := strings.IndexByte(s[i:], '&')
+			if next < 0 {
+				break
 			}
-			b.WriteRune(rune(r))
-		default:
-			b.WriteByte('&')
+			i += next
+		}
+		r, width, ok := decodeEntity(s[i:])
+		if !ok {
 			i++
 			continue
 		}
-		i += semi + 1
+		if !started {
+			b.Grow(len(s))
+			started = true
+		}
+		b.WriteString(s[start:i])
+		b.WriteRune(r)
+		i += width
+		start = i
 	}
+	if !started {
+		return s
+	}
+	b.WriteString(s[start:])
 	return b.String()
+}
+
+// decodeEntity decodes one entity at s[0] == '&'. width is the number of
+// input bytes consumed.
+func decodeEntity(s string) (r rune, width int, ok bool) {
+	semi := strings.IndexByte(s, ';')
+	if semi < 0 || semi > 10 {
+		return 0, 0, false
+	}
+	ent := s[1:semi]
+	switch ent {
+	case "amp":
+		return '&', semi + 1, true
+	case "lt":
+		return '<', semi + 1, true
+	case "gt":
+		return '>', semi + 1, true
+	case "quot":
+		return '"', semi + 1, true
+	case "apos":
+		return '\'', semi + 1, true
+	case "nbsp":
+		return ' ', semi + 1, true
+	}
+	if strings.HasPrefix(ent, "#") {
+		if v := parseNumericRef(ent[1:]); v >= 0 {
+			return rune(v), semi + 1, true
+		}
+	}
+	return 0, 0, false
 }
 
 func parseNumericRef(s string) int {

@@ -25,6 +25,8 @@ const benchWaveSites = 384
 func BenchmarkParallelCrawl(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var pages int64
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				cfg := SmallConfig()
@@ -42,8 +44,14 @@ func BenchmarkParallelCrawl(b *testing.B) {
 				}
 				b.StartTimer()
 				p.runWave(ranks, false)
+				b.StopTimer()
+				for _, a := range p.Attempts {
+					pages += int64(a.PageLoad)
+				}
+				b.StartTimer()
 			}
 			b.ReportMetric(float64(benchWaveSites)*float64(b.N)/b.Elapsed().Seconds(), "sites/s")
+			b.ReportMetric(float64(pages)/b.Elapsed().Seconds(), "pages/s")
 		})
 	}
 }

@@ -1,0 +1,79 @@
+package webgen
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"tripwire/internal/captcha"
+)
+
+// benchUniverse builds a small deterministic web and picks an English site
+// with an ordinary (non-JS, non-SSO) registration form to serve.
+func benchUniverse(b *testing.B) (*Universe, *Site) {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.NumSites = 200
+	cfg.Seed = 7
+	u := Generate(cfg)
+	for _, s := range u.Sites() {
+		if s.Eligible() && !s.JSForm && !s.ObscureRegLink && s.Captcha == captcha.None {
+			return u, s
+		}
+	}
+	b.Fatal("no plain eligible site in bench universe")
+	return nil, nil
+}
+
+func serve(b *testing.B, u *Universe, host, path string) string {
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("GET", "http://"+host+path, nil)
+	u.ServeHTTP(w, r)
+	if w.Code != 200 {
+		b.Fatalf("GET %s%s = %d", host, path, w.Code)
+	}
+	return w.Body.String()
+}
+
+// BenchmarkServePage measures what one crawler page-load costs the
+// synthetic web: the home page (link discovery) and the registration page
+// (form rendering), the two page kinds every registration attempt fetches.
+func BenchmarkServePage(b *testing.B) {
+	u, site := benchUniverse(b)
+	b.Run("home", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			serve(b, u, site.Domain, "/")
+		}
+	})
+	b.Run("registration", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			serve(b, u, site.Domain, site.RegPath)
+		}
+	})
+}
+
+// BenchmarkServePageCaptcha serves a registration page that must mint a
+// fresh CAPTCHA challenge per request — the dynamic-splice path of the
+// render cache.
+func BenchmarkServePageCaptcha(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.NumSites = 400
+	cfg.Seed = 7
+	u := Generate(cfg)
+	var site *Site
+	for _, s := range u.Sites() {
+		if s.Eligible() && !s.JSForm && s.Captcha == captcha.Image {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		b.Fatal("no image-captcha site in bench universe")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serve(b, u, site.Domain, site.RegPath)
+	}
+}

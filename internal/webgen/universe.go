@@ -37,6 +37,18 @@ type Universe struct {
 	tokenSeq   map[string]int        // per-domain token counters
 	loginFails map[string]int // "domain|user" -> consecutive failures
 
+	// renderMu guards rendered, the per-(site, page-kind) body cache.
+	// Every cached body is a pure function of the generated site — dynamic
+	// values live in slots spliced at serve time — so entries never need
+	// invalidation: a site's pages cannot change after generation. A racing
+	// double-compute stores identical bytes and is harmless.
+	renderMu sync.RWMutex
+	rendered map[string]string
+
+	// DisableRenderCache forces every page to be rendered from scratch.
+	// Tests use it to prove cached and uncached serving are byte-identical.
+	DisableRenderCache bool
+
 	// Mailer receives site-originated email. Nil drops mail.
 	Mailer Mailer
 	// Now supplies timestamps for account creation; defaults to time.Now.
@@ -59,6 +71,7 @@ func newUniverse(cfg Config) *Universe {
 		issuers:    make(map[string]*captcha.Issuer),
 		pending:    make(map[string]pendingReg),
 		loginFails: make(map[string]int),
+		rendered:   make(map[string]string),
 		Now:        time.Now,
 	}
 }
@@ -145,6 +158,46 @@ func (u *Universe) nextToken(domain, prefix string) string {
 	return fmt.Sprintf("%s-%s-%08d", prefix, domain, u.tokenSeq[domain])
 }
 
+// cachedBody returns the rendered body for (site, kind), computing it with
+// render on a miss. Render output is deterministic per site, so concurrent
+// misses may compute twice but always store the same bytes.
+func (u *Universe) cachedBody(site *Site, kind string, render func() string) string {
+	key := site.Domain + "\x00" + kind
+	u.renderMu.RLock()
+	body, ok := u.rendered[key]
+	u.renderMu.RUnlock()
+	if ok {
+		return body
+	}
+	body = render()
+	u.renderMu.Lock()
+	u.rendered[key] = body
+	u.renderMu.Unlock()
+	return body
+}
+
+// servePage writes a static page body, serving it from the render cache
+// unless caching is disabled.
+func (u *Universe) servePage(w http.ResponseWriter, site *Site, kind string, render func() string) {
+	if u.DisableRenderCache {
+		fmt.Fprint(w, render())
+		return
+	}
+	fmt.Fprint(w, u.cachedBody(site, kind, render))
+}
+
+// registrationPage produces the GET registration page: the static template
+// from the cache with this serve's dynamic values spliced in.
+func (u *Universe) registrationPage(site *Site) string {
+	if u.DisableRenderCache {
+		return renderRegistration(site, u.FormSpec(site), u.Issuer(site))
+	}
+	tpl := u.cachedBody(site, "registration", func() string {
+		return renderRegistrationTemplate(site, u.FormSpec(site))
+	})
+	return spliceDynamic(tpl, site, u.Issuer(site))
+}
+
 func stripPort(host string) string {
 	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.Contains(host[i:], "]") {
 		return host[:i]
@@ -167,13 +220,13 @@ func (u *Universe) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Path
 	switch {
 	case path == "/" || path == "/about":
-		fmt.Fprint(w, renderHome(site))
+		u.servePage(w, site, "home", func() string { return renderHome(site) })
 	case path == "/contact":
-		fmt.Fprint(w, renderContact(site))
+		u.servePage(w, site, "contact", func() string { return renderContact(site) })
 	case path == "/members" && site.PublicMembers:
 		u.handleMembers(w, site)
 	case path == "/login" && r.Method == http.MethodGet:
-		fmt.Fprint(w, renderLogin(site))
+		u.servePage(w, site, "login", func() string { return renderLogin(site) })
 	case path == "/login" && r.Method == http.MethodPost:
 		u.handleLogin(w, r, site)
 	case path == "/verify":
@@ -186,14 +239,16 @@ func (u *Universe) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "image/png")
 		fmt.Fprint(w, u.Issuer(site).RenderImage(ch))
 	case site.HasRegistration && path == site.RegPath && r.Method == http.MethodGet:
-		fmt.Fprint(w, renderRegistration(site, u.FormSpec(site), u.Issuer(site)))
+		fmt.Fprint(w, u.registrationPage(site))
 	case site.HasRegistration && path == site.RegPath && r.Method == http.MethodPost:
 		u.handleRegister(w, r, site)
 	case site.HasRegistration && site.MultiStage && path == site.RegPath+"/complete" && r.Method == http.MethodPost:
 		u.handleRegisterComplete(w, r, site)
 	default:
 		w.WriteHeader(http.StatusNotFound)
-		fmt.Fprint(w, pageShell(site, "Not found", "<p>Page not found.</p>"))
+		u.servePage(w, site, "404", func() string {
+			return pageShell(site, "Not found", "<p>Page not found.</p>")
+		})
 	}
 }
 
