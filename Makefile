@@ -9,6 +9,9 @@
 #                    (ns/op, allocs/op, pages/s) with BENCH_baseline.json
 #                    embedded for before/after comparison
 #   make fuzz        a short fuzzing session on the crawler heuristics
+#   make metrics-doc-check  every registered metric name appears in DESIGN.md
+#   make bench-overhead     crawl bench with metrics on vs off in one run;
+#                           fails if mean pages/s drops >3% or allocs/op grows
 
 GO ?= go
 
@@ -17,7 +20,7 @@ GO ?= go
 # with a smaller iteration count because one iteration is a full wave.
 BENCH_PKGS = ./internal/htmldom/ ./internal/crawler/ ./internal/webgen/
 
-.PHONY: build test race ci bench bench-json fuzz
+.PHONY: build test race ci bench bench-json fuzz metrics-doc-check bench-overhead
 
 build:
 	$(GO) build ./...
@@ -28,10 +31,26 @@ test: build
 race:
 	$(GO) test -race ./...
 
-ci: build
+ci: build metrics-doc-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(MAKE) bench-overhead
+
+# Every metric name registered anywhere in the tree must be documented in
+# DESIGN.md's Observability inventory, so the docs can't silently rot.
+metrics-doc-check:
+	@missing=0; \
+	for name in $$(grep -rhoE '"tripwire_[a-z0-9_]+"' internal cmd | tr -d '"' | sort -u); do \
+	  grep -q "$$name" DESIGN.md || { echo "metrics-doc-check: $$name not documented in DESIGN.md"; missing=1; }; \
+	done; \
+	[ $$missing -eq 0 ] && echo "metrics-doc-check: all registered metric names documented"
+
+# Same-run A/B: the metrics-on crawl benchmark must stay within a 3% mean
+# pages/s drop of its metrics-free twin and must not allocate more per op.
+bench-overhead: build
+	$(GO) test -run xxx -bench BenchmarkParallelCrawl -benchmem -benchtime 2x ./internal/sim/ \
+	 | $(GO) run ./cmd/tripwire-bench -assert-overhead 3 -out /dev/null
 
 bench:
 	$(GO) test -run xxx -bench BenchmarkParallelCrawl -benchtime 3x ./internal/sim/

@@ -8,9 +8,17 @@
 // benchmark map is embedded under "baseline" so before/after live in one
 // document.
 //
+// With -assert-overhead PCT it also gates the observability tax: every
+// BenchmarkParallelCrawlMetrics/workers=N in the input is compared to its
+// metrics-free twin BenchmarkParallelCrawl/workers=N *from the same run*
+// (same machine, same load — the only comparison that is sound), and the
+// command exits non-zero if pages/s regressed by more than PCT percent or
+// the instrumented benchmark allocates more per op.
+//
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem ./... | tripwire-bench -out BENCH_crawl.json -baseline BENCH_baseline.json
+//	go test -run xxx -bench ParallelCrawl -benchmem ./internal/sim/ | tripwire-bench -assert-overhead 3
 package main
 
 import (
@@ -83,10 +91,53 @@ func parseLine(line string) (name string, r Result, ok bool) {
 	return name, r, true
 }
 
+// assertOverhead compares each metrics-on benchmark to its metrics-off
+// twin from the same run. The pages/s budget is applied to the mean drop
+// across worker counts (a single worker count at low iteration counts is
+// dominated by scheduler noise, not the instruments); allocs/op — which is
+// deterministic up to goroutine bookkeeping — gets a 0.1% tolerance.
+func assertOverhead(benchmarks map[string]Result, maxPct float64) (checked int, breaches []string) {
+	const base = "BenchmarkParallelCrawl/"
+	const metered = "BenchmarkParallelCrawlMetrics/"
+	var dropSum float64
+	for name, m := range benchmarks {
+		if !strings.HasPrefix(name, metered) {
+			continue
+		}
+		variant := strings.TrimPrefix(name, metered)
+		b, ok := benchmarks[base+variant]
+		if !ok {
+			breaches = append(breaches, fmt.Sprintf("%s: no metrics-free twin %s in this run", name, base+variant))
+			continue
+		}
+		basePages, meteredPages := b.Metrics["pages/s"], m.Metrics["pages/s"]
+		if basePages <= 0 || meteredPages <= 0 {
+			breaches = append(breaches, fmt.Sprintf("%s: missing pages/s metric (base %v, metrics %v)", variant, basePages, meteredPages))
+			continue
+		}
+		checked++
+		drop := 100 * (basePages - meteredPages) / basePages
+		dropSum += drop
+		fmt.Fprintf(os.Stderr, "tripwire-bench: %-12s pages/s %.0f -> %.0f (%+.2f%%)\n", variant, basePages, meteredPages, -drop)
+		if b.AllocsPerOp != nil && m.AllocsPerOp != nil && *m.AllocsPerOp > *b.AllocsPerOp*1.001 {
+			breaches = append(breaches, fmt.Sprintf("%s: allocs/op grew with metrics on (%.0f -> %.0f)",
+				variant, *b.AllocsPerOp, *m.AllocsPerOp))
+		}
+	}
+	if checked > 0 {
+		if mean := dropSum / float64(checked); mean > maxPct {
+			breaches = append(breaches, fmt.Sprintf("mean pages/s drop with metrics on is %.2f%% across %d worker counts, budget %.1f%%",
+				mean, checked, maxPct))
+		}
+	}
+	return checked, breaches
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "existing BENCH JSON whose benchmarks become this document's baseline")
 	note := flag.String("note", "", "free-form note recorded in the document")
+	assertPct := flag.Float64("assert-overhead", 0, "fail if the metrics-on crawl benchmark is more than this % slower (pages/s) than its metrics-free twin, or allocates more")
 	flag.Parse()
 
 	doc := Doc{Schema: "tripwire-bench/1", Note: *note, Benchmarks: make(map[string]Result)}
@@ -119,6 +170,21 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "tripwire-bench: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if *assertPct > 0 {
+		checked, breaches := assertOverhead(doc.Benchmarks, *assertPct)
+		for _, b := range breaches {
+			fmt.Fprintln(os.Stderr, "tripwire-bench: OVERHEAD:", b)
+		}
+		if len(breaches) > 0 {
+			os.Exit(1)
+		}
+		if checked == 0 {
+			fmt.Fprintln(os.Stderr, "tripwire-bench: -assert-overhead found no ParallelCrawlMetrics benchmarks on stdin")
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tripwire-bench: metrics overhead within %.1f%% budget across %d worker counts\n", *assertPct, checked)
 	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")

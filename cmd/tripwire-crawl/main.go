@@ -11,9 +11,14 @@
 //
 //	tripwire-crawl [-sites N] [-from R] [-to R] [-seed N] [-workers N] [-v]
 //	               [-cpuprofile FILE] [-memprofile FILE]
+//	               [-metrics-addr HOST:PORT] [-metrics-out FILE]
 //
 // The profile flags capture the crawl hot path for pprof: -cpuprofile
 // records the whole crawl, -memprofile writes a post-crawl heap profile.
+// The metrics flags attach the observability registry: -metrics-addr
+// serves /metrics live during the crawl, -metrics-out dumps crawler and
+// webgen telemetry (attempts, termination codes, classify- and
+// render-cache hit rates) at exit.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"tripwire/internal/captcha"
 	"tripwire/internal/crawler"
 	"tripwire/internal/identity"
+	"tripwire/internal/obs"
 	"tripwire/internal/webgen"
 )
 
@@ -54,6 +60,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print one line per site")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the crawl to this file")
 	memprofile := flag.String("memprofile", "", "write a post-crawl heap profile to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /healthz on this address while crawling")
+	metricsOut := flag.String("metrics-out", "", "dump the metrics registry here at exit (\"-\" = stdout, *.prom = Prometheus text, else JSON)")
 	flag.Parse()
 
 	if *from < 1 || *to < *from {
@@ -78,6 +86,11 @@ func main() {
 		nw = runtime.GOMAXPROCS(0)
 	}
 
+	var reg *obs.Registry
+	if *metricsAddr != "" || *metricsOut != "" {
+		reg = obs.New()
+	}
+
 	webCfg := webgen.DefaultConfig()
 	webCfg.NumSites = *numSites
 	webCfg.Seed = *seed
@@ -88,6 +101,20 @@ func main() {
 	ccfg := crawler.DefaultConfig()
 	ccfg.Seed = *seed + 3
 	c := crawler.New(ccfg, solver)
+
+	if reg != nil {
+		universe.Observe(reg)
+		c.Metrics = crawler.NewMetrics(reg)
+	}
+	if *metricsAddr != "" {
+		bound, shutdown, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tripwire-crawl:", err)
+			os.Exit(1)
+		}
+		defer func() { _ = shutdown() }()
+		fmt.Fprintf(os.Stderr, "tripwire-crawl: metrics on http://%s/metrics\n", bound)
+	}
 
 	last := *to
 	if last > *numSites {
@@ -155,6 +182,16 @@ func main() {
 		crawler.CodeSystemError,
 	} {
 		fmt.Printf("  %-30s %6d  %5.1f%%\n", code, counts[code], 100*float64(counts[code])/float64(total))
+	}
+
+	if *metricsOut != "" {
+		if err := obs.WriteFile(*metricsOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "tripwire-crawl: writing metrics:", err)
+			os.Exit(1)
+		}
+		if *metricsOut != "-" {
+			fmt.Fprintf(os.Stderr, "tripwire-crawl: metrics written to %s\n", *metricsOut)
+		}
 	}
 
 	if *memprofile != "" {

@@ -5,19 +5,32 @@
 // Usage:
 //
 //	tripwire [-scale small|paper] [-seed N] [-workers N] [-detections-only]
+//	         [-metrics-addr HOST:PORT] [-metrics-out FILE] [-progress]
 //
 // The paper scale crawls 33,634 synthetic sites and monitors >100,000 honey
 // accounts; small scale runs the same pipeline on a 1,200-site web in a few
 // seconds.
+//
+// Observability: -metrics-addr serves /metrics (Prometheus text),
+// /metrics.json and /healthz while the study runs; -metrics-out dumps the
+// final registry at exit ("-" for stdout, *.prom for text, anything else
+// JSON); -progress streams wave and detection events to stderr. Ctrl-C
+// stops the study at the next wave boundary, keeping every completed
+// wave's results (and the metrics dump) intact.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tripwire"
+	"tripwire/internal/obs"
 	"tripwire/internal/runlog"
 )
 
@@ -27,6 +40,9 @@ func main() {
 	detectionsOnly := flag.Bool("detections-only", false, "print only detected compromises")
 	saveDir := flag.String("save", "", "write a results directory (summary, dataset, JSON records)")
 	workers := flag.Int("workers", 0, "crawl workers per registration wave (0 = GOMAXPROCS); any value yields identical output for a given seed")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /healthz on this address while running")
+	metricsOut := flag.String("metrics-out", "", "dump the metrics registry here at exit (\"-\" = stdout, *.prom = Prometheus text, else JSON)")
+	progress := flag.Bool("progress", false, "stream wave completions and detections to stderr")
 	flag.Parse()
 
 	var cfg tripwire.Config
@@ -39,14 +55,75 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tripwire: unknown scale %q (want small or paper)\n", *scale)
 		os.Exit(2)
 	}
-	cfg.Seed = *seed
-	cfg.CrawlWorkers = *workers
+
+	opts := []tripwire.Option{
+		tripwire.WithConfig(cfg),
+		tripwire.WithSeed(*seed),
+		tripwire.WithWorkers(*workers),
+	}
+	var reg *tripwire.Metrics
+	if *metricsAddr != "" || *metricsOut != "" {
+		reg = tripwire.NewMetrics()
+		opts = append(opts, tripwire.WithMetrics(reg))
+	}
+	study := tripwire.New(opts...)
+	if err := study.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "tripwire: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *metricsAddr != "" {
+		bound, shutdown, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tripwire: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { _ = shutdown() }()
+		fmt.Fprintf(os.Stderr, "tripwire: metrics on http://%s/metrics\n", bound)
+	}
+
+	if *progress {
+		go func() {
+			for ev := range study.Events() {
+				switch ev.Kind {
+				case tripwire.EventWaveDone:
+					fmt.Fprintf(os.Stderr, "tripwire: %s  wave done  batch=%q ranks=%d..%d attempts=%d\n",
+						ev.At.Format("2006-01-02"), ev.Batch, ev.FromRank, ev.ToRank, ev.Attempts)
+				case tripwire.EventDetection:
+					fmt.Fprintf(os.Stderr, "tripwire: %s  DETECTED   %s (%d of %d accounts accessed)\n",
+						ev.At.Format("2006-01-02"), ev.Detection.Domain,
+						ev.Detection.AccountsAccessed, ev.Detection.AccountsRegistered)
+				}
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	fmt.Fprintf(os.Stderr, "tripwire: generating %d-site web and running pilot (%s scale, seed %d)...\n",
 		cfg.Web.NumSites, *scale, *seed)
 	start := time.Now()
-	study := tripwire.NewStudy(cfg).Run()
-	fmt.Fprintf(os.Stderr, "tripwire: pilot finished in %v\n", time.Since(start))
+	runErr := study.RunContext(ctx)
+	switch {
+	case runErr == nil:
+		fmt.Fprintf(os.Stderr, "tripwire: pilot finished in %v\n", time.Since(start))
+	case errors.Is(runErr, context.Canceled):
+		fmt.Fprintf(os.Stderr, "tripwire: interrupted after %v; results below cover completed waves only\n", time.Since(start))
+	default:
+		fmt.Fprintf(os.Stderr, "tripwire: %v\n", runErr)
+		os.Exit(1)
+	}
+
+	if *metricsOut != "" {
+		if err := obs.WriteFile(*metricsOut, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "tripwire: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if *metricsOut != "-" {
+			fmt.Fprintf(os.Stderr, "tripwire: metrics written to %s\n", *metricsOut)
+		}
+	}
 
 	if !study.IntegrityOK() {
 		fmt.Fprintln(os.Stderr, "tripwire: WARNING: integrity alarms fired (unused accounts were accessed)")
@@ -68,7 +145,10 @@ func main() {
 				d.Domain, d.Rank, d.Category, d.AccountsAccessed, d.AccountsRegistered,
 				study.Classify(d))
 		}
-		return
+	} else {
+		fmt.Print(study.Summary())
 	}
-	fmt.Print(study.Summary())
+	if runErr != nil {
+		os.Exit(1)
+	}
 }

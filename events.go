@@ -1,0 +1,78 @@
+package tripwire
+
+import "sync"
+
+// eventStream buffers pilot events and forwards them to at most one
+// subscriber channel. The buffer is unbounded but small in practice — one
+// event per wave plus one per detection — so the scheduler goroutine never
+// blocks on a slow (or absent) consumer, and a subscriber that arrives
+// after the run replays the full sequence.
+type eventStream struct {
+	mu     sync.Mutex
+	buf    []Event
+	closed bool
+
+	wake chan struct{} // 1-buffered: "buffer or closed state changed"
+	once sync.Once
+	ch   chan Event
+}
+
+func newEventStream() *eventStream {
+	return &eventStream{wake: make(chan struct{}, 1)}
+}
+
+// emit appends one event; called synchronously from the scheduler.
+func (es *eventStream) emit(ev Event) {
+	es.mu.Lock()
+	es.buf = append(es.buf, ev)
+	es.mu.Unlock()
+	es.signal()
+}
+
+// close marks the stream finished; the subscriber channel closes once the
+// remaining buffer is drained.
+func (es *eventStream) close() {
+	es.mu.Lock()
+	es.closed = true
+	es.mu.Unlock()
+	es.signal()
+}
+
+func (es *eventStream) signal() {
+	select {
+	case es.wake <- struct{}{}:
+	default:
+	}
+}
+
+// subscribe returns the delivery channel, starting the pump on first call.
+func (es *eventStream) subscribe() <-chan Event {
+	es.once.Do(func() {
+		es.ch = make(chan Event)
+		go es.pump()
+	})
+	return es.ch
+}
+
+// pump forwards buffered events in emission order, then waits for more;
+// when the stream is closed and drained it closes the channel.
+func (es *eventStream) pump() {
+	next := 0
+	for {
+		es.mu.Lock()
+		for next < len(es.buf) {
+			ev := es.buf[next]
+			next++
+			es.mu.Unlock()
+			es.ch <- ev
+			es.mu.Lock()
+		}
+		closed := es.closed
+		es.mu.Unlock()
+		if closed {
+			close(es.ch)
+			return
+		}
+		<-es.wake
+	}
+}

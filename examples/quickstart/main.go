@@ -6,16 +6,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"tripwire"
 )
 
 func main() {
-	cfg := tripwire.SmallConfig()
-	cfg.Seed = 7
-
-	study := tripwire.NewStudy(cfg).Run()
+	study := tripwire.New(
+		tripwire.WithConfig(tripwire.SmallConfig()),
+		tripwire.WithSeed(7),
+	)
+	if err := study.RunContext(context.Background()); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("Tripwire quickstart")
 	fmt.Println("===================")

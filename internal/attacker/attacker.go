@@ -122,6 +122,10 @@ type Campaign struct {
 	breaches map[string]time.Time
 	dead     map[string]bool // accounts the attacker has abandoned
 	resales  []string        // domains whose dumps were resold
+
+	// Metrics, when non-nil, receives campaign-progress observations.
+	// Recording is atomic-only and draws no randomness.
+	Metrics *Metrics
 }
 
 // NewCampaign assembles an attacker.
@@ -157,11 +161,17 @@ func (c *Campaign) Breach(domain string, store *webgen.Store, when time.Time) {
 		c.mu.Lock()
 		c.breaches[domain] = now
 		c.mu.Unlock()
+		if c.Metrics != nil {
+			c.Metrics.breaches.Inc()
+		}
 		dump := store.Dump()
 		delay := c.crackDelay(store.Policy())
 		c.sched.After(delay, "crack "+domain, func(now time.Time) {
 			creds := c.cracker.Crack(dump)
 			provider := FilterByDomain(creds, c.provider.Domain())
+			if c.Metrics != nil {
+				c.Metrics.credsCracked.Add(uint64(len(provider)))
+			}
 			for _, cred := range provider {
 				if c.cfg.CheckFraction > 0 && c.cfg.CheckFraction < 1 && !c.roll(c.cfg.CheckFraction) {
 					continue // evasive attacker: sample, don't sweep
@@ -194,6 +204,9 @@ func (c *Campaign) maybeResell(domain string, creds []Credential) {
 		c.mu.Lock()
 		c.resales = append(c.resales, domain)
 		c.mu.Unlock()
+		if c.Metrics != nil {
+			c.Metrics.resales.Inc()
+		}
 		for _, cred := range creds {
 			c.scheduleStuffing(cred)
 		}
@@ -342,12 +355,18 @@ func (c *Campaign) afterLogins(st *accountState, now time.Time) {
 		c.provider.ChangePassword(st.cred.Email, takeoverPassword(st.cred.Email))
 		c.provider.RemoveForwarding(st.cred.Email)
 		st.tookOver = true
+		if c.Metrics != nil {
+			c.Metrics.takeovers.Inc()
+		}
 	}
 	if st.willSpam && st.logins >= st.spamAfter {
 		c.provider.ReportSpam(st.cred.Email, 100+c.intn(900))
 		c.mu.Lock()
 		c.dead[st.cred.Email] = true
 		c.mu.Unlock()
+		if c.Metrics != nil {
+			c.Metrics.spamTakedowns.Inc()
+		}
 	}
 }
 
@@ -355,6 +374,9 @@ func (c *Campaign) afterLogins(st *accountState, now time.Time) {
 // accounts whose value is exhausted or whose logins keep failing.
 func (c *Campaign) scheduleNext(st *accountState, now time.Time) {
 	if st.failures >= 30 && st.logins == 0 {
+		if c.Metrics != nil {
+			c.Metrics.credsAbandoned.Inc()
+		}
 		return // credential never worked; drop it
 	}
 	var gap time.Duration

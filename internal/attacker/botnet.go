@@ -68,6 +68,8 @@ type Stuffer struct {
 	Pool   *ProxyPool
 	// Now supplies virtual timestamps for the attacker-side log.
 	Now func() time.Time
+	// Metrics, when non-nil, counts stuffing attempts and successes.
+	Metrics *Metrics
 
 	mu      sync.Mutex
 	records []LoginRecord
@@ -108,6 +110,7 @@ func (s *Stuffer) TryLogin(cred Credential, siphon bool) (bool, netip.Addr) {
 	s.mu.Lock()
 	s.records = append(s.records, LoginRecord{Email: cred.Email, Time: s.Now(), IP: ip, Success: ok})
 	s.mu.Unlock()
+	s.Metrics.attempt(ok)
 	return ok, ip
 }
 
@@ -118,6 +121,7 @@ func (s *Stuffer) TryLoginFrom(ip netip.Addr, cred Credential, siphon bool) bool
 	s.mu.Lock()
 	s.records = append(s.records, LoginRecord{Email: cred.Email, Time: s.Now(), IP: ip, Success: ok})
 	s.mu.Unlock()
+	s.Metrics.attempt(ok)
 	return ok
 }
 

@@ -1,0 +1,45 @@
+package attacker
+
+import (
+	"tripwire/internal/obs"
+)
+
+// Metrics aggregates attacker-side telemetry, shared between a Campaign
+// and its Stuffer. A nil *Metrics is a no-op.
+type Metrics struct {
+	breaches       *obs.Counter
+	credsCracked   *obs.Counter
+	stuffAttempts  *obs.Counter
+	stuffSuccesses *obs.Counter
+	resales        *obs.Counter
+	spamTakedowns  *obs.Counter
+	takeovers      *obs.Counter
+	credsAbandoned *obs.Counter
+}
+
+// NewMetrics registers the attacker metric families on r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		breaches:       r.Counter("tripwire_attacker_breaches_total", "Site databases exfiltrated."),
+		credsCracked:   r.Counter("tripwire_attacker_creds_cracked_total", "Provider credentials recovered from cracked dumps."),
+		stuffAttempts:  r.Counter("tripwire_attacker_stuffing_attempts_total", "Credential-stuffing login attempts against the provider."),
+		stuffSuccesses: r.Counter("tripwire_attacker_stuffing_successes_total", "Credential-stuffing logins that succeeded."),
+		resales:        r.Counter("tripwire_attacker_resales_total", "Cracked credential lists resold on underground markets."),
+		spamTakedowns:  r.Counter("tripwire_attacker_spam_runs_total", "Accounts burned by attacker spam campaigns."),
+		takeovers:      r.Counter("tripwire_attacker_takeovers_total", "Accounts hijacked (password changed, forwarding stripped)."),
+		credsAbandoned: r.Counter("tripwire_attacker_creds_abandoned_total", "Credentials dropped after persistent login failure."),
+	}
+}
+
+func (m *Metrics) attempt(ok bool) {
+	if m == nil {
+		return
+	}
+	m.stuffAttempts.Inc()
+	if ok {
+		m.stuffSuccesses.Inc()
+	}
+}

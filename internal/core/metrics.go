@@ -1,0 +1,38 @@
+package core
+
+import (
+	"tripwire/internal/obs"
+)
+
+// MonitorMetrics aggregates detection-side telemetry. A nil *MonitorMetrics
+// is a no-op.
+type MonitorMetrics struct {
+	dumpsIngested    *obs.Counter
+	eventsIngested   *obs.Counter
+	attributedLogins *obs.Counter
+	controlLogins    *obs.Counter
+	integrityAlarms  *obs.Counter
+	detections       *obs.Counter
+}
+
+// NewMonitorMetrics registers the monitor metric families on r and exposes
+// the current detection count as a collection-time gauge.
+func (m *Monitor) NewMonitorMetrics(r *obs.Registry) *MonitorMetrics {
+	if r == nil {
+		return nil
+	}
+	mm := &MonitorMetrics{
+		dumpsIngested:    r.Counter("tripwire_monitor_dumps_total", "Provider login dumps ingested."),
+		eventsIngested:   r.Counter("tripwire_monitor_events_total", "Login events processed across all dumps."),
+		attributedLogins: r.Counter("tripwire_monitor_attributed_logins_total", "Login events attributed to a site registration."),
+		controlLogins:    r.Counter("tripwire_monitor_control_logins_total", "Control-account logins recognized in dumps."),
+		integrityAlarms:  r.Counter("tripwire_monitor_integrity_alarms_total", "Logins to accounts never registered anywhere (must stay 0)."),
+		detections:       r.Counter("tripwire_monitor_detections_total", "Sites newly detected as compromised."),
+	}
+	r.GaugeFunc("tripwire_monitor_sites_detected", "Distinct sites currently carrying a detection.", func() int64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return int64(len(m.detections))
+	})
+	return mm
+}

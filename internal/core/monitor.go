@@ -57,6 +57,10 @@ type Monitor struct {
 	// detections indexed by site domain, in first-detection order.
 	detections map[string]*Detection
 	order      []string
+
+	// Metrics, when non-nil, receives per-dump observations. Recording is
+	// atomic-only and never influences attribution.
+	Metrics *MonitorMetrics
 }
 
 // Detection is the monitor's evidence of compromise at one site.
@@ -101,6 +105,10 @@ func (m *Monitor) ExpectControlLogin(account string) {
 func (m *Monitor) Ingest(events []emailprovider.LoginEvent) []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.Metrics != nil {
+		m.Metrics.dumpsIngested.Inc()
+		m.Metrics.eventsIngested.Add(uint64(len(events)))
+	}
 	var newly []string
 	for _, ev := range events {
 		if ev.Time.After(m.lastDump) {
@@ -109,6 +117,9 @@ func (m *Monitor) Ingest(events []emailprovider.LoginEvent) []string {
 		account := strings.ToLower(ev.Account)
 		if m.ledger.IsControl(account) {
 			m.seenControls[account]++
+			if m.Metrics != nil {
+				m.Metrics.controlLogins.Inc()
+			}
 			continue
 		}
 		reg, ok := m.ledger.Lookup(account)
@@ -118,9 +129,15 @@ func (m *Monitor) Ingest(events []emailprovider.LoginEvent) []string {
 				reason = "login to unused honeypot account (provider or Tripwire database compromise?)"
 			}
 			m.alarms = append(m.alarms, IntegrityAlarm{Event: ev, Reason: reason})
+			if m.Metrics != nil {
+				m.Metrics.integrityAlarms.Inc()
+			}
 			continue
 		}
 		m.attributed = append(m.attributed, AttributedLogin{Event: ev, Registration: reg})
+		if m.Metrics != nil {
+			m.Metrics.attributedLogins.Inc()
+		}
 		det, seen := m.detections[reg.Domain]
 		if !seen {
 			det = &Detection{
@@ -134,6 +151,9 @@ func (m *Monitor) Ingest(events []emailprovider.LoginEvent) []string {
 			m.detections[reg.Domain] = det
 			m.order = append(m.order, reg.Domain)
 			newly = append(newly, reg.Domain)
+			if m.Metrics != nil {
+				m.Metrics.detections.Inc()
+			}
 		}
 		if ev.Time.Before(det.FirstSeen) {
 			det.FirstSeen = ev.Time

@@ -136,6 +136,9 @@ type Crawler struct {
 	// Sleep is called for rate-limiting between page loads when an attempt
 	// does not carry its own Env.Sleep; nil means no delay accounting.
 	Sleep func(time.Duration)
+	// Metrics, when non-nil, receives one observation per finished attempt.
+	// Recording is atomic-only and never alters attempt outcomes.
+	Metrics *Metrics
 }
 
 // Env carries the per-attempt dependencies that would otherwise be shared
@@ -200,6 +203,12 @@ func (c *Crawler) Register(b *browser.Client, siteURL string, id *identity.Ident
 // RegisterWith runs one registration attempt with per-attempt dependencies
 // taken from env (any nil member falls back to the crawler's shared one).
 func (c *Crawler) RegisterWith(env *Env, b *browser.Client, siteURL string, id *identity.Identity) Result {
+	res := c.registerWith(env, b, siteURL, id)
+	c.Metrics.observe(&res)
+	return res
+}
+
+func (c *Crawler) registerWith(env *Env, b *browser.Client, siteURL string, id *identity.Identity) Result {
 	res := Result{Site: hostOf(siteURL)}
 
 	if c.cfg.FaultRate > 0 && c.faultDraw(env) < c.cfg.FaultRate {

@@ -296,8 +296,10 @@ func ClassifyField(f *browser.Field) Meaning {
 	m, ok := classifyCache.m[f.Type][ctx]
 	classifyCache.RUnlock()
 	if ok {
+		classifyHits.Add(1)
 		return m
 	}
+	classifyMisses.Add(1)
 	m = classifyUncached(f.Type, ctx)
 	classifyCache.Lock()
 	if classifyCache.n >= classifyCacheMax {

@@ -1,0 +1,74 @@
+package crawler
+
+import (
+	"sync/atomic"
+
+	"tripwire/internal/obs"
+)
+
+// classifyHits/classifyMisses count ClassifyField cache outcomes. They are
+// always-on package atomics (the cache itself is package-global) and are
+// exported to a registry at collection time via CounterFunc, so the hot
+// path never touches a registry.
+var (
+	classifyHits   atomic.Uint64
+	classifyMisses atomic.Uint64
+)
+
+// codeLabels maps each termination Code to its metric label value, indexed
+// by the Code itself.
+var codeLabels = [...]string{
+	CodeOKSubmission:     "ok_submission",
+	CodeSubmissionFailed: "submission_failed",
+	CodeFieldsMissing:    "fields_missing",
+	CodeNoRegistration:   "no_registration",
+	CodeSystemError:      "system_error",
+}
+
+// Metrics aggregates crawler telemetry. A nil *Metrics is a no-op, so the
+// field can be left unset on crawlers that run without observability.
+type Metrics struct {
+	attempts  *obs.Counter
+	pageLoads *obs.Counter
+	exposed   *obs.Counter
+	// codes is indexed by Result.Code — resolved once here so the hot path
+	// never does a label lookup.
+	codes [len(codeLabels)]*obs.Counter
+}
+
+// NewMetrics registers the crawler metric families on r and resolves the
+// per-code counters. It also exposes the classify cache's hit/miss atomics;
+// those are package-global, so registering two crawlers on one registry is
+// safe (registration is idempotent by name).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{
+		attempts:  r.Counter("tripwire_crawler_attempts_total", "Registration attempts started."),
+		pageLoads: r.Counter("tripwire_crawler_page_loads_total", "Pages fetched across all registration attempts."),
+		exposed:   r.Counter("tripwire_crawler_identities_exposed_total", "Attempts that exposed the identity's credentials to the site."),
+	}
+	vec := r.CounterVec("tripwire_crawler_outcomes_total", "Registration attempts by termination code (paper Figure 1).", "code", codeLabels[:]...)
+	for code, label := range codeLabels {
+		m.codes[code] = vec.With(label)
+	}
+	r.CounterFunc("tripwire_crawler_classify_cache_hits_total", "Field-classification cache hits.", classifyHits.Load)
+	r.CounterFunc("tripwire_crawler_classify_cache_misses_total", "Field-classification cache misses.", classifyMisses.Load)
+	return m
+}
+
+// observe records one finished attempt.
+func (m *Metrics) observe(res *Result) {
+	if m == nil {
+		return
+	}
+	m.attempts.Inc()
+	m.pageLoads.Add(uint64(res.PageLoads))
+	if res.Exposed {
+		m.exposed.Inc()
+	}
+	if int(res.Code) < len(m.codes) {
+		m.codes[res.Code].Inc()
+	}
+}

@@ -72,6 +72,16 @@ func (p *Provider) setState(email string, st State) bool {
 	if !ok {
 		return false
 	}
+	if p.Metrics != nil && a.state != st {
+		switch st {
+		case Frozen:
+			p.Metrics.frozen.Inc()
+		case Deactivated:
+			p.Metrics.deactivated.Inc()
+		case ResetForced:
+			p.Metrics.forcedResets.Inc()
+		}
+	}
 	a.state = st
 	return true
 }
@@ -116,6 +126,9 @@ func (p *Provider) ReportSpam(email string, messages int) State {
 	}
 	if messages > 0 && a.state == Active {
 		a.state = Deactivated
+		if p.Metrics != nil {
+			p.Metrics.deactivated.Inc()
+		}
 	}
 	return a.state
 }

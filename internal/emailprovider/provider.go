@@ -107,6 +107,10 @@ type Provider struct {
 	// Retention bounds how far back login events are kept; dumps cannot
 	// see past it. The paper lost Spring 2015 data to exactly this limit.
 	Retention time.Duration
+
+	// Metrics, when non-nil, receives login and lifecycle observations.
+	// Recording is atomic-only and never changes auth decisions.
+	Metrics *Metrics
 }
 
 // New returns a provider serving addresses @domain.
@@ -252,12 +256,21 @@ func (p *Provider) login(email, password string, remote netip.Addr, method strin
 	defer p.mu.Unlock()
 	a, ok := p.accounts[strings.ToLower(email)]
 	if !ok {
+		if p.Metrics != nil {
+			p.Metrics.authFailures.Inc()
+		}
 		return nil, imap.ErrAuthFailed
 	}
 	if now.Before(a.throttledTil) {
+		if p.Metrics != nil {
+			p.Metrics.throttled.Inc()
+		}
 		return nil, imap.ErrThrottled
 	}
 	if a.state == Frozen || a.state == Deactivated {
+		if p.Metrics != nil {
+			p.Metrics.lockedOut.Inc()
+		}
 		return nil, imap.ErrAccountFrozen
 	}
 	if a.state == ResetForced || a.password != password {
@@ -271,10 +284,14 @@ func (p *Provider) login(email, password string, remote netip.Addr, method strin
 		if a.failedCount > p.BruteForceMax {
 			a.throttledTil = now.Add(p.ThrottlePeriod)
 		}
+		if p.Metrics != nil {
+			p.Metrics.authFailures.Inc()
+		}
 		return nil, imap.ErrAuthFailed
 	}
 	a.failedCount = 0
 	p.loginLog = append(p.loginLog, LoginEvent{Account: a.email, Time: now, IP: remote, Method: method})
+	p.Metrics.loginOK(method)
 	return a, nil
 }
 

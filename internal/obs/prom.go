@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+)
+
+// WriteProm encodes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): per family a # HELP and # TYPE line,
+// then one line per series. Families appear in registration order and a
+// family's series in creation order, so output is deterministic — the
+// golden-file test depends on that.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.help)
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		switch f.kind {
+		case kindCounter, kindGauge:
+			for _, s := range f.series {
+				bw.WriteString(f.name)
+				bw.WriteString(s.labels)
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(s.value()))
+				bw.WriteByte('\n')
+			}
+		case kindHistogram:
+			for _, h := range f.hists {
+				st := histStats(h)
+				for _, b := range st.Buckets {
+					bw.WriteString(f.name)
+					bw.WriteString(`_bucket{le="`)
+					bw.WriteString(b.LE)
+					bw.WriteString(`"} `)
+					bw.WriteString(formatFloat(float64(b.Count)))
+					bw.WriteByte('\n')
+				}
+				bw.WriteString(f.name)
+				bw.WriteString("_sum ")
+				bw.WriteString(formatFloat(st.Sum))
+				bw.WriteByte('\n')
+				bw.WriteString(f.name)
+				bw.WriteString("_count ")
+				bw.WriteString(formatFloat(float64(st.Count)))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with one instrument of every kind and
+// deterministic recorded values (exact binary floats only, no wall-clock
+// spans), so its text encoding is byte-stable across platforms.
+func goldenRegistry() *Registry {
+	r := New()
+	r.Counter("tw_requests_total", "Total requests.").Add(42)
+	vec := r.CounterVec("tw_outcomes_total", "Registration outcomes by code.", "code", "ok", "fail")
+	vec.With("ok").Add(3)
+	vec.With("fail").Inc()
+	r.Gauge("tw_active_workers", "Crawl workers currently busy.").Set(8)
+	h := r.Histogram("tw_wave_seconds", "Wave latency.", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 8} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	const goldenPath = "testdata/golden.prom"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("Prometheus text encoding drifted from %s (set UPDATE_GOLDEN=1 to regenerate).\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, sb.String())
+	}
+	if snap.Counters["tw_requests_total"] != 42 {
+		t.Fatalf("round-tripped counter = %v, want 42", snap.Counters["tw_requests_total"])
+	}
+	hist, ok := snap.Histograms["tw_wave_seconds"]
+	if !ok {
+		t.Fatal("histogram missing from round-tripped snapshot")
+	}
+	if hist.Count != 4 || hist.Sum != 13 {
+		t.Fatalf("histogram stats = count %d sum %v, want 4 / 13", hist.Count, hist.Sum)
+	}
+	last := hist.Buckets[len(hist.Buckets)-1]
+	if last.LE != "+Inf" || last.Count != 4 {
+		t.Fatalf("+Inf bucket = %+v, want le=+Inf count=4", last)
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Snapshot is a point-in-time copy of every registered metric, shaped for
+// JSON. Keys are full series names including any label suffix
+// (`tripwire_crawler_outcomes_total{code="ok_submission"}`).
+type Snapshot struct {
+	Counters   map[string]float64        `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// HistogramStats summarizes one histogram.
+type HistogramStats struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Bucket is one cumulative histogram bucket; LE is the upper bound
+// ("+Inf" for the catch-all) rendered as a string so the JSON stays valid.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// histStats copies a histogram's state. Buckets are cumulative, matching
+// the Prometheus exposition convention.
+func histStats(h *Histogram) HistogramStats {
+	st := HistogramStats{Count: h.Count(), Sum: h.Sum()}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		st.Buckets = append(st.Buckets, Bucket{LE: le, Count: cum})
+	}
+	return st
+}
+
+// Snapshot collects every registered metric. It takes the registration
+// mutex (collection is off the hot path) and reads instrument values with
+// the same atomics writers use, so it is safe to call while 16 goroutines
+// hammer the instruments.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]float64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramStats),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		switch f.kind {
+		case kindCounter:
+			for _, s := range f.series {
+				snap.Counters[f.name+s.labels] = s.value()
+			}
+		case kindGauge:
+			for _, s := range f.series {
+				snap.Gauges[f.name+s.labels] = s.value()
+			}
+		case kindHistogram:
+			for _, h := range f.hists {
+				snap.Histograms[f.name] = histStats(h)
+			}
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the indented JSON snapshot (the -metrics-out format for
+// non-.prom paths).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// formatFloat renders a float the way the Prometheus text format expects:
+// shortest representation that round-trips ("42", "0.025", "1e+06").
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

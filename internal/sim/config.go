@@ -10,6 +10,7 @@ package sim
 import (
 	"time"
 
+	"tripwire/internal/obs"
 	"tripwire/internal/webgen"
 )
 
@@ -91,6 +92,13 @@ type Config struct {
 	// Zero — the default — keeps simulations instant; benchmarks set it to
 	// measure how well workers overlap network waits.
 	NetLatency time.Duration
+
+	// Metrics, when non-nil, receives telemetry from every subsystem of the
+	// pilot. Instruments are observation-only — they draw no randomness and
+	// feed nothing back — so attaching a registry never changes results
+	// (TestWorkerCountInvariance runs with one attached). Nil disables
+	// telemetry at the cost of one branch per record site.
+	Metrics *obs.Registry
 }
 
 func date(y int, m time.Month, d int) time.Time {

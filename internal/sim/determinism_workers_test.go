@@ -3,6 +3,7 @@ package sim_test
 import (
 	"testing"
 
+	"tripwire/internal/obs"
 	"tripwire/internal/report"
 	"tripwire/internal/sim"
 )
@@ -10,7 +11,9 @@ import (
 // TestWorkerCountInvariance asserts the parallel crawl engine's core
 // contract: a pilot sharded over 8 crawl workers is bit-identical to the
 // same pilot run on 1 worker — same attempts in the same order, same
-// detections, and byte-identical Table 1 and Table 2 renderings.
+// detections, and byte-identical Table 1 and Table 2 renderings. Both runs
+// carry a live metrics registry so the invariance covers the instrumented
+// code paths (telemetry must be observation-only).
 func TestWorkerCountInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two full pilots in -short mode")
@@ -18,6 +21,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 	run := func(workers int) *sim.Pilot {
 		cfg := sim.SmallConfig()
 		cfg.CrawlWorkers = workers
+		cfg.Metrics = obs.New()
 		return sim.NewPilot(cfg).Run()
 	}
 	serial := run(1)

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"time"
+
+	"tripwire/internal/obs"
+)
+
+// pilotMetrics is the sim-layer view of the registry: wave spans, task
+// throughput, and worker utilization. A nil *pilotMetrics is a no-op.
+type pilotMetrics struct {
+	waveSpan    *obs.Span
+	waves       *obs.Counter
+	tasks       *obs.Counter
+	taskDur     *obs.Histogram
+	utilization *obs.Gauge
+	provisioned *obs.Counter
+}
+
+// newPilotMetrics registers the sim metric families on r and exposes the
+// configured worker count as a gauge.
+func (p *Pilot) newPilotMetrics(r *obs.Registry) *pilotMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &pilotMetrics{
+		waveSpan:    r.Span("tripwire_sim_wave", "One crawl wave (both phases)", nil),
+		waves:       r.Counter("tripwire_sim_waves_total", "Crawl waves completed."),
+		tasks:       r.Counter("tripwire_sim_crawl_tasks_total", "Crawl tasks executed across all waves."),
+		taskDur:     r.Histogram("tripwire_sim_task_duration_seconds", "Wall-clock duration of one crawl task.", nil),
+		utilization: r.Gauge("tripwire_sim_worker_utilization_percent", "Share of the last phase's worker-time spent crawling."),
+		provisioned: r.Counter("tripwire_sim_identities_provisioned_total", "Honey identities provisioned at the provider."),
+	}
+	r.GaugeFunc("tripwire_sim_workers", "Configured crawl workers (0 meant GOMAXPROCS).", func() int64 {
+		return int64(p.workers())
+	})
+	return m
+}
+
+// waveStart opens the wave span; pair with waveDone.
+func (m *pilotMetrics) waveStart() obs.SpanTimer {
+	if m == nil {
+		return obs.SpanTimer{}
+	}
+	return m.waveSpan.Start()
+}
+
+// waveDone closes the wave span and counts the wave.
+func (m *pilotMetrics) waveDone(t obs.SpanTimer) {
+	if m == nil {
+		return
+	}
+	t.End()
+	m.waves.Inc()
+}
+
+// phaseDone records one finished phase: per-task wall-clock durations were
+// already observed by the workers; here the busy total is turned into a
+// utilization percentage over the phase's span.
+func (m *pilotMetrics) phaseDone(tasks int, busy, elapsed time.Duration, workers int) {
+	if m == nil {
+		return
+	}
+	m.tasks.Add(uint64(tasks))
+	if elapsed > 0 && workers > 0 {
+		m.utilization.Set(int64(100 * busy / (elapsed * time.Duration(workers))))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tripwire/internal/browser"
@@ -230,9 +231,27 @@ func (p *Pilot) runPhase(tasks []*crawlTask) {
 	for _, t := range tasks {
 		t.id = p.takeIdentity(t.class)
 	}
-	runSharded(p.workers(), len(tasks), func(i int) {
-		p.crawlTask(tasks[i])
-	})
+	workers := p.workers()
+	if p.metrics == nil {
+		runSharded(workers, len(tasks), func(i int) {
+			p.crawlTask(tasks[i])
+		})
+	} else {
+		// Metered variant: per-task wall time feeds the duration histogram
+		// and a busy total that phaseDone turns into worker utilization.
+		// The extra cost is two time.Now calls and three atomic adds per
+		// task — nothing the crawl itself can observe.
+		var busy atomic.Int64
+		phaseStart := time.Now()
+		runSharded(workers, len(tasks), func(i int) {
+			start := time.Now()
+			p.crawlTask(tasks[i])
+			d := time.Since(start)
+			busy.Add(int64(d))
+			p.metrics.taskDur.ObserveDuration(d)
+		})
+		p.metrics.phaseDone(len(tasks), time.Duration(busy.Load()), time.Since(phaseStart), min(workers, len(tasks)))
+	}
 	for _, t := range tasks {
 		p.mergeTask(t)
 	}
@@ -243,19 +262,32 @@ func (p *Pilot) runPhase(tasks []*crawlTask) {
 // an easy-password follow-up phase at sites whose hard attempt appeared to
 // succeed (paper §4.1.2). A site's easy eligibility depends only on its own
 // hard result, so the phase split preserves per-site semantics.
-func (p *Pilot) runWave(ranks []rankAt, manual bool) {
+func (p *Pilot) runWave(ranks []rankAt, manual bool, batch string) {
+	timer := p.metrics.waveStart()
+	before := len(p.Attempts)
 	tasks := p.collectTasks(ranks, manual)
 	p.runPhase(tasks)
-	if manual {
-		return
-	}
-	var easy []*crawlTask
-	for _, t := range tasks {
-		if t.res.Code == crawler.CodeOKSubmission {
-			easy = append(easy, p.newTask(t.site, identity.Easy, false, t.done))
+	if !manual {
+		var easy []*crawlTask
+		for _, t := range tasks {
+			if t.res.Code == crawler.CodeOKSubmission {
+				easy = append(easy, p.newTask(t.site, identity.Easy, false, t.done))
+			}
 		}
+		p.runPhase(easy)
 	}
-	p.runPhase(easy)
+	p.metrics.waveDone(timer)
+	if len(ranks) > 0 {
+		p.emit(Event{
+			Kind:     EventWaveDone,
+			At:       p.Clock.Now(),
+			Batch:    batch,
+			FromRank: ranks[0].rank,
+			ToRank:   ranks[len(ranks)-1].rank,
+			Attempts: len(p.Attempts) - before,
+			Manual:   manual,
+		})
+	}
 }
 
 // crawlManual emulates the authors registering by hand at eligible

@@ -6,13 +6,14 @@ import (
 	"time"
 
 	"tripwire/internal/identity"
+	"tripwire/internal/obs"
 )
 
 // benchWaveSites is how many sites one benchmark iteration crawls.
 const benchWaveSites = 384
 
-// BenchmarkParallelCrawl measures crawl throughput of one registration wave
-// at several worker counts. Each iteration gets a fresh pilot (a site can
+// benchParallelCrawl measures crawl throughput of one registration wave at
+// several worker counts. Each iteration gets a fresh pilot (a site can
 // only be first-registered once) built outside the timer; the timed region
 // is exactly what a wave event executes: serial identity allocation, the
 // sharded crawl, the rank-order merge, and the mail drain.
@@ -22,7 +23,11 @@ const benchWaveSites = 384
 // speedup from extra workers is therefore latency overlap — which scales
 // with worker count on any machine, including single-core CI boxes where a
 // purely CPU-bound benchmark could never show one.
-func BenchmarkParallelCrawl(b *testing.B) {
+//
+// withMetrics attaches a live obs.Registry, so comparing the two
+// benchmarks in one run (cmd/tripwire-bench -assert-overhead) bounds the
+// observability layer's hot-path cost.
+func benchParallelCrawl(b *testing.B, withMetrics bool) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
@@ -33,6 +38,9 @@ func BenchmarkParallelCrawl(b *testing.B) {
 				cfg.Web.NumSites = benchWaveSites
 				cfg.CrawlWorkers = workers
 				cfg.NetLatency = time.Millisecond
+				if withMetrics {
+					cfg.Metrics = obs.New()
+				}
 				p := NewPilot(cfg)
 				// Pre-provision so on-demand provisioning (identical work at
 				// every worker count) stays out of the hot loop.
@@ -43,7 +51,7 @@ func BenchmarkParallelCrawl(b *testing.B) {
 					ranks[r-1] = rankAt{rank: r, at: cfg.Start}
 				}
 				b.StartTimer()
-				p.runWave(ranks, false)
+				p.runWave(ranks, false, "bench")
 				b.StopTimer()
 				for _, a := range p.Attempts {
 					pages += int64(a.PageLoad)
@@ -55,3 +63,11 @@ func BenchmarkParallelCrawl(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkParallelCrawl is the baseline: no registry attached.
+func BenchmarkParallelCrawl(b *testing.B) { benchParallelCrawl(b, false) }
+
+// BenchmarkParallelCrawlMetrics is the same wave with live telemetry; the
+// pages/s gap against BenchmarkParallelCrawl is the observability tax,
+// asserted < 3% by `make bench-overhead`.
+func BenchmarkParallelCrawlMetrics(b *testing.B) { benchParallelCrawl(b, true) }

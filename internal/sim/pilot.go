@@ -70,6 +70,7 @@ type Pilot struct {
 	verifier   *browser.Client // clicks verification links
 	institutIP netip.Addr
 	taskSeq    int64 // crawl-task creation counter (see parallel.go)
+	metrics    *pilotMetrics
 
 	Attempts     []Attempt
 	controlCreds map[string]string // control email -> password
@@ -81,6 +82,14 @@ type Pilot struct {
 	DetectionTimes map[string]time.Time
 	// MissedBreaches are breached sites that produced no detection.
 	MissedBreaches []string
+
+	// OnEvent, when non-nil, receives progress events (wave completions,
+	// detections) synchronously on the scheduler goroutine. Handlers must
+	// not call back into the pilot.
+	OnEvent func(Event)
+	// Interrupted is set when RunContext stopped early on a cancelled
+	// context; completed waves remain valid and deterministic.
+	Interrupted bool
 }
 
 // NewPilot builds a fully wired pilot for cfg. Call Run to execute it.
@@ -162,6 +171,19 @@ func NewPilot(cfg Config) *Pilot {
 	p.DNS.AddMX(ProviderDomain, "mx."+ProviderDomain)
 	p.DNS.AddMX(RelayDomain, "mx."+RelayDomain)
 	p.Disclosure.DNS = p.DNS
+
+	// Observability: thread the registry through every subsystem. All
+	// wiring is nil-safe, so a run without metrics pays only nil checks.
+	if r := cfg.Metrics; r != nil {
+		p.metrics = p.newPilotMetrics(r)
+		p.Crawler.Metrics = crawler.NewMetrics(r)
+		p.Universe.Observe(r)
+		p.Provider.Metrics = p.Provider.NewMetrics(r)
+		am := attacker.NewMetrics(r)
+		p.Stuffer.Metrics = am
+		p.Campaign.Metrics = am
+		p.Monitor.Metrics = p.Monitor.NewMonitorMetrics(r)
+	}
 	return p
 }
 
@@ -214,6 +236,9 @@ func (p *Pilot) provisionIdentities(n int, class identity.PasswordClass) {
 		}
 		p.Ledger.AddIdentity(id)
 		created++
+	}
+	if p.metrics != nil {
+		p.metrics.provisioned.Add(uint64(n))
 	}
 }
 

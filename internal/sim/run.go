@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/url"
@@ -18,16 +19,39 @@ import (
 // campaign, control logins, provider dumps, and monitoring, all on the
 // virtual timeline. It returns the pilot itself for inspection.
 func (p *Pilot) Run() *Pilot {
+	_ = p.RunContext(context.Background())
+	return p
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between scheduler events — which includes every wave boundary — so a
+// cancelled run stops cleanly after the event in flight. Completed waves
+// are untouched by cancellation: a run cancelled at any point is a prefix
+// of the uncancelled run (a test pins this). On cancellation the pilot is
+// marked Interrupted, the end-of-study accounting (final mail drain,
+// missed-breach analysis) is skipped, and ctx's error is returned.
+func (p *Pilot) RunContext(ctx context.Context) error {
 	p.provisionUpfront()
 	p.scheduleControls()
 	p.scheduleBatches()
 	p.scheduleBreaches()
 	p.scheduleDumps()
 	p.scheduleDisclosures()
-	p.Sched.RunUntil(p.Cfg.End)
+	for {
+		if err := ctx.Err(); err != nil {
+			p.Interrupted = true
+			return err
+		}
+		at, ok := p.Sched.NextAt()
+		if !ok || at.After(p.Cfg.End) {
+			break
+		}
+		p.Sched.Step()
+	}
+	p.Clock.AdvanceTo(p.Cfg.End)
 	p.drainMail()
 	p.recordMisses()
-	return p
+	return nil
 }
 
 // scheduleDisclosures books the paper's two disclosure batches (§6.3.1:
@@ -108,7 +132,7 @@ func (p *Pilot) scheduleBatches() {
 			}
 			manual := b.Manual
 			p.Sched.At(wave[0].at, fmt.Sprintf("register ranks %d-%d (%s)", lo, hi, b.Name), func(now time.Time) {
-				p.runWave(wave, manual)
+				p.runWave(wave, manual, b.Name)
 			})
 		}
 	}
@@ -208,6 +232,9 @@ func (p *Pilot) scheduleDumps() {
 			newly := p.Monitor.Ingest(events)
 			for _, domain := range newly {
 				p.DetectionTimes[domain] = now
+				if det, ok := p.Monitor.Detection(domain); ok {
+					p.emit(Event{Kind: EventDetection, At: now, Detection: det})
+				}
 			}
 			p.lastDump = now
 			p.Provider.PurgeExpired()

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunContextCancelledUpfront: a context that is already cancelled stops
+// the run before any scheduler event fires.
+func TestRunContextCancelledUpfront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := NewPilot(SmallConfig())
+	err := p.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !p.Interrupted {
+		t.Fatal("Interrupted not set")
+	}
+	if len(p.Attempts) != 0 {
+		t.Fatalf("%d attempts despite upfront cancellation", len(p.Attempts))
+	}
+}
+
+// TestRunContextCancelMidRunIsPrefix asserts the cancellation contract:
+// stopping at a wave boundary leaves every completed wave's results valid,
+// i.e. the interrupted run's attempt log is an exact prefix of the
+// uninterrupted run's.
+func TestRunContextCancelMidRunIsPrefix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two pilots in -short mode")
+	}
+	full := NewPilot(SmallConfig())
+	if err := full.RunContext(context.Background()); err != nil {
+		t.Fatalf("full run failed: %v", err)
+	}
+	if len(full.Attempts) == 0 {
+		t.Fatal("full run produced no attempts")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPilot(SmallConfig())
+	waves := 0
+	p.OnEvent = func(ev Event) {
+		// Cancel from inside the second wave's completion event: the event
+		// in flight finishes, the next scheduler step must not start.
+		if ev.Kind == EventWaveDone {
+			waves++
+			if waves == 2 {
+				cancel()
+			}
+		}
+	}
+	err := p.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !p.Interrupted {
+		t.Fatal("Interrupted not set")
+	}
+	if len(p.Attempts) == 0 || len(p.Attempts) >= len(full.Attempts) {
+		t.Fatalf("interrupted run has %d attempts, full run %d; want a proper non-empty prefix",
+			len(p.Attempts), len(full.Attempts))
+	}
+	for i := range p.Attempts {
+		if p.Attempts[i] != full.Attempts[i] {
+			t.Fatalf("attempt %d diverges after cancellation:\n interrupted: %+v\n full:        %+v",
+				i, p.Attempts[i], full.Attempts[i])
+		}
+	}
+}

@@ -96,6 +96,16 @@ func (s *Scheduler) Cancel(ev *Event) bool {
 // Len reports the number of pending events.
 func (s *Scheduler) Len() int { return len(s.pq) }
 
+// NextAt returns the time of the earliest pending event. ok is false when
+// the queue is empty. Drivers use it to decide whether to keep stepping —
+// e.g. checking a context between events without disturbing the queue.
+func (s *Scheduler) NextAt() (at time.Time, ok bool) {
+	if len(s.pq) == 0 {
+		return time.Time{}, false
+	}
+	return s.pq[0].At, true
+}
+
 // Step fires the earliest pending event, advancing the clock to its time.
 // It reports whether an event fired.
 func (s *Scheduler) Step() bool {

@@ -5,9 +5,11 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tripwire/internal/captcha"
+	"tripwire/internal/obs"
 )
 
 // Mailer is the outbound-email hook sites use to deliver verification and
@@ -35,7 +37,7 @@ type Universe struct {
 	issuers    map[string]*captcha.Issuer
 	pending    map[string]pendingReg // multi-stage continuations
 	tokenSeq   map[string]int        // per-domain token counters
-	loginFails map[string]int // "domain|user" -> consecutive failures
+	loginFails map[string]int        // "domain|user" -> consecutive failures
 
 	// renderMu guards rendered, the per-(site, page-kind) body cache.
 	// Every cached body is a pure function of the generated site — dynamic
@@ -44,6 +46,12 @@ type Universe struct {
 	// double-compute stores identical bytes and is harmless.
 	renderMu sync.RWMutex
 	rendered map[string]string
+
+	// renderHits/renderMisses count cachedBody outcomes. Always-on atomics
+	// (two adds per page serve); Observe exposes them to a metrics registry
+	// at collection time.
+	renderHits   atomic.Uint64
+	renderMisses atomic.Uint64
 
 	// DisableRenderCache forces every page to be rendered from scratch.
 	// Tests use it to prove cached and uncached serving are byte-identical.
@@ -167,13 +175,26 @@ func (u *Universe) cachedBody(site *Site, kind string, render func() string) str
 	body, ok := u.rendered[key]
 	u.renderMu.RUnlock()
 	if ok {
+		u.renderHits.Add(1)
 		return body
 	}
+	u.renderMisses.Add(1)
 	body = render()
 	u.renderMu.Lock()
 	u.rendered[key] = body
 	u.renderMu.Unlock()
 	return body
+}
+
+// Observe exposes the universe's render-cache counters and site count on r
+// at collection time. Call once per universe after construction.
+func (u *Universe) Observe(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("tripwire_webgen_render_cache_hits_total", "Page bodies served from the render cache.", u.renderHits.Load)
+	r.CounterFunc("tripwire_webgen_render_cache_misses_total", "Page bodies rendered from scratch.", u.renderMisses.Load)
+	r.GaugeFunc("tripwire_webgen_sites", "Generated sites in the universe.", func() int64 { return int64(len(u.sites)) })
 }
 
 // servePage writes a static page body, serving it from the render cache

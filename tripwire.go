@@ -17,19 +17,36 @@
 //
 // Quick start:
 //
-//	study := tripwire.NewStudy(tripwire.SmallConfig())
-//	study.Run()
+//	study := tripwire.New(
+//		tripwire.WithConfig(tripwire.SmallConfig()),
+//		tripwire.WithSeed(42),
+//	)
+//	if err := study.RunContext(ctx); err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Println(study.Summary())
 //
+// Attach telemetry with WithMetrics and watch progress with Events:
+//
+//	reg := tripwire.NewMetrics()
+//	study := tripwire.New(tripwire.WithMetrics(reg))
+//	go func() {
+//		for ev := range study.Events() {
+//			log.Println(ev.Kind, ev.At)
+//		}
+//	}()
+//
 // The full paper-scale pilot (33,634 sites over the July 2014 – February
-// 2017 virtual timeline) runs with DefaultConfig; see cmd/tripwire.
+// 2017 virtual timeline) is the default configuration; see cmd/tripwire.
 package tripwire
 
 import (
+	"context"
 	"strings"
 
 	"tripwire/internal/core"
 	"tripwire/internal/disclosure"
+	"tripwire/internal/obs"
 	"tripwire/internal/report"
 	"tripwire/internal/sim"
 )
@@ -55,6 +72,29 @@ const (
 	BreachIndeterminate = core.BreachIndeterminate
 )
 
+// Metrics is the observability registry threaded through every subsystem
+// of a study: sharded counters, gauges, histograms, and stage spans. Dump
+// it with WriteProm/WriteJSON/Snapshot, or serve it over HTTP with the
+// -metrics-addr flag on cmd/tripwire.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry to pass to WithMetrics.
+func NewMetrics() *Metrics { return obs.New() }
+
+// Event is one study progress notification (a completed crawl wave or a
+// new detection). See EventKind for the variants and the ordering
+// guarantee.
+type Event = sim.Event
+
+// EventKind discriminates Events.
+type EventKind = sim.EventKind
+
+// Event kinds.
+const (
+	EventWaveDone  = sim.EventWaveDone
+	EventDetection = sim.EventDetection
+)
+
 // DefaultConfig returns the paper-scale pilot configuration.
 func DefaultConfig() Config { return sim.DefaultConfig() }
 
@@ -62,30 +102,143 @@ func DefaultConfig() Config { return sim.DefaultConfig() }
 // examples, and quick demos.
 func SmallConfig() Config { return sim.SmallConfig() }
 
+// Option customizes a study built by New. Options are applied on top of
+// the base configuration in a fixed precedence: WithConfig replaces the
+// base wholesale, and the targeted options (WithWorkers, WithSeed,
+// WithMetrics) are applied afterwards — so the targeted options win
+// regardless of the order they are passed in.
+type Option func(*studyOptions)
+
+type studyOptions struct {
+	cfg     Config
+	workers *int
+	seed    *int64
+	metrics **Metrics
+}
+
+// WithConfig replaces the base configuration (DefaultConfig) wholesale.
+func WithConfig(cfg Config) Option {
+	return func(o *studyOptions) { o.cfg = cfg }
+}
+
+// WithWorkers sets how many goroutines crawl a registration wave
+// concurrently. Zero means GOMAXPROCS. Results are bit-identical for a
+// given seed regardless of the value.
+func WithWorkers(n int) Option {
+	return func(o *studyOptions) { o.workers = &n }
+}
+
+// WithSeed sets the master seed; every derived RNG stream follows from it.
+func WithSeed(seed int64) Option {
+	return func(o *studyOptions) { o.seed = &seed }
+}
+
+// WithMetrics attaches a metrics registry. Instruments are observation-only
+// — recording draws no randomness and feeds nothing back — so attaching a
+// registry never changes study results.
+func WithMetrics(r *Metrics) Option {
+	return func(o *studyOptions) { o.metrics = &r }
+}
+
 // Study is one end-to-end Tripwire pilot: registration, monitoring,
 // attacker activity, and inference over a virtual timeline.
 type Study struct {
-	pilot *sim.Pilot
-	ran   bool
+	cfg    Config
+	pilot  *sim.Pilot
+	events *eventStream
+	ran    bool
+	err    error
 }
 
-// NewStudy builds a fully wired study. Call Run to execute it.
-func NewStudy(cfg Config) *Study {
-	return &Study{pilot: sim.NewPilot(cfg)}
-}
-
-// Run executes the study to its configured end date. It is idempotent:
-// subsequent calls return immediately.
-func (s *Study) Run() *Study {
-	if !s.ran {
-		s.pilot.Run()
-		s.ran = true
+// New builds a fully wired study from DefaultConfig plus opts. Call
+// RunContext (or Run) to execute it. An invalid configuration does not
+// panic: the study is built empty, Err reports the validation failure
+// immediately, and RunContext returns it.
+func New(opts ...Option) *Study {
+	o := studyOptions{cfg: DefaultConfig()}
+	for _, opt := range opts {
+		opt(&o)
 	}
+	if o.workers != nil {
+		o.cfg.CrawlWorkers = *o.workers
+	}
+	if o.seed != nil {
+		o.cfg.Seed = *o.seed
+	}
+	if o.metrics != nil {
+		o.cfg.Metrics = *o.metrics
+	}
+	s := &Study{cfg: o.cfg, events: newEventStream()}
+	if err := sim.Validate(o.cfg); err != nil {
+		s.err = err
+		return s
+	}
+	s.pilot = sim.NewPilot(o.cfg)
 	return s
 }
 
+// NewStudy builds a study from an explicit configuration.
+//
+// Deprecated: use New(WithConfig(cfg)).
+func NewStudy(cfg Config) *Study { return New(WithConfig(cfg)) }
+
+// RunContext executes the study to its configured end date. For an
+// invalid configuration it returns the validation error instead of
+// running. The context is checked at wave boundaries: cancelling stops
+// the study cleanly after the event in flight, leaving every completed
+// wave's results valid, and returns ctx's error.
+//
+// RunContext is idempotent: second and later calls return the first run's
+// error without re-running.
+func (s *Study) RunContext(ctx context.Context) error {
+	if s.ran {
+		return s.err
+	}
+	s.ran = true
+	if s.pilot == nil {
+		s.events.close()
+		return s.err
+	}
+	s.pilot.OnEvent = s.events.emit
+	s.err = s.pilot.RunContext(ctx)
+	s.events.close()
+	return s.err
+}
+
+// Run is RunContext with a background context, kept chainable for the
+// original API shape. Errors (validation failures, cancellation) are NOT
+// swallowed: retrieve them with Err.
+func (s *Study) Run() *Study {
+	_ = s.RunContext(context.Background())
+	return s
+}
+
+// Err returns the study's error: the validation error for an invalid
+// configuration (set as soon as New returns), the context's error for a
+// cancelled run, and nil otherwise.
+func (s *Study) Err() error { return s.err }
+
+// Events returns a channel of study progress events: one EventWaveDone per
+// crawl wave and one EventDetection per newly detected site.
+//
+// Ordering guarantee: events arrive in virtual-time order, exactly as the
+// scheduler fired them, and the sequence for a given seed is identical
+// regardless of worker count. The channel closes after the run finishes
+// (or immediately on a validation failure). Subscribing after the run
+// replays every event. At most one subscriber is supported; all callers of
+// Events share the same channel.
+func (s *Study) Events() <-chan Event { return s.events.subscribe() }
+
+// Metrics returns the registry attached with WithMetrics, or nil.
+func (s *Study) Metrics() *Metrics { return s.cfg.Metrics }
+
+// Interrupted reports whether the run was cancelled before the configured
+// end date.
+func (s *Study) Interrupted() bool { return s.pilot != nil && s.pilot.Interrupted }
+
 // Pilot exposes the underlying simulation state for advanced inspection
-// and for the benchmark harness.
+// and for the benchmark harness. It is nil for a study whose configuration
+// failed validation (see Err).
 func (s *Study) Pilot() *sim.Pilot { return s.pilot }
 
 // Detections returns detected site compromises in first-login order.
