@@ -4,7 +4,8 @@
 #   make test        the seed tier-1 gate (build + tests)
 #   make race        full suite under the race detector
 #   make ci          what a PR must pass: build, vet, race tests, bench smoke
-#   make bench       parallel crawl engine benchmark (1/2/4/8 workers)
+#   make bench       parallel crawl engine benchmark (1/4/8/16 workers, plus
+#                    the lazy 10k-universe variant)
 #   make bench-json  run the hot-path benchmarks and write BENCH_crawl.json
 #                    (ns/op, allocs/op, pages/s) with BENCH_baseline.json
 #                    embedded for before/after comparison
@@ -18,7 +19,7 @@ GO ?= go
 # Packages with per-component hot-path benchmarks (tokenize/parse/classify/
 # serve). The end-to-end crawl benchmark lives in ./internal/sim/ and runs
 # with a smaller iteration count because one iteration is a full wave.
-BENCH_PKGS = ./internal/htmldom/ ./internal/crawler/ ./internal/webgen/
+BENCH_PKGS = ./internal/htmldom/ ./internal/crawler/ ./internal/webgen/ ./internal/emailprovider/
 
 .PHONY: build test race ci bench bench-json fuzz metrics-doc-check bench-overhead
 
@@ -34,7 +35,8 @@ race:
 ci: build metrics-doc-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) test -run xxx -bench . -benchtime 1x $(BENCH_PKGS)
+	$(GO) test -run xxx -bench 'BenchmarkParallelCrawl$$/workers=8' -benchtime 1x ./internal/sim/
 	$(MAKE) bench-overhead
 
 # Every metric name registered anywhere in the tree must be documented in
@@ -48,8 +50,9 @@ metrics-doc-check:
 
 # Same-run A/B: the metrics-on crawl benchmark must stay within a 3% mean
 # pages/s drop of its metrics-free twin and must not allocate more per op.
+# The regex pins the 2.3k-universe pair; the 10k variant has no metrics twin.
 bench-overhead: build
-	$(GO) test -run xxx -bench BenchmarkParallelCrawl -benchmem -benchtime 2x ./internal/sim/ \
+	$(GO) test -run xxx -bench 'BenchmarkParallelCrawl(Metrics)?$$' -benchmem -benchtime 2x ./internal/sim/ \
 	 | $(GO) run ./cmd/tripwire-bench -assert-overhead 3 -out /dev/null
 
 bench:
@@ -59,7 +62,7 @@ bench-json: build
 	@{ $(GO) test -run xxx -bench . -benchmem -benchtime 1000x $(BENCH_PKGS) ; \
 	   $(GO) test -run xxx -bench BenchmarkParallelCrawl -benchmem -benchtime 2x ./internal/sim/ ; } \
 	 | $(GO) run ./cmd/tripwire-bench -baseline BENCH_baseline.json -out BENCH_crawl.json \
-	     -note "hot-path run vs seed baseline; acceptance: tokenize+parse+classify allocs/op down >=40% vs baseline (allocs/op is deterministic; ns/op on shared hardware is noisy)"
+	     -note "hot-path run vs seed baseline; workers grid 1/4/8/16 on the 2.3k universe plus the lazy 10k-universe wave (materialized-sites and heap-MB show O(crawled) cost); allocs/op is deterministic, ns/op on shared hardware is noisy"
 	@echo "wrote BENCH_crawl.json"
 
 fuzz:

@@ -11,10 +11,14 @@
 //
 //	tripwire-crawl [-sites N] [-from R] [-to R] [-seed N] [-workers N] [-v]
 //	               [-cpuprofile FILE] [-memprofile FILE]
+//	               [-mutexprofile FILE] [-blockprofile FILE]
 //	               [-metrics-addr HOST:PORT] [-metrics-out FILE]
 //
 // The profile flags capture the crawl hot path for pprof: -cpuprofile
-// records the whole crawl, -memprofile writes a post-crawl heap profile.
+// records the whole crawl, -memprofile writes a post-crawl heap profile,
+// and -mutexprofile / -blockprofile record lock contention and blocking
+// during the crawl — the substrate-scaling diagnostics for high worker
+// counts.
 // The metrics flags attach the observability registry: -metrics-addr
 // serves /metrics live during the crawl, -metrics-out dumps crawler and
 // webgen telemetry (attempts, termination codes, classify- and
@@ -24,7 +28,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -37,19 +40,8 @@ import (
 	"tripwire/internal/identity"
 	"tripwire/internal/obs"
 	"tripwire/internal/webgen"
+	"tripwire/internal/xrand"
 )
-
-// deriveSeed mixes (seed, rank, stream) into an independent child seed,
-// mirroring the pilot engine's per-task RNG derivation.
-func deriveSeed(seed int64, rank int, stream int64) int64 {
-	z := uint64(seed) + uint64(rank)*0x9e3779b97f4a7c15 + uint64(stream)*0xff51afd7ed558ccd
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	z ^= z >> 31
-	return int64(z)
-}
 
 func main() {
 	numSites := flag.Int("sites", 2000, "number of sites in the generated web")
@@ -60,6 +52,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print one line per site")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the crawl to this file")
 	memprofile := flag.String("memprofile", "", "write a post-crawl heap profile to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a post-crawl mutex-contention profile to this file")
+	blockprofile := flag.String("blockprofile", "", "write a post-crawl goroutine-blocking profile to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /healthz on this address while crawling")
 	metricsOut := flag.String("metrics-out", "", "dump the metrics registry here at exit (\"-\" = stdout, *.prom = Prometheus text, else JSON)")
 	flag.Parse()
@@ -80,6 +74,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
 	}
 	nw := *workers
 	if nw <= 0 {
@@ -144,8 +144,8 @@ func main() {
 				site, _ := universe.SiteByRank(rank)
 				b := browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: universe}))
 				env := &crawler.Env{
-					Rng:    rand.New(rand.NewSource(deriveSeed(*seed, rank, 1))),
-					Solver: solver.Derive(deriveSeed(*seed, rank, 2)),
+					Rng:    xrand.New(xrand.Mix(*seed, int64(rank), 1)),
+					Solver: solver.Derive(xrand.Mix(*seed, int64(rank), 2)),
 					Sleep:  func(time.Duration) {},
 				}
 				results[i] = c.RegisterWith(env, b, "http://"+site.Domain+"/", ids[i])
@@ -206,5 +206,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tripwire-crawl:", err)
 			os.Exit(1)
 		}
+	}
+	writeProfile(*mutexprofile, "mutex")
+	writeProfile(*blockprofile, "block")
+}
+
+// writeProfile dumps a named runtime profile ("mutex", "block") at exit.
+func writeProfile(path, name string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tripwire-crawl:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "tripwire-crawl:", err)
+		os.Exit(1)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"net/http/cookiejar"
 	"net/url"
 	"strings"
+	"unsafe"
 
 	"tripwire/internal/htmldom"
 )
@@ -41,6 +42,9 @@ type Client struct {
 	MaxBodyBytes int64
 	// pageLoads counts fetches, for rate-limit accounting by the caller.
 	pageLoads int
+	// uaValue is the cached one-element header value for UserAgent, shared
+	// read-only across this session's requests.
+	uaValue []string
 }
 
 // Option configures a Client.
@@ -81,6 +85,21 @@ func (c *Client) Get(rawURL string) (*Page, error) {
 	return c.do(req)
 }
 
+// GetURL fetches a pre-resolved URL (e.g. from Page.Links), skipping the
+// serialize-then-reparse round trip Get(u.String()) would pay per page.
+func (c *Client) GetURL(u *url.URL) (*Page, error) {
+	req := &http.Request{
+		Method:     http.MethodGet,
+		URL:        u,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     make(http.Header),
+		Host:       u.Host,
+	}
+	return c.do(req)
+}
+
 // Post submits an application/x-www-form-urlencoded POST.
 func (c *Client) Post(rawURL string, form url.Values) (*Page, error) {
 	req, err := http.NewRequest(http.MethodPost, rawURL, strings.NewReader(form.Encode()))
@@ -92,24 +111,46 @@ func (c *Client) Post(rawURL string, form url.Values) (*Page, error) {
 }
 
 func (c *Client) do(req *http.Request) (*Page, error) {
-	req.Header.Set("User-Agent", c.UserAgent)
+	// The header key is pre-canonical and the value slice is shared across
+	// the session's requests, sparing a per-request one-element allocation.
+	if c.uaValue == nil || c.uaValue[0] != c.UserAgent {
+		c.uaValue = []string{c.UserAgent}
+	}
+	req.Header["User-Agent"] = c.uaValue
 	c.pageLoads++
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("browser: fetch %s: %w", req.URL, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, c.MaxBodyBytes))
+	raw, err := readBody(resp, c.MaxBodyBytes)
 	if err != nil {
 		return nil, fmt.Errorf("browser: reading %s: %w", req.URL, err)
 	}
-	raw := string(body)
 	return &Page{
 		URL:        resp.Request.URL,
 		StatusCode: resp.StatusCode,
 		Raw:        raw,
 		DOM:        htmldom.Parse(raw),
 	}, nil
+}
+
+// readBody drains the response body, capped at limit bytes. When the
+// response declares its length — always true for the in-process handler
+// transport — the buffer is sized exactly once instead of re-growing
+// through io.ReadAll's append cycle on every page, and is aliased into the
+// returned string without a second copy (the buffer never escapes, so
+// nothing can mutate it afterwards).
+func readBody(resp *http.Response, limit int64) (string, error) {
+	if n := resp.ContentLength; n >= 0 && n <= limit {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			return "", err
+		}
+		return unsafe.String(unsafe.SliceData(buf), len(buf)), nil
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	return string(b), err
 }
 
 // Links returns every anchor on the page with a resolvable href.

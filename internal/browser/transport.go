@@ -3,7 +3,6 @@ package browser
 import (
 	"bytes"
 	"fmt"
-	"io"
 	"net/http"
 	"net/netip"
 	"sync"
@@ -22,27 +21,50 @@ type HandlerTransport struct {
 // RoundTrip implements http.RoundTripper.
 func (t *HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	rw := newRecorder()
-	inner := req.Clone(req.Context())
+	// Shallow copy instead of req.Clone: the handler is in-process and
+	// treats the request as read-only apart from ParseForm, which only
+	// writes the copy's own Form/PostForm fields. Cloning the header map
+	// and URL for every page load would be pure allocation churn.
+	inner := *req
 	if inner.Body == nil {
 		inner.Body = http.NoBody
 	}
 	if inner.Host == "" {
 		inner.Host = req.URL.Host
 	}
-	t.Handler.ServeHTTP(rw, inner)
+	t.Handler.ServeHTTP(rw, &inner)
 	return rw.response(req), nil
 }
 
-// recorder is a minimal in-memory http.ResponseWriter.
+// recorder is a minimal in-memory http.ResponseWriter. Recorders are
+// pooled: response() hands the recorder itself out as the response body,
+// and closing that body releases it for reuse — so in steady state a round
+// trip recycles one recorder, its header map, and its grown body buffer
+// instead of allocating fresh ones per page. The usual body contract
+// applies: reading after Close reads another request's bytes.
 type recorder struct {
-	code   int
-	header http.Header
-	body   bytes.Buffer
-	wrote  bool
+	code     int
+	header   http.Header
+	body     bytes.Buffer
+	wrote    bool
+	reader   bytes.Reader // Read view over body, set by response()
+	released bool
 }
 
+var recorderPool = sync.Pool{New: func() any { return new(recorder) }}
+
 func newRecorder() *recorder {
-	return &recorder{code: http.StatusOK, header: make(http.Header)}
+	r := recorderPool.Get().(*recorder)
+	r.code = http.StatusOK
+	r.wrote = false
+	r.released = false
+	r.body.Reset()
+	if r.header == nil {
+		r.header = make(http.Header)
+	} else {
+		clear(r.header)
+	}
+	return r
 }
 
 func (r *recorder) Header() http.Header { return r.header }
@@ -59,15 +81,49 @@ func (r *recorder) Write(p []byte) (int, error) {
 	return r.body.Write(p)
 }
 
+// WriteString lets io.WriteString append handler output without an
+// intermediate []byte copy of the page.
+func (r *recorder) WriteString(s string) (int, error) {
+	r.wrote = true
+	return r.body.WriteString(s)
+}
+
+// Read serves the response body.
+func (r *recorder) Read(p []byte) (int, error) { return r.reader.Read(p) }
+
+// Close returns the recorder to the pool. Idempotent against the
+// double-close an http.Client error path can produce.
+func (r *recorder) Close() error {
+	if !r.released {
+		r.released = true
+		recorderPool.Put(r)
+	}
+	return nil
+}
+
+// statusLines caches "200 OK"-style status strings for the codes the
+// synthetic web actually emits; anything else falls back to formatting.
+var statusLines sync.Map // int -> string
+
+func statusLine(code int) string {
+	if s, ok := statusLines.Load(code); ok {
+		return s.(string)
+	}
+	s := fmt.Sprintf("%d %s", code, http.StatusText(code))
+	statusLines.Store(code, s)
+	return s
+}
+
 func (r *recorder) response(req *http.Request) *http.Response {
+	r.reader.Reset(r.body.Bytes())
 	return &http.Response{
-		Status:        fmt.Sprintf("%d %s", r.code, http.StatusText(r.code)),
+		Status:        statusLine(r.code),
 		StatusCode:    r.code,
 		Proto:         "HTTP/1.1",
 		ProtoMajor:    1,
 		ProtoMinor:    1,
 		Header:        r.header,
-		Body:          io.NopCloser(bytes.NewReader(r.body.Bytes())),
+		Body:          r,
 		ContentLength: int64(r.body.Len()),
 		Request:       req,
 	}
@@ -90,6 +146,13 @@ type ProxyTransport struct {
 
 	mu     sync.Mutex
 	byHost map[string]netip.Addr
+	// debt is how much longer the session has already slept than Latency
+	// per round trip would require. time.Sleep reliably oversleeps (timer
+	// granularity plus scheduling delay — ~10% at 1ms on a loaded box), so
+	// uncorrected sleeps would emulate a systematically slower network than
+	// configured; carrying the overshoot forward keeps a session's total
+	// emulated latency at requests x Latency.
+	debt time.Duration
 }
 
 // RoundTrip implements http.RoundTripper, adding an X-Forwarded-For header
@@ -108,11 +171,24 @@ func (t *ProxyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	t.mu.Unlock()
 	if t.Latency > 0 {
-		time.Sleep(t.Latency)
+		t.mu.Lock()
+		target := t.Latency - t.debt
+		t.mu.Unlock()
+		var slept time.Duration
+		if target > 0 {
+			start := time.Now()
+			time.Sleep(target)
+			slept = time.Since(start)
+		}
+		t.mu.Lock()
+		t.debt += slept - t.Latency
+		t.mu.Unlock()
 	}
-	r2 := req.Clone(req.Context())
-	r2.Header.Set("X-Forwarded-For", ip.String())
-	return t.Base.RoundTrip(r2)
+	// The request is browser-owned: Client.do builds a fresh one per fetch
+	// and nothing else holds a reference, so the header can be stamped in
+	// place instead of cloning the map (and its value slices) per page.
+	req.Header.Set("X-Forwarded-For", ip.String())
+	return t.Base.RoundTrip(req)
 }
 
 // ExitIP returns the exit address assigned to host, if one has been used.

@@ -11,8 +11,10 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math/rand"
+
 	"strings"
 	"sync"
+	"tripwire/internal/xrand"
 )
 
 // Kind is the type of bot check on a form.
@@ -181,7 +183,7 @@ func NewService(imageErr, knowledgeErr float64, seed int64) *Service {
 	return &Service{
 		ImageErrorRate:     imageErr,
 		KnowledgeErrorRate: knowledgeErr,
-		rng:                rand.New(rand.NewSource(seed)),
+		rng:                xrand.New(seed),
 		stats:              &serviceStats{},
 	}
 }
@@ -195,7 +197,7 @@ func (s *Service) Derive(seed int64) *Service {
 	return &Service{
 		ImageErrorRate:     s.ImageErrorRate,
 		KnowledgeErrorRate: s.KnowledgeErrorRate,
-		rng:                rand.New(rand.NewSource(seed)),
+		rng:                xrand.New(seed),
 		stats:              s.stats,
 	}
 }

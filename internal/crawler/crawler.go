@@ -377,7 +377,7 @@ func (c *Crawler) findRegistrationForm(env *Env, b *browser.Client, landing *bro
 	}
 	for i := 0; i < tries; i++ {
 		c.sleep(env)
-		page, err := b.Get(cands[i].l.URL.String())
+		page, err := b.GetURL(cands[i].l.URL)
 		res.PageLoads++
 		if err != nil || page.StatusCode >= 500 {
 			continue
@@ -552,7 +552,7 @@ func (c *Crawler) solveCaptcha(env *Env, b *browser.Client, p *browser.Page, fld
 			return "", false
 		}
 		c.sleep(env)
-		imgPage, err := b.Get(u.String())
+		imgPage, err := b.GetURL(u)
 		if err != nil || !imgPage.OK() {
 			return "", false
 		}

@@ -1,7 +1,6 @@
 package emailprovider
 
 import (
-	"strings"
 	"time"
 )
 
@@ -11,46 +10,23 @@ import (
 // recovered, which is how the paper lost its Spring 2015 data ("due to a
 // misunderstanding of the retention limits at the email provider, login
 // activity was lost from March 20, 2015, through June 1, 2015").
+//
+// The log is a time-ordered ring (see loginRing), so the window is located
+// by binary search rather than a scan over the whole retained history.
 func (p *Provider) DumpSince(since time.Time) []LoginEvent {
 	now := p.Now()
-	cutoff := now.Add(-p.Retention)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var out []LoginEvent
-	for _, ev := range p.loginLog {
-		if ev.Time.After(since) && !ev.Time.Before(cutoff) && !ev.Time.After(now) {
-			out = append(out, ev)
-		}
-	}
-	return out
+	return p.log.dumpSince(since, now.Add(-p.Retention), now)
 }
 
 // AllLogins returns every retained login event (ground truth for tests).
 func (p *Provider) AllLogins() []LoginEvent {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]LoginEvent, len(p.loginLog))
-	copy(out, p.loginLog)
-	return out
+	return p.log.all()
 }
 
 // PurgeExpired discards events beyond the retention window, modelling the
 // provider's storage policy actually deleting data.
 func (p *Provider) PurgeExpired() int {
-	cutoff := p.Now().Add(-p.Retention)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	kept := p.loginLog[:0]
-	purged := 0
-	for _, ev := range p.loginLog {
-		if ev.Time.Before(cutoff) {
-			purged++
-			continue
-		}
-		kept = append(kept, ev)
-	}
-	p.loginLog = kept
-	return purged
+	return p.log.purgeExpired(p.Now().Add(-p.Retention))
 }
 
 // Abuse-response operations: the provider's security systems acting on
@@ -66,10 +42,9 @@ func (p *Provider) Deactivate(email string) bool { return p.setState(email, Deac
 func (p *Provider) ForceReset(email string) bool { return p.setState(email, ResetForced) }
 
 func (p *Provider) setState(email string, st State) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[strings.ToLower(email)]
-	if !ok {
+	a, sh := p.lookup(email)
+	defer sh.mu.Unlock()
+	if a == nil {
 		return false
 	}
 	if p.Metrics != nil && a.state != st {
@@ -92,10 +67,9 @@ func (p *Provider) setState(email string, st State) bool {
 
 // ChangePassword sets a new password on the account.
 func (p *Provider) ChangePassword(email, newPassword string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[strings.ToLower(email)]
-	if !ok {
+	a, sh := p.lookup(email)
+	defer sh.mu.Unlock()
+	if a == nil {
 		return false
 	}
 	a.password = newPassword
@@ -104,10 +78,9 @@ func (p *Provider) ChangePassword(email, newPassword string) bool {
 
 // RemoveForwarding clears the account's forwarding address.
 func (p *Provider) RemoveForwarding(email string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[strings.ToLower(email)]
-	if !ok {
+	a, sh := p.lookup(email)
+	defer sh.mu.Unlock()
+	if a == nil {
 		return false
 	}
 	a.forwardTo = ""
@@ -118,10 +91,9 @@ func (p *Provider) RemoveForwarding(email string) bool {
 // of reports the provider deactivates it, matching the fate of accounts b1,
 // g2, h1, h2, i2, k1 and m2 in the paper.
 func (p *Provider) ReportSpam(email string, messages int) State {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[strings.ToLower(email)]
-	if !ok {
+	a, sh := p.lookup(email)
+	defer sh.mu.Unlock()
+	if a == nil {
 		return Active
 	}
 	if messages > 0 && a.state == Active {

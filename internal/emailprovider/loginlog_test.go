@@ -1,0 +1,210 @@
+package emailprovider
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var ringEpoch = time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func ringEvent(i int) LoginEvent {
+	return LoginEvent{
+		Account: fmt.Sprintf("acct%03d@honey.test", i%7),
+		Time:    ringEpoch.Add(time.Duration(i) * time.Minute),
+		IP:      netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+		Method:  "IMAP",
+	}
+}
+
+// naiveDump is the reference the binary-search path must agree with.
+func naiveDump(events []LoginEvent, since, cutoff, now time.Time) []LoginEvent {
+	var out []LoginEvent
+	for _, ev := range events {
+		if inWindow(ev.Time, since, cutoff, now) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func sameEvents(t *testing.T, label string, got, want []LoginEvent) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d events, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: event %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoginRingDumpMatchesNaiveScan(t *testing.T) {
+	var r loginRing
+	var all []LoginEvent
+	for i := 0; i < 500; i++ {
+		ev := ringEvent(i)
+		r.append(ev)
+		all = append(all, ev)
+	}
+	now := ringEpoch.Add(600 * time.Minute)
+	for _, tc := range []struct {
+		name          string
+		since, cutoff time.Time
+	}{
+		{"full", ringEpoch.Add(-time.Hour), ringEpoch.Add(-time.Hour)},
+		{"recent", ringEpoch.Add(400 * time.Minute), ringEpoch},
+		{"cutoff-trims-head", ringEpoch.Add(-time.Hour), ringEpoch.Add(100 * time.Minute)},
+		{"empty-window", now, ringEpoch},
+		{"since-after-all", ringEpoch.Add(9999 * time.Minute), ringEpoch},
+		{"boundary-exclusive", ringEpoch.Add(250 * time.Minute), ringEpoch},
+	} {
+		sameEvents(t, tc.name, r.dumpSince(tc.since, tc.cutoff, now), naiveDump(all, tc.since, tc.cutoff, now))
+	}
+	// now in the middle of the log bounds the upper end.
+	mid := ringEpoch.Add(300 * time.Minute)
+	sameEvents(t, "now-bounded", r.dumpSince(ringEpoch, ringEpoch, mid), naiveDump(all, ringEpoch, ringEpoch, mid))
+}
+
+// TestLoginRingWraparound drives the ring through purge-then-append cycles
+// so live events straddle the buffer seam, then checks every read path.
+func TestLoginRingWraparound(t *testing.T) {
+	var r loginRing
+	var all []LoginEvent
+	next := 0
+	appendN := func(n int) {
+		for ; n > 0; n-- {
+			ev := ringEvent(next)
+			next++
+			r.append(ev)
+			all = append(all, ev)
+		}
+	}
+	purgeBefore := func(cutoff time.Time) {
+		want := 0
+		kept := all[:0]
+		for _, ev := range all {
+			if ev.Time.Before(cutoff) {
+				want++
+			} else {
+				kept = append(kept, ev)
+			}
+		}
+		all = kept
+		if got := r.purgeExpired(cutoff); got != want {
+			t.Fatalf("purgeExpired dropped %d, want %d", got, want)
+		}
+	}
+
+	appendN(100) // fills past the initial 64 capacity
+	purgeBefore(ringEpoch.Add(90 * time.Minute))
+	appendN(110) // wraps: head is mid-buffer and the log spans the seam
+	if len(r.buf) != 128 || r.head == 0 {
+		t.Fatalf("scenario no longer exercises wraparound: cap=%d head=%d", len(r.buf), r.head)
+	}
+
+	sameEvents(t, "all", r.all(), all)
+	now := ringEpoch.Add(time.Duration(next) * time.Minute)
+	since := ringEpoch.Add(150 * time.Minute)
+	sameEvents(t, "dump", r.dumpSince(since, ringEpoch, now), naiveDump(all, since, ringEpoch, now))
+	if r.size() != len(all) {
+		t.Fatalf("size = %d, want %d", r.size(), len(all))
+	}
+
+	purgeBefore(now.Add(time.Hour)) // drop everything
+	if r.size() != 0 || r.head != 0 {
+		t.Fatalf("empty ring: size=%d head=%d", r.size(), r.head)
+	}
+	appendN(5)
+	sameEvents(t, "post-drain", r.all(), all)
+}
+
+// TestLoginRingUnsortedFallback feeds out-of-order events and checks the
+// ring degrades to correct linear scans, then recovers the sorted fast path
+// once a purge compacts the disorder away.
+func TestLoginRingUnsortedFallback(t *testing.T) {
+	var r loginRing
+	events := []LoginEvent{ringEvent(5), ringEvent(1), ringEvent(9), ringEvent(3)}
+	for _, ev := range events {
+		r.append(ev)
+	}
+	if !r.unsorted {
+		t.Fatal("out-of-order appends did not flip the unsorted flag")
+	}
+	now := ringEpoch.Add(time.Hour)
+	sameEvents(t, "unsorted-dump", r.dumpSince(ringEpoch, ringEpoch, now), naiveDump(events, ringEpoch, ringEpoch, now))
+
+	// Purging everything before minute 4 leaves {5, 9}: sorted again.
+	if got := r.purgeExpired(ringEpoch.Add(4 * time.Minute)); got != 2 {
+		t.Fatalf("purged %d, want 2", got)
+	}
+	if r.unsorted {
+		t.Fatal("purge did not restore the sorted fast path")
+	}
+	sameEvents(t, "recovered", r.all(), []LoginEvent{ringEvent(5), ringEvent(9)})
+}
+
+func TestProviderDumpUsesRing(t *testing.T) {
+	p := New("honey.test")
+	clock := ringEpoch
+	p.Now = func() time.Time { return clock }
+	p.Retention = 24 * time.Hour
+	ip := netip.MustParseAddr("203.0.113.9")
+	for i := 0; i < 40; i++ {
+		email := fmt.Sprintf("acct%02d@honey.test", i)
+		if err := p.CreateAccount(email, "A B", "pw"); err != nil {
+			t.Fatal(err)
+		}
+		clock = clock.Add(time.Hour)
+		if err := p.WebLogin(email, "pw", ip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Retention hides everything older than 24h from dumps: logins landed
+	// at hours 1..40, the cutoff sits at hour 16 (inclusive), so hours
+	// 16..40 — 25 events — remain visible.
+	got := p.DumpSince(time.Time{})
+	if len(got) != 25 {
+		t.Fatalf("DumpSince returned %d events, want 25 inside retention", len(got))
+	}
+	if purged := p.PurgeExpired(); purged != 15 {
+		t.Fatalf("PurgeExpired dropped %d events, want the 15 outside retention", purged)
+	}
+	if n := len(p.AllLogins()); n != 25 {
+		t.Fatalf("AllLogins after purge = %d, want 25", n)
+	}
+	// Incremental dump from the midpoint of the retained window; since is
+	// exclusive, so the tail starts at the next event.
+	mid := got[11].Time
+	tail := p.DumpSince(mid)
+	if len(tail) != 13 || tail[0].Time != got[12].Time {
+		t.Fatalf("incremental dump wrong: %d events", len(tail))
+	}
+}
+
+// BenchmarkDumpSince measures an incremental dump of the most recent slice
+// of a large retained log — the provider's steady-state query shape. The
+// ring's binary search makes this O(log n + matches); the old linear scan
+// walked all N events per dump.
+func BenchmarkDumpSince(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("log=%d", n), func(b *testing.B) {
+			var r loginRing
+			for i := 0; i < n; i++ {
+				r.append(ringEvent(i))
+			}
+			now := ringEpoch.Add(time.Duration(n) * time.Minute)
+			since := ringEpoch.Add(time.Duration(n-64) * time.Minute)
+			cutoff := ringEpoch.Add(-time.Hour)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if out := r.dumpSince(since, cutoff, now); len(out) != 63 {
+					b.Fatalf("got %d events, want 63", len(out))
+				}
+			}
+		})
+	}
+}

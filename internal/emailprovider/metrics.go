@@ -39,9 +39,7 @@ func (p *Provider) NewMetrics(r *obs.Registry) *Metrics {
 	}
 	r.GaugeFunc("tripwire_provider_accounts", "Provisioned honey accounts.", func() int64 { return int64(p.NumAccounts()) })
 	r.GaugeFunc("tripwire_provider_login_log_size", "Login events currently held in the provider log.", func() int64 {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		return int64(len(p.loginLog))
+		return int64(p.log.size())
 	})
 	return m
 }

@@ -83,14 +83,28 @@ type account struct {
 	throttledTil time.Time
 }
 
+// accountShards fixes the provider's lock striping width. Per-account
+// invariants (password, state, brute-force counters, inbox) only ever span
+// one account, so any address-stable partition preserves them; 32 shards
+// keep unrelated accounts off each other's locks.
+const accountShards = 32
+
+// accountShard guards one stripe of the account table.
+type accountShard struct {
+	mu       sync.Mutex
+	accounts map[string]*account
+}
+
 // Provider is the simulated email service.
 type Provider struct {
 	domain string
 
-	mu       sync.Mutex
-	accounts map[string]*account
-	loginLog []LoginEvent
-	// reserved local parts per the provider's naming policy.
+	// shards stripes the account table by address hash; log is the
+	// time-indexed successful-login record dumps read from.
+	shards [accountShards]accountShard
+	log    loginRing
+	// reserved local parts per the provider's naming policy. Read-only
+	// after New, so lookups need no lock.
 	reserved map[string]bool
 
 	// Forward delivers forwarded copies; nil disables forwarding.
@@ -115,9 +129,8 @@ type Provider struct {
 
 // New returns a provider serving addresses @domain.
 func New(domain string) *Provider {
-	return &Provider{
+	p := &Provider{
 		domain:           domain,
-		accounts:         make(map[string]*account),
 		reserved:         map[string]bool{"admin": true, "postmaster": true, "abuse": true, "support": true, "root": true, "noreply": true},
 		Now:              time.Now,
 		BruteForceMax:    10,
@@ -125,6 +138,20 @@ func New(domain string) *Provider {
 		ThrottlePeriod:   24 * time.Hour,
 		Retention:        365 * 24 * time.Hour,
 	}
+	for i := range p.shards {
+		p.shards[i].accounts = make(map[string]*account)
+	}
+	return p
+}
+
+// shardFor maps a lowercased address to its account shard (FNV-1a).
+func (p *Provider) shardFor(email string) *accountShard {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(email); i++ {
+		h ^= uint64(email[i])
+		h *= 0x100000001b3
+	}
+	return &p.shards[h&(accountShards-1)]
 }
 
 // Domain returns the provider's mail domain.
@@ -149,38 +176,52 @@ func (p *Provider) CreateAccount(email, fullName, password string) error {
 			return ErrNamingPolicy
 		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, dup := p.accounts[email]; dup {
+	sh := p.shardFor(email)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.accounts[email]; dup {
 		return ErrCollision
 	}
-	p.accounts[email] = &account{email: email, name: fullName, password: password, state: Active}
+	sh.accounts[email] = &account{email: email, name: fullName, password: password, state: Active}
 	return nil
+}
+
+// lookup returns the account for email (case-insensitive) with its shard
+// locked; the caller must unlock sh.mu. The account pointer is nil when the
+// address has no account.
+func (p *Provider) lookup(email string) (*account, *accountShard) {
+	email = strings.ToLower(email)
+	sh := p.shardFor(email)
+	sh.mu.Lock()
+	return sh.accounts[email], sh
 }
 
 // Exists reports whether the address has an account.
 func (p *Provider) Exists(email string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.accounts[strings.ToLower(email)]
-	return ok
+	a, sh := p.lookup(email)
+	sh.mu.Unlock()
+	return a != nil
 }
 
 // NumAccounts returns the number of provisioned accounts.
 func (p *Provider) NumAccounts() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.accounts)
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += len(sh.accounts)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // SetForwarding configures mail forwarding for email to target. Forwarding
 // addresses are visible in the web interface, so Tripwire points them at
 // innocuous domains it controls (paper §4.2).
 func (p *Provider) SetForwarding(email, target string) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[strings.ToLower(email)]
-	if !ok {
+	a, sh := p.lookup(email)
+	defer sh.mu.Unlock()
+	if a == nil {
 		return fmt.Errorf("emailprovider: no account %q", email)
 	}
 	a.forwardTo = target
@@ -189,10 +230,9 @@ func (p *Provider) SetForwarding(email, target string) error {
 
 // ForwardingOf returns the forwarding target for email, if any.
 func (p *Provider) ForwardingOf(email string) (string, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[strings.ToLower(email)]
-	if !ok || a.forwardTo == "" {
+	a, sh := p.lookup(email)
+	defer sh.mu.Unlock()
+	if a == nil || a.forwardTo == "" {
 		return "", false
 	}
 	return a.forwardTo, true
@@ -200,10 +240,9 @@ func (p *Provider) ForwardingOf(email string) (string, bool) {
 
 // State returns the account's lifecycle state.
 func (p *Provider) State(email string) (State, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[strings.ToLower(email)]
-	if !ok {
+	a, sh := p.lookup(email)
+	defer sh.mu.Unlock()
+	if a == nil {
 		return Active, false
 	}
 	return a.state, true
@@ -213,17 +252,16 @@ func (p *Provider) State(email string) (State, bool) {
 // in the account's inbox and, when forwarding is configured, relayed to the
 // Tripwire mail server. Implements webgen.Mailer.
 func (p *Provider) Deliver(from, to, subject, body string) error {
-	p.mu.Lock()
-	a, ok := p.accounts[strings.ToLower(to)]
-	if !ok {
-		p.mu.Unlock()
+	a, sh := p.lookup(to)
+	if a == nil {
+		sh.mu.Unlock()
 		return fmt.Errorf("emailprovider: no mailbox %q", to)
 	}
 	a.inbox = append(a.inbox, imap.Message{From: from, Subject: subject, Body: body})
 	fwd := a.forwardTo
 	forward := p.Forward
 	deactivated := a.state == Deactivated
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	if fwd != "" && forward != nil && !deactivated {
 		return forward(from, fwd, subject, body)
 	}
@@ -238,10 +276,9 @@ func (p *Provider) Send(from, to, subject, body string) error {
 
 // Inbox returns a copy of the account's stored messages.
 func (p *Provider) Inbox(email string) []imap.Message {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[strings.ToLower(email)]
-	if !ok {
+	a, sh := p.lookup(email)
+	defer sh.mu.Unlock()
+	if a == nil {
 		return nil
 	}
 	out := make([]imap.Message, len(a.inbox))
@@ -252,10 +289,9 @@ func (p *Provider) Inbox(email string) []imap.Message {
 // login is the shared auth path; method labels the access channel.
 func (p *Provider) login(email, password string, remote netip.Addr, method string) (*account, error) {
 	now := p.Now()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[strings.ToLower(email)]
-	if !ok {
+	a, sh := p.lookup(email)
+	defer sh.mu.Unlock()
+	if a == nil {
 		if p.Metrics != nil {
 			p.Metrics.authFailures.Inc()
 		}
@@ -290,7 +326,7 @@ func (p *Provider) login(email, password string, remote netip.Addr, method strin
 		return nil, imap.ErrAuthFailed
 	}
 	a.failedCount = 0
-	p.loginLog = append(p.loginLog, LoginEvent{Account: a.email, Time: now, IP: remote, Method: method})
+	p.log.append(LoginEvent{Account: a.email, Time: now, IP: remote, Method: method})
 	p.Metrics.loginOK(method)
 	return a, nil
 }
@@ -349,14 +385,16 @@ func (s *session) Select(mailbox string) (int, error) {
 		return 0, fmt.Errorf("emailprovider: no mailbox %q", mailbox)
 	}
 	s.selected = true
-	s.p.mu.Lock()
-	defer s.p.mu.Unlock()
+	sh := s.p.shardFor(s.a.email)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return len(s.a.inbox), nil
 }
 
 func (s *session) Fetch(seq int) (imap.Message, error) {
-	s.p.mu.Lock()
-	defer s.p.mu.Unlock()
+	sh := s.p.shardFor(s.a.email)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if !s.selected || seq < 1 || seq > len(s.a.inbox) {
 		return imap.Message{}, fmt.Errorf("emailprovider: no message %d", seq)
 	}

@@ -65,6 +65,12 @@ type Tokenizer struct {
 	queue [2]Token
 	qn    int // tokens in queue
 	qi    int // next queue slot to return
+	// attrs is a chunked slab backing every token's Attrs slice, so a
+	// document costs a handful of attribute allocations rather than one per
+	// tag. A full chunk is abandoned, never regrown, keeping issued slices
+	// valid; tokens get capacity-clamped views so an append on a token
+	// cannot clobber a neighbour.
+	attrs []Attr
 }
 
 // NewTokenizer returns a tokenizer over src.
@@ -120,7 +126,7 @@ func (z *Tokenizer) Next() (tok Token, ok bool) {
 			}
 			continue // dropped invalid end tag: no token
 		case isNameStart(src[i+1]):
-			tok, adv := lexStartTag(src[i:])
+			tok, adv := z.lexStartTag(src[i:])
 			z.i = i + adv
 			// Raw-text elements: swallow everything up to the matching
 			// close tag so scripts/styles never parse as markup.
@@ -252,9 +258,23 @@ func Tokenize(src string) []Token {
 	}
 }
 
+// pushAttr appends a to the attribute slab, growing it with the current
+// tag's attributes carried over so a tag's slice stays contiguous. It
+// returns the (possibly relocated) index of the tag's first attribute.
+func (z *Tokenizer) pushAttr(tagStart int, a Attr) int {
+	if len(z.attrs) == cap(z.attrs) {
+		next := make([]Attr, len(z.attrs)-tagStart, 64)
+		copy(next, z.attrs[tagStart:])
+		z.attrs = next
+		tagStart = 0
+	}
+	z.attrs = append(z.attrs, a)
+	return tagStart
+}
+
 // lexStartTag lexes a start tag beginning at src[0] == '<'. It returns the
 // token and the number of bytes consumed.
-func lexStartTag(src string) (Token, int) {
+func (z *Tokenizer) lexStartTag(src string) (Token, int) {
 	i := 1
 	n := len(src)
 	start := i
@@ -262,6 +282,7 @@ func lexStartTag(src string) (Token, int) {
 		i++
 	}
 	tok := Token{Type: StartTagToken, Data: lowerName(src[start:i])}
+	tagStart := len(z.attrs)
 	for {
 		for i < n && isSpace(src[i]) {
 			i++
@@ -320,10 +341,8 @@ func lexStartTag(src string) (Token, int) {
 			}
 		}
 		if name != "" {
-			if tok.Attrs == nil {
-				tok.Attrs = make([]Attr, 0, 4)
-			}
-			tok.Attrs = append(tok.Attrs, Attr{Key: name, Val: DecodeEntities(val)})
+			tagStart = z.pushAttr(tagStart, Attr{Key: name, Val: DecodeEntities(val)})
+			tok.Attrs = z.attrs[tagStart:len(z.attrs):len(z.attrs)]
 		}
 	}
 }
@@ -351,8 +370,9 @@ func isTagName(s string) bool {
 }
 
 // internTable dedups the tag and attribute names that dominate real
-// markup, so parsed trees do not retain per-node name strings (or, for
-// mixed-case input, per-node lower-cased copies).
+// markup so mixed-case input does not allocate a lower-cased copy per
+// node. (Already-lower-case names skip it: they are substrings of the
+// source and free.)
 var internTable = func() map[string]string {
 	names := []string{
 		// tags
@@ -386,9 +406,9 @@ func lowerName(s string) string {
 		}
 	}
 	if !hasUpper {
-		if in, ok := internTable[s]; ok {
-			return in
-		}
+		// Already lower-case: s is a zero-copy substring of the source,
+		// which the tree pins anyway through its text nodes — interning
+		// would only trade a map lookup per name for nothing.
 		return s
 	}
 	if len(s) <= 64 {

@@ -152,6 +152,25 @@ func (s *Server) All() []*Message {
 	return out
 }
 
+// Since returns the messages delivered after the first cursor ones, oldest
+// first. A caller that remembers cursor + len(result) between calls drains
+// the store incrementally without recopying its whole history; cursors past
+// the end return nil. Messages are append-only, so a cursor never
+// invalidates.
+func (s *Server) Since(cursor int) []*Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(s.all) {
+		return nil
+	}
+	out := make([]*Message, len(s.all)-cursor)
+	copy(out, s.all[cursor:])
+	return out
+}
+
 // Count returns the total number of stored messages.
 func (s *Server) Count() int {
 	s.mu.Lock()

@@ -1,0 +1,57 @@
+package mailserv
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSince exercises the incremental drain cursor: Since(0) is the full
+// history, a cursor walk sees every message exactly once, and cursors at or
+// past the end return nil.
+func TestSince(t *testing.T) {
+	s := NewServer()
+	for i := 0; i < 5; i++ {
+		s.Deliver("site@example.com", fmt.Sprintf("u%d@mail.test", i), "hi", "body")
+	}
+
+	all := s.All()
+	if len(all) != 5 {
+		t.Fatalf("delivered 5, All returned %d", len(all))
+	}
+	since := s.Since(0)
+	if len(since) != 5 {
+		t.Fatalf("Since(0) returned %d messages, want 5", len(since))
+	}
+	for i := range all {
+		if all[i] != since[i] {
+			t.Fatalf("message %d differs between All and Since(0)", i)
+		}
+	}
+
+	if got := s.Since(3); len(got) != 2 || got[0] != all[3] || got[1] != all[4] {
+		t.Fatalf("Since(3) = %d messages, want the last 2 in order", len(got))
+	}
+	if got := s.Since(5); got != nil {
+		t.Fatalf("Since(len) = %d messages, want nil", len(got))
+	}
+	if got := s.Since(99); got != nil {
+		t.Fatalf("Since(past end) = %d messages, want nil", len(got))
+	}
+	if got := s.Since(-1); len(got) != 5 {
+		t.Fatalf("Since(-1) = %d messages, want full history", len(got))
+	}
+
+	// Cursor walk with interleaved deliveries: no message seen twice or missed.
+	cursor, seen := len(all), 0
+	for _, batch := range []int{2, 0, 3} {
+		for i := 0; i < batch; i++ {
+			s.Deliver("site@example.com", "late@mail.test", "more", "body")
+		}
+		msgs := s.Since(cursor)
+		cursor += len(msgs)
+		seen += len(msgs)
+	}
+	if cursor != s.Count() || seen != 5 {
+		t.Fatalf("cursor walk drained %d new messages to cursor %d, want 5 to %d", seen, cursor, s.Count())
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"math/rand"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -14,6 +13,7 @@ import (
 	"tripwire/internal/crawler"
 	"tripwire/internal/identity"
 	"tripwire/internal/webgen"
+	"tripwire/internal/xrand"
 )
 
 // The parallel crawl engine shards a wave of registrations across
@@ -26,7 +26,7 @@ import (
 //     after the parallel section.
 //  2. Everything parallel is self-contained. Each crawl task derives its
 //     fault RNG, CAPTCHA-solver stream, proxy-exit RNG, and virtual-time
-//     account from (seed, rank, task sequence number) via mix64, owns its
+//     account from (seed, rank, task sequence number) via xrand.Mix, owns
 //     browser and cookie jar, and during the wave no two tasks share a
 //     site domain — so a task's outcome is a pure function of the task.
 //  3. Shared substrate is safe and order-free. The webgen universe, email
@@ -43,19 +43,6 @@ const (
 	streamProxy
 )
 
-// mix64 derives a decorrelated child seed from (seed, rank, stream) with a
-// splitmix64-style finalizer, so per-task RNGs are independent of each
-// other and of every package-level RNG seeded with small offsets of Seed.
-func mix64(seed int64, rank int, stream int64) int64 {
-	z := uint64(seed) + uint64(rank)*0x9e3779b97f4a7c15 + uint64(stream)*0xff51afd7ed558ccd
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	z ^= z >> 31
-	return int64(z)
-}
-
 // workers resolves Config.CrawlWorkers, defaulting to GOMAXPROCS.
 func (p *Pilot) workers() int {
 	if p.Cfg.CrawlWorkers > 0 {
@@ -64,10 +51,14 @@ func (p *Pilot) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runSharded fans fn(0..n-1) out over at most workers goroutines using
-// static striding (worker w takes i = w, w+workers, ...). The assignment of
-// tasks to workers is deterministic, though completion order is not —
-// callers must not let fn's side effects depend on ordering.
+// runSharded fans fn(0..n-1) out over at most workers goroutines pulling
+// from a shared atomic counter. Which worker runs which task is timing-
+// dependent, as is completion order — callers must keep fn's effects a pure
+// function of i (the engine's self-contained-task rule) so neither matters.
+// Dynamic pull beats static striding here because task durations are wildly
+// uneven (a load-failure site costs one page, a registration flow seven):
+// striding pins the slow tasks to whichever stripe drew them, and the wave
+// waits on that stripe's unlucky sum.
 func runSharded(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -78,15 +69,20 @@ func runSharded(workers, n int, fn func(i int)) {
 		}
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			for i := w; i < n; i += workers {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				fn(i)
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
 }
@@ -120,15 +116,17 @@ func (p *Pilot) newTask(site *webgen.Site, class identity.PasswordClass, manual 
 	return &crawlTask{seq: p.taskSeq, site: site, class: class, manual: manual, at: at}
 }
 
-// taskSeed derives the seed for one of a task's RNG streams.
+// taskSeed derives the seed for one of a task's RNG streams via the shared
+// splitmix64 mixer, so per-task RNGs are independent of each other and of
+// every package-level RNG seeded with small offsets of Seed.
 func (p *Pilot) taskSeed(t *crawlTask, stream int64) int64 {
-	return mix64(p.Cfg.Seed, t.site.Rank, t.seq<<8|stream)
+	return xrand.Mix(p.Cfg.Seed, int64(t.site.Rank), t.seq<<8|stream)
 }
 
 // taskBrowser returns the task's private browser session, routed through
 // institution proxy exits drawn from the task's own RNG stream.
 func (p *Pilot) taskBrowser(t *crawlTask) *browser.Client {
-	rng := rand.New(rand.NewSource(p.taskSeed(t, streamProxy)))
+	rng := xrand.New(p.taskSeed(t, streamProxy))
 	return browser.New(browser.WithTransport(&browser.ProxyTransport{
 		Base:    &browser.HandlerTransport{Handler: p.Universe},
 		Latency: p.Cfg.NetLatency,
@@ -148,7 +146,7 @@ func (p *Pilot) crawlTask(t *crawlTask) {
 	}
 	var slept time.Duration
 	env := &crawler.Env{
-		Rng:    rand.New(rand.NewSource(p.taskSeed(t, streamFault))),
+		Rng:    xrand.New(p.taskSeed(t, streamFault)),
 		Solver: p.Solver.Derive(p.taskSeed(t, streamSolver)),
 		Sleep:  func(d time.Duration) { slept += d },
 	}
@@ -320,7 +318,7 @@ func (p *Pilot) crawlManual(t *crawlTask) {
 		vals.Set(f.Name, webgen.CSRFToken(site.Domain))
 	}
 	if site.Captcha != captcha.None {
-		ch := issuer.Issue(site.Captcha, rand.New(rand.NewSource(int64(site.Rank))))
+		ch := issuer.Issue(site.Captcha, xrand.New(int64(site.Rank)))
 		if got := vals.Get("captcha_id"); got != "" {
 			ch = captcha.Challenge{ID: got, Kind: site.Captcha}
 		} else {

@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/netip"
 	"strings"
+	"sync"
 	"time"
 
 	"tripwire/internal/attacker"
@@ -65,9 +66,10 @@ type Pilot struct {
 	Disclosure *disclosure.Campaign
 	DNS        *dnssim.Resolver
 
-	gen        *identity.Generator
-	rng        *rand.Rand
-	verifier   *browser.Client // clicks verification links
+	gen       *identity.Generator
+	rng       *rand.Rand
+	verifier  *browser.Client // clicks verification links
+	forwarder *smtpForwarder
 	institutIP netip.Addr
 	taskSeq    int64 // crawl-task creation counter (see parallel.go)
 	metrics    *pilotMetrics
@@ -122,10 +124,8 @@ func NewPilot(cfg Config) *Pilot {
 	// SMTP connections.
 	p.Mail = mailserv.NewServer()
 	p.Mail.Now = clock.Now
-	smtpFront := mailserv.NewSMTPServer(p.Mail)
-	p.Provider.Forward = func(from, to, subject, body string) error {
-		return forwardViaSMTP(smtpFront, from, to, subject, body)
-	}
+	p.forwarder = &smtpForwarder{front: mailserv.NewSMTPServer(p.Mail)}
+	p.Provider.Forward = p.forwarder.send
 
 	// Ledger and monitor.
 	p.Ledger = core.NewLedger()
@@ -187,27 +187,74 @@ func NewPilot(cfg Config) *Pilot {
 	return p
 }
 
-// forwardViaSMTP pushes one message through a real SMTP session over an
-// in-memory duplex connection.
-func forwardViaSMTP(front *mailserv.SMTPServer, from, to, subject, body string) error {
+// smtpForwarder pushes provider-forwarded mail through a real SMTP session
+// over an in-memory duplex connection. The session is persistent: dialed on
+// first use and reused for every message, like a real MTA holding a
+// connection open to a busy destination. One message used to cost a fresh
+// pipe, server goroutine, greeting/EHLO exchange, and four bufio buffers;
+// amortizing them matters because crawl workers trigger forwarding
+// concurrently on every registration. The mutex serializes sends, which is
+// also what keeps interleaved SMTP commands from corrupting the session.
+type smtpForwarder struct {
+	front *mailserv.SMTPServer
+
+	mu  sync.Mutex
+	cli *mailserv.SMTPClient
+}
+
+func (f *smtpForwarder) send(from, to, subject, body string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cli == nil {
+		if err := f.dialLocked(); err != nil {
+			return err
+		}
+	}
+	err := f.cli.Send(from, to, subject, body)
+	if err != nil {
+		// The session may be out of sync (e.g. a rejected DATA mid-message):
+		// drop it and retry the message once on a fresh one, so a single
+		// refused delivery does not poison every later forward.
+		f.closeLocked()
+		if derr := f.dialLocked(); derr != nil {
+			return err
+		}
+		return f.cli.Send(from, to, subject, body)
+	}
+	return nil
+}
+
+// dialLocked establishes the session: an in-memory pipe with the SMTP
+// front end serving one long-lived connection on its own goroutine.
+func (f *smtpForwarder) dialLocked() error {
 	cliConn, srvConn := net.Pipe()
-	done := make(chan struct{})
 	go func() {
-		defer close(done)
-		_ = front.ServeConn(srvConn)
+		_ = f.front.ServeConn(srvConn)
 		srvConn.Close()
 	}()
-	defer func() { <-done }()
 	cli, err := mailserv.DialSMTP(cliConn)
 	if err != nil {
 		cliConn.Close()
 		return err
 	}
-	if err := cli.Send(from, to, subject, body); err != nil {
-		cli.Close()
-		return err
+	f.cli = cli
+	return nil
+}
+
+// closeLocked quits the session; the server goroutine exits with it.
+func (f *smtpForwarder) closeLocked() {
+	if f.cli != nil {
+		_ = f.cli.Close()
+		f.cli = nil
 	}
-	return cli.Close()
+}
+
+// Close shuts the forwarding session down. Safe to call repeatedly; a later
+// send re-dials transparently.
+func (f *smtpForwarder) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closeLocked()
 }
 
 // takeIdentity pops an identity from the pool, provisioning more at the
@@ -256,11 +303,13 @@ func honeyAddress(relayAddr string) string {
 }
 
 // drainMail processes mail that arrived since the last drain: statuses are
-// upgraded and verification links are clicked (paper §4.3.3).
+// upgraded and verification links are clicked (paper §4.3.3). Only the
+// messages past the cursor are fetched, so a drain costs O(new mail) rather
+// than recopying the store's whole history every wave.
 func (p *Pilot) drainMail() {
-	msgs := p.Mail.All()
-	for ; p.mailCursor < len(msgs); p.mailCursor++ {
-		m := msgs[p.mailCursor]
+	msgs := p.Mail.Since(p.mailCursor)
+	p.mailCursor += len(msgs)
+	for _, m := range msgs {
 		honey := honeyAddress(m.To)
 		reg := p.Ledger.NoteEmail(honey, m.IsVerification())
 		if reg == nil {

@@ -31,6 +31,10 @@ func (p *Pilot) Run() *Pilot {
 // marked Interrupted, the end-of-study accounting (final mail drain,
 // missed-breach analysis) is skipped, and ctx's error is returned.
 func (p *Pilot) RunContext(ctx context.Context) error {
+	// The SMTP forwarding session stays open for the whole run; closing it
+	// here releases the pipe and its server goroutine (a later send would
+	// transparently re-dial).
+	defer p.forwarder.Close()
 	p.provisionUpfront()
 	p.scheduleControls()
 	p.scheduleBatches()
@@ -94,15 +98,23 @@ func (p *Pilot) provisionUpfront() {
 
 // scheduleControls books periodic control-account logins from the
 // institution's own address; every one must be reported by the provider.
+// The email order is pinned once here: ranging over the controlCreds map
+// directly would log the control logins in a different order every run,
+// breaking the reproducibility of AllLogins() for same-seed runs.
 func (p *Pilot) scheduleControls() {
 	if len(p.controlCreds) == 0 {
 		return
 	}
+	emails := make([]string, 0, len(p.controlCreds))
+	for email := range p.controlCreds {
+		emails = append(emails, email)
+	}
+	sort.Strings(emails)
 	for t := p.Cfg.Start.Add(p.Cfg.ControlLoginEvery); t.Before(p.Cfg.End); t = t.Add(p.Cfg.ControlLoginEvery) {
 		p.Sched.At(t, "control logins", func(now time.Time) {
-			for email, pass := range p.controlCreds {
+			for _, email := range emails {
 				p.Monitor.ExpectControlLogin(email)
-				_ = p.Provider.WebLogin(email, pass, p.institutIP)
+				_ = p.Provider.WebLogin(email, p.controlCreds[email], p.institutIP)
 			}
 		})
 	}
@@ -305,9 +317,11 @@ func (p *Pilot) pickBreachTarget(rng *rand.Rand, breached map[string]bool, withA
 			}
 		}
 	} else {
-		sites := p.Universe.Sites()
+		// Sample ranks instead of snapshotting Sites(): the latter would
+		// materialize the whole universe just to breach a handful of sites.
+		n := p.Universe.NumSites()
 		for tries := 0; tries < 200 && len(cands) < 30; tries++ {
-			s := sites[rng.Intn(len(sites))]
+			s, _ := p.Universe.SiteByRank(rng.Intn(n) + 1)
 			if !breached[s.Domain] && !p.tripwireAccountExists(s.Domain) {
 				cands = append(cands, s.Domain)
 			}

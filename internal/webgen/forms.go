@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math/rand"
+
+	"tripwire/internal/xrand"
 )
 
 // FieldKind is the semantic meaning of a registration-form field. The
@@ -114,7 +116,7 @@ var fieldLabels = map[FieldKind][]string{
 // buildFormSpec constructs the site's registration form deterministically
 // from its seed. The first call is cached by the Universe.
 func buildFormSpec(s *Site) *FormSpec {
-	rng := rand.New(rand.NewSource(s.seed ^ 0x5eed))
+	rng := xrand.New(s.seed ^ 0x5eed)
 	var spec FormSpec
 	add := func(kind FieldKind, typ string, required bool) {
 		fs := FieldSpec{Kind: kind, Type: typ, Required: required}
@@ -178,7 +180,7 @@ func buildFormSpec(s *Site) *FormSpec {
 // profileFormSpec is the second page of a multi-stage registration: the
 // credential fields live on page one, profile fields on page two.
 func profileFormSpec(s *Site) *FormSpec {
-	rng := rand.New(rand.NewSource(s.seed ^ 0x2a6e))
+	rng := xrand.New(s.seed ^ 0x2a6e)
 	var spec FormSpec
 	add := func(kind FieldKind, typ string, required bool) {
 		spec.Fields = append(spec.Fields, FieldSpec{

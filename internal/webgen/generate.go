@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tripwire/internal/captcha"
+	"tripwire/internal/xrand"
 )
 
 // Config controls universe generation. The zero value is not useful; start
@@ -91,7 +92,10 @@ func lerpPow(top, tail float64, rank, numSites int, exp float64) float64 {
 	return top + (tail-top)*frac
 }
 
-// Generate builds a deterministic universe of Config.NumSites sites.
+// Generate builds a deterministic universe of Config.NumSites sites. Sites
+// are not materialized here: each one is derived on first touch as a pure
+// function of (cfg.Seed, rank), so generating a 100k-rank universe is O(1)
+// in site work and memory until ranks are actually visited.
 func Generate(cfg Config) *Universe {
 	if cfg.NumSites <= 0 {
 		panic("webgen: Config.NumSites must be positive")
@@ -99,13 +103,19 @@ func Generate(cfg Config) *Universe {
 	if sum := cfg.PlaintextFrac + cfg.ReversibleFrac + cfg.WeakHashFrac + cfg.StrongHashFrac; sum < 0.999 || sum > 1.001 {
 		panic(fmt.Sprintf("webgen: storage fractions sum to %.3f, want 1", sum))
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	u := newUniverse(cfg)
-	for rank := 1; rank <= cfg.NumSites; rank++ {
-		s := generateSite(rng, cfg, rank)
-		u.add(s)
-	}
-	return u
+	return newUniverse(cfg)
+}
+
+// siteStream tags the per-rank site-generation RNG stream in xrand.Mix
+// derivations, keeping it independent of the crawl engine's task streams.
+const siteStream int64 = 0x517e
+
+// generateSiteAt derives the rank's site as a pure function of
+// (cfg.Seed, rank). Lazy materialization and the eager equivalence test
+// both call exactly this, so touch order cannot influence a site's
+// attributes.
+func generateSiteAt(cfg Config, rank int) *Site {
+	return generateSite(xrand.New(xrand.Mix(cfg.Seed, int64(rank), siteStream)), cfg, rank)
 }
 
 func generateSite(rng *rand.Rand, cfg Config, rank int) *Site {

@@ -1,0 +1,127 @@
+package webgen
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"tripwire/internal/xrand"
+)
+
+// TestLazyMatchesEagerGeneration proves lazy materialization is invisible:
+// every site derived on demand — in scrambled order, concurrently, through
+// Site, SiteByRank or ServeHTTP — must equal the site an eager pass over
+// all ranks produces, field for field, and serve byte-identical pages.
+// This mirrors TestRenderCacheByteIdentical for the site table.
+func TestLazyMatchesEagerGeneration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumSites = 400
+	cfg.Seed = 11
+
+	// Eager reference: the pure per-rank derivation, rank order.
+	eager := make([]*Site, cfg.NumSites)
+	for rank := 1; rank <= cfg.NumSites; rank++ {
+		eager[rank-1] = generateSiteAt(cfg, rank)
+	}
+
+	// Lazy universe touched in a scrambled order by concurrent workers.
+	u := Generate(cfg)
+	ranks := xrand.New(99).Perm(cfg.NumSites)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ranks); i += 8 {
+				u.SiteByRank(ranks[i] + 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for rank := 1; rank <= cfg.NumSites; rank++ {
+		got, ok := u.SiteByRank(rank)
+		if !ok {
+			t.Fatalf("rank %d missing", rank)
+		}
+		if !reflect.DeepEqual(got, eager[rank-1]) {
+			t.Fatalf("rank %d differs between lazy and eager generation:\nlazy:  %+v\neager: %+v",
+				rank, got, eager[rank-1])
+		}
+	}
+
+	// Served bytes must match a second, rank-order-touched universe.
+	ordered := Generate(cfg)
+	for _, s := range ordered.Sites() {
+		if s.LoadFailure {
+			continue
+		}
+		for _, p := range crawlablePaths(s) {
+			if getPage(t, u, s.Domain, p) != getPage(t, ordered, s.Domain, p) {
+				t.Fatalf("%s%s: page bytes depend on materialization order", s.Domain, p)
+			}
+		}
+	}
+}
+
+// TestLazyMaterializesOnlyTouchedRanks pins the O(active-sites) memory
+// property: touching a handful of ranks in a large universe must not
+// materialize the rest.
+func TestLazyMaterializesOnlyTouchedRanks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumSites = 100000
+	u := Generate(cfg)
+	if got := u.MaterializedSites(); got != 0 {
+		t.Fatalf("fresh universe already materialized %d sites", got)
+	}
+	touched := []int{1, 7, 500, 99999, 100000}
+	for _, rank := range touched {
+		if _, ok := u.SiteByRank(rank); !ok {
+			t.Fatalf("rank %d not found", rank)
+		}
+	}
+	// Repeat touches and domain lookups must not re-materialize.
+	u.SiteByRank(7)
+	if _, ok := u.Site("site00500.test"); !ok {
+		t.Fatal("domain lookup failed")
+	}
+	if got := u.MaterializedSites(); got != len(touched) {
+		t.Fatalf("materialized %d sites, want exactly %d", got, len(touched))
+	}
+	if n := u.NumSites(); n != cfg.NumSites {
+		t.Fatalf("NumSites = %d, want %d", n, cfg.NumSites)
+	}
+}
+
+// TestSiteDomainLookup exercises the rank-encoded domain parser, including
+// the non-canonical aliases it must reject.
+func TestSiteDomainLookup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumSites = 120
+	u := Generate(cfg)
+	for _, rank := range []int{1, 60, 120} {
+		s, ok := u.SiteByRank(rank)
+		if !ok {
+			t.Fatalf("rank %d missing", rank)
+		}
+		for _, host := range []string{s.Domain, s.Domain + ":8080", "SITE" + s.Domain[4:]} {
+			got, ok := u.Site(host)
+			if !ok || got != s {
+				t.Errorf("Site(%q) = %v, %v; want rank %d", host, got, ok, rank)
+			}
+		}
+	}
+	for _, host := range []string{
+		"site1.test",      // non-canonical alias of site00001.test
+		"site00121.test",  // out of range
+		"site00000.test",  // rank zero
+		"other.test",      // wrong shape
+		"siteXXXXX.test",  // non-digits
+		"site.test",       // empty digits
+		"site00001.test2", // wrong suffix
+	} {
+		if _, ok := u.Site(host); ok {
+			t.Errorf("Site(%q) unexpectedly resolved", host)
+		}
+	}
+}

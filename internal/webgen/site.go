@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tripwire/internal/captcha"
+	"tripwire/internal/xrand"
 )
 
 // Language is a site's primary content language. The Tripwire crawler's
@@ -206,7 +207,7 @@ func (s *Site) Eligible() bool {
 }
 
 // rng returns a fresh deterministic source for rendering this site's pages.
-func (s *Site) rng() *rand.Rand { return rand.New(rand.NewSource(s.seed)) }
+func (s *Site) rng() *rand.Rand { return xrand.New(s.seed) }
 
 // categories is the census of site categories; includes every category from
 // the paper's Table 2 plus generic filler.

@@ -2,6 +2,7 @@ package webgen
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -24,13 +25,19 @@ type MailerFunc func(from, to, subject, body string) error
 // Send implements Mailer.
 func (f MailerFunc) Send(from, to, subject, body string) error { return f(from, to, subject, body) }
 
-// Universe is the generated synthetic web: a set of ranked sites plus their
-// live backends, served as an http.Handler that routes on the Host header.
-type Universe struct {
-	cfg      Config
-	sites    []*Site
-	byDomain map[string]*Site
+// universeShards is the number of locks the universe's mutable per-domain
+// state is striped over. Power of two so the shard index is a mask of the
+// domain hash. 64 shards keep 16 crawl workers essentially contention-free
+// while costing a few empty maps per universe.
+const universeShards = 64
 
+// stateShard holds every piece of mutable per-domain state for the domains
+// that hash into it, under its own lock. All per-domain invariants (token
+// counters, login-failure streaks) are confined to a single shard because
+// they are keyed by domain, so splitting the former universe-wide mutex
+// changes no observable behaviour — only the amount of cross-domain lock
+// sharing.
+type stateShard struct {
 	mu         sync.Mutex
 	stores     map[string]*Store
 	specs      map[string]*FormSpec
@@ -46,6 +53,30 @@ type Universe struct {
 	// double-compute stores identical bytes and is harmless.
 	renderMu sync.RWMutex
 	rendered map[string]string
+}
+
+// siteSlot lazily materializes one ranked site on first touch.
+type siteSlot struct {
+	once sync.Once
+	site *Site
+}
+
+// Universe is the generated synthetic web: a set of ranked sites plus their
+// live backends, served as an http.Handler that routes on the Host header.
+//
+// Sites are materialized lazily: each *Site is a pure function of
+// (Config.Seed, rank), derived on first touch under a per-rank sync.Once.
+// A 100k-rank universe therefore costs memory only for the ranks actually
+// crawled; Sites, SiteByRank and ServeHTTP behave byte-identically to eager
+// generation (lazy_test.go proves the equivalence).
+type Universe struct {
+	cfg   Config
+	slots []siteSlot
+	// materialized counts slots whose site has been derived, for the
+	// O(active-sites) memory claim and the sites-materialized gauge.
+	materialized atomic.Int64
+
+	shards [universeShards]stateShard
 
 	// renderHits/renderMisses count cachedBody outcomes. Always-on atomics
 	// (two adds per page serve); Observe exposes them to a metrics registry
@@ -71,83 +102,143 @@ type pendingReg struct {
 }
 
 func newUniverse(cfg Config) *Universe {
-	return &Universe{
-		cfg:        cfg,
-		byDomain:   make(map[string]*Site),
-		stores:     make(map[string]*Store),
-		specs:      make(map[string]*FormSpec),
-		issuers:    make(map[string]*captcha.Issuer),
-		pending:    make(map[string]pendingReg),
-		loginFails: make(map[string]int),
-		rendered:   make(map[string]string),
-		Now:        time.Now,
+	u := &Universe{
+		cfg:   cfg,
+		slots: make([]siteSlot, cfg.NumSites),
+		Now:   time.Now,
 	}
+	for i := range u.shards {
+		sh := &u.shards[i]
+		sh.stores = make(map[string]*Store)
+		sh.specs = make(map[string]*FormSpec)
+		sh.issuers = make(map[string]*captcha.Issuer)
+		sh.pending = make(map[string]pendingReg)
+		sh.tokenSeq = make(map[string]int)
+		sh.loginFails = make(map[string]int)
+		sh.rendered = make(map[string]string)
+	}
+	return u
 }
 
-func (u *Universe) add(s *Site) {
-	u.sites = append(u.sites, s)
-	u.byDomain[s.Domain] = s
+// shardFor maps a key (normally a domain) to its state shard via FNV-1a.
+func (u *Universe) shardFor(key string) *stateShard {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 0x100000001b3
+	}
+	return &u.shards[h&(universeShards-1)]
 }
 
-// Sites returns all sites in rank order. The slice is shared; treat it as
-// read-only.
-func (u *Universe) Sites() []*Site { return u.sites }
+// NumSites returns the universe's total rank count without materializing
+// any site.
+func (u *Universe) NumSites() int { return len(u.slots) }
 
-// Site returns the site with the given domain.
+// MaterializedSites returns how many sites have been derived so far.
+func (u *Universe) MaterializedSites() int { return int(u.materialized.Load()) }
+
+// Sites returns all sites in rank order, materializing any that have not
+// been touched yet. Prefer NumSites + SiteByRank when only a subset is
+// needed — this call makes the whole universe resident. The returned slice
+// is fresh, but the sites are shared; treat them as read-only.
+func (u *Universe) Sites() []*Site {
+	out := make([]*Site, len(u.slots))
+	for i := range u.slots {
+		out[i], _ = u.SiteByRank(i + 1)
+	}
+	return out
+}
+
+// Site returns the site with the given domain. Generated domains encode
+// their rank ("site%05d.test"), so the lookup derives the rank and never
+// needs a domain index.
 func (u *Universe) Site(domain string) (*Site, bool) {
-	s, ok := u.byDomain[strings.ToLower(stripPort(domain))]
-	return s, ok
-}
-
-// SiteByRank returns the site with the given 1-based rank.
-func (u *Universe) SiteByRank(rank int) (*Site, bool) {
-	if rank < 1 || rank > len(u.sites) {
+	host := strings.ToLower(stripPort(domain))
+	rank, ok := domainRank(host)
+	if !ok {
 		return nil, false
 	}
-	return u.sites[rank-1], true
+	s, ok := u.SiteByRank(rank)
+	if !ok || s.Domain != host {
+		// Rejects aliases like "site1.test" whose canonical form is
+		// "site00001.test".
+		return nil, false
+	}
+	return s, true
+}
+
+// domainRank parses the rank out of a generated domain name.
+func domainRank(host string) (int, bool) {
+	const prefix, suffix = "site", ".test"
+	if len(host) <= len(prefix)+len(suffix) ||
+		!strings.HasPrefix(host, prefix) || !strings.HasSuffix(host, suffix) {
+		return 0, false
+	}
+	digits := host[len(prefix) : len(host)-len(suffix)]
+	rank := 0
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		if c < '0' || c > '9' || rank > 1<<28 {
+			return 0, false
+		}
+		rank = rank*10 + int(c-'0')
+	}
+	return rank, true
+}
+
+// SiteByRank returns the site with the given 1-based rank, deriving it on
+// first touch.
+func (u *Universe) SiteByRank(rank int) (*Site, bool) {
+	if rank < 1 || rank > len(u.slots) {
+		return nil, false
+	}
+	sl := &u.slots[rank-1]
+	sl.once.Do(func() {
+		sl.site = generateSiteAt(u.cfg, rank)
+		u.materialized.Add(1)
+	})
+	return sl.site, true
 }
 
 // Store returns (creating on first use) the account database for domain.
 func (u *Universe) Store(domain string) *Store {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return u.storeLocked(domain)
-}
-
-func (u *Universe) storeLocked(domain string) *Store {
-	st, ok := u.stores[domain]
+	sh := u.shardFor(domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.stores[domain]
 	if !ok {
-		site := u.byDomain[domain]
 		policy := StoreWeakHash
-		if site != nil {
+		if site, found := u.Site(domain); found {
 			policy = site.Storage
 		}
 		st = NewStore(policy)
-		u.stores[domain] = st
+		sh.stores[domain] = st
 	}
 	return st
 }
 
 // FormSpec returns the registration-form layout for site (cached).
 func (u *Universe) FormSpec(s *Site) *FormSpec {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	spec, ok := u.specs[s.Domain]
+	sh := u.shardFor(s.Domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	spec, ok := sh.specs[s.Domain]
 	if !ok {
 		spec = buildFormSpec(s)
-		u.specs[s.Domain] = spec
+		sh.specs[s.Domain] = spec
 	}
 	return spec
 }
 
 // Issuer returns the CAPTCHA issuer for site (cached).
 func (u *Universe) Issuer(s *Site) *captcha.Issuer {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	is, ok := u.issuers[s.Domain]
+	sh := u.shardFor(s.Domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	is, ok := sh.issuers[s.Domain]
 	if !ok {
 		is = captcha.NewIssuer("captcha-" + s.Domain)
-		u.issuers[s.Domain] = is
+		sh.issuers[s.Domain] = is
 	}
 	return is
 }
@@ -157,36 +248,35 @@ func (u *Universe) Issuer(s *Site) *captcha.Issuer {
 // history, never on how registrations at different sites interleave. That
 // keeps the parallel crawl engine's output independent of worker schedule.
 func (u *Universe) nextToken(domain, prefix string) string {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	if u.tokenSeq == nil {
-		u.tokenSeq = make(map[string]int)
-	}
-	u.tokenSeq[domain]++
-	return fmt.Sprintf("%s-%s-%08d", prefix, domain, u.tokenSeq[domain])
+	sh := u.shardFor(domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.tokenSeq[domain]++
+	return fmt.Sprintf("%s-%s-%08d", prefix, domain, sh.tokenSeq[domain])
 }
 
 // cachedBody returns the rendered body for (site, kind), computing it with
 // render on a miss. Render output is deterministic per site, so concurrent
 // misses may compute twice but always store the same bytes.
 func (u *Universe) cachedBody(site *Site, kind string, render func() string) string {
+	sh := u.shardFor(site.Domain)
 	key := site.Domain + "\x00" + kind
-	u.renderMu.RLock()
-	body, ok := u.rendered[key]
-	u.renderMu.RUnlock()
+	sh.renderMu.RLock()
+	body, ok := sh.rendered[key]
+	sh.renderMu.RUnlock()
 	if ok {
 		u.renderHits.Add(1)
 		return body
 	}
 	u.renderMisses.Add(1)
 	body = render()
-	u.renderMu.Lock()
-	u.rendered[key] = body
-	u.renderMu.Unlock()
+	sh.renderMu.Lock()
+	sh.rendered[key] = body
+	sh.renderMu.Unlock()
 	return body
 }
 
-// Observe exposes the universe's render-cache counters and site count on r
+// Observe exposes the universe's render-cache counters and site counts on r
 // at collection time. Call once per universe after construction.
 func (u *Universe) Observe(r *obs.Registry) {
 	if r == nil {
@@ -194,17 +284,47 @@ func (u *Universe) Observe(r *obs.Registry) {
 	}
 	r.CounterFunc("tripwire_webgen_render_cache_hits_total", "Page bodies served from the render cache.", u.renderHits.Load)
 	r.CounterFunc("tripwire_webgen_render_cache_misses_total", "Page bodies rendered from scratch.", u.renderMisses.Load)
-	r.GaugeFunc("tripwire_webgen_sites", "Generated sites in the universe.", func() int64 { return int64(len(u.sites)) })
+	r.GaugeFunc("tripwire_webgen_sites", "Total ranked sites in the universe.", func() int64 { return int64(len(u.slots)) })
+	r.GaugeFunc("tripwire_webgen_sites_materialized", "Sites derived on demand so far (lazy materialization).", u.materialized.Load)
+}
+
+// WarmRender pre-renders every site's static page bodies into the render
+// cache, so first-visit render cost does not land on whichever crawl task
+// happens to touch a page first. It materializes every site as a side
+// effect, so it only makes sense when the whole universe will be crawled —
+// a full-coverage study, or a benchmark whose timed region is the crawl.
+func (u *Universe) WarmRender() {
+	if u.DisableRenderCache {
+		return
+	}
+	for _, site := range u.Sites() {
+		if site.LoadFailure {
+			continue
+		}
+		s := site
+		u.cachedBody(s, "home", func() string { return renderHome(s) })
+		u.cachedBody(s, "contact", func() string { return renderContact(s) })
+		u.cachedBody(s, "login", func() string { return renderLogin(s) })
+		u.cachedBody(s, "404", func() string {
+			return pageShell(s, "Not found", "<p>Page not found.</p>")
+		})
+		if s.HasRegistration {
+			u.cachedBody(s, "registration", func() string {
+				return renderRegistrationTemplate(s, u.FormSpec(s))
+			})
+			u.cachedBody(s, "welcome", func() string { return renderOutcome(s, true, "") })
+		}
+	}
 }
 
 // servePage writes a static page body, serving it from the render cache
 // unless caching is disabled.
 func (u *Universe) servePage(w http.ResponseWriter, site *Site, kind string, render func() string) {
 	if u.DisableRenderCache {
-		fmt.Fprint(w, render())
+		io.WriteString(w, render())
 		return
 	}
-	fmt.Fprint(w, u.cachedBody(site, kind, render))
+	io.WriteString(w, u.cachedBody(site, kind, render))
 }
 
 // registrationPage produces the GET registration page: the static template
@@ -258,9 +378,9 @@ func (u *Universe) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		id := strings.TrimSuffix(strings.TrimPrefix(path, "/captcha/"), ".png")
 		ch := captcha.Challenge{ID: id, Kind: captcha.Image}
 		w.Header().Set("Content-Type", "image/png")
-		fmt.Fprint(w, u.Issuer(site).RenderImage(ch))
+		io.WriteString(w, u.Issuer(site).RenderImage(ch))
 	case site.HasRegistration && path == site.RegPath && r.Method == http.MethodGet:
-		fmt.Fprint(w, u.registrationPage(site))
+		io.WriteString(w, u.registrationPage(site))
 	case site.HasRegistration && path == site.RegPath && r.Method == http.MethodPost:
 		u.handleRegister(w, r, site)
 	case site.HasRegistration && site.MultiStage && path == site.RegPath+"/complete" && r.Method == http.MethodPost:
@@ -279,11 +399,11 @@ func (u *Universe) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (u *Universe) handleRegister(w http.ResponseWriter, r *http.Request, site *Site) {
 	if site.ExternalAuthOnly {
 		w.WriteHeader(http.StatusNotFound)
-		fmt.Fprint(w, pageShell(site, "Not found", "<p>Registration is handled by our identity partner.</p>"))
+		io.WriteString(w, pageShell(site, "Not found", "<p>Registration is handled by our identity partner.</p>"))
 		return
 	}
 	if err := r.ParseForm(); err != nil {
-		fmt.Fprint(w, renderOutcome(site, false, "malformed submission"))
+		io.WriteString(w, renderOutcome(site, false, "malformed submission"))
 		return
 	}
 	spec := u.FormSpec(site)
@@ -295,7 +415,7 @@ func (u *Universe) handleRegister(w http.ResponseWriter, r *http.Request, site *
 	}
 
 	if get(FieldCSRF) != csrfToken(site.Domain) {
-		fmt.Fprint(w, renderOutcome(site, false, "session expired, please reload the form"))
+		io.WriteString(w, renderOutcome(site, false, "session expired, please reload the form"))
 		return
 	}
 	for _, f := range spec.Fields {
@@ -303,27 +423,27 @@ func (u *Universe) handleRegister(w http.ResponseWriter, r *http.Request, site *
 			continue
 		}
 		if strings.TrimSpace(r.PostFormValue(f.Name)) == "" {
-			fmt.Fprint(w, renderOutcome(site, false, "missing required field: "+f.Label))
+			io.WriteString(w, renderOutcome(site, false, "missing required field: "+f.Label))
 			return
 		}
 	}
 
 	email := get(FieldEmail)
 	if !strings.Contains(email, "@") || strings.Contains(email, " ") {
-		fmt.Fprint(w, renderOutcome(site, false, "invalid email address"))
+		io.WriteString(w, renderOutcome(site, false, "invalid email address"))
 		return
 	}
 	if site.MaxEmailLen > 0 && len(email) > site.MaxEmailLen {
-		fmt.Fprint(w, renderOutcome(site, false, fmt.Sprintf("email address must be at most %d characters", site.MaxEmailLen)))
+		io.WriteString(w, renderOutcome(site, false, fmt.Sprintf("email address must be at most %d characters", site.MaxEmailLen)))
 		return
 	}
 	password := get(FieldPassword)
 	if !site.Passwords.Accepts(password) {
-		fmt.Fprint(w, renderOutcome(site, false, "password does not meet requirements"))
+		io.WriteString(w, renderOutcome(site, false, "password does not meet requirements"))
 		return
 	}
 	if _, hasConfirm := spec.Field(FieldConfirm); hasConfirm && get(FieldConfirm) != password {
-		fmt.Fprint(w, renderOutcome(site, false, "passwords do not match"))
+		io.WriteString(w, renderOutcome(site, false, "passwords do not match"))
 		return
 	}
 	if site.Captcha != captcha.None {
@@ -333,7 +453,7 @@ func (u *Universe) handleRegister(w http.ResponseWriter, r *http.Request, site *
 			answer = r.PostFormValue("captcha_token")
 		}
 		if !u.Issuer(site).Verify(ch, answer) {
-			fmt.Fprint(w, renderOutcome(site, false, "the verification code was incorrect"))
+			io.WriteString(w, renderOutcome(site, false, "the verification code was incorrect"))
 			return
 		}
 	}
@@ -345,10 +465,11 @@ func (u *Universe) handleRegister(w http.ResponseWriter, r *http.Request, site *
 
 	if site.MultiStage {
 		cont := u.nextToken(site.Domain, "cont")
-		u.mu.Lock()
-		u.pending[cont] = pendingReg{domain: site.Domain, username: username, email: email, password: password}
-		u.mu.Unlock()
-		fmt.Fprint(w, renderStep2(site, profileFormSpec(site), cont))
+		sh := u.shardFor(site.Domain)
+		sh.mu.Lock()
+		sh.pending[cont] = pendingReg{domain: site.Domain, username: username, email: email, password: password}
+		sh.mu.Unlock()
+		io.WriteString(w, renderStep2(site, profileFormSpec(site), cont))
 		return
 	}
 	u.finishRegistration(w, site, username, email, password)
@@ -357,18 +478,19 @@ func (u *Universe) handleRegister(w http.ResponseWriter, r *http.Request, site *
 // handleRegisterComplete finishes a multi-stage registration.
 func (u *Universe) handleRegisterComplete(w http.ResponseWriter, r *http.Request, site *Site) {
 	if err := r.ParseForm(); err != nil {
-		fmt.Fprint(w, renderOutcome(site, false, "malformed submission"))
+		io.WriteString(w, renderOutcome(site, false, "malformed submission"))
 		return
 	}
 	cont := r.PostFormValue("continuation")
-	u.mu.Lock()
-	pend, ok := u.pending[cont]
+	sh := u.shardFor(site.Domain)
+	sh.mu.Lock()
+	pend, ok := sh.pending[cont]
 	if ok {
-		delete(u.pending, cont)
+		delete(sh.pending, cont)
 	}
-	u.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok || pend.domain != site.Domain {
-		fmt.Fprint(w, renderOutcome(site, false, "registration session expired"))
+		io.WriteString(w, renderOutcome(site, false, "registration session expired"))
 		return
 	}
 	spec := profileFormSpec(site)
@@ -377,7 +499,7 @@ func (u *Universe) handleRegisterComplete(w http.ResponseWriter, r *http.Request
 			continue
 		}
 		if strings.TrimSpace(r.PostFormValue(f.Name)) == "" {
-			fmt.Fprint(w, renderOutcome(site, false, "missing required field: "+f.Label))
+			io.WriteString(w, renderOutcome(site, false, "missing required field: "+f.Label))
 			return
 		}
 	}
@@ -395,7 +517,7 @@ func (u *Universe) finishRegistration(w http.ResponseWriter, site *Site, usernam
 				"Welcome to "+site.Name,
 				fmt.Sprintf("Hi!\r\n\r\nThanks for joining %s. We are glad to have you.\r\n\r\nThe %s team\r\n", site.Name, site.Name))
 		}
-		fmt.Fprint(w, renderOutcome(site, true, ""))
+		u.servePage(w, site, "welcome", func() string { return renderOutcome(site, true, "") })
 		return
 	}
 	st := u.Store(site.Domain)
@@ -404,7 +526,7 @@ func (u *Universe) finishRegistration(w http.ResponseWriter, site *Site, usernam
 		salt = u.nextToken(site.Domain, "salt")
 	}
 	if _, err := st.Create(username, email, password, salt, u.Now()); err != nil {
-		fmt.Fprint(w, renderOutcome(site, false, "that username is already taken"))
+		io.WriteString(w, renderOutcome(site, false, "that username is already taken"))
 		return
 	}
 	switch {
@@ -425,7 +547,7 @@ func (u *Universe) finishRegistration(w http.ResponseWriter, site *Site, usernam
 			"Welcome to "+site.Name,
 			fmt.Sprintf("Hi!\r\n\r\nThanks for joining %s. We are glad to have you.\r\n\r\nThe %s team\r\n", site.Name, site.Name))
 	}
-	fmt.Fprint(w, renderOutcome(site, true, ""))
+	u.servePage(w, site, "welcome", func() string { return renderOutcome(site, true, "") })
 }
 
 func (u *Universe) sendMail(site *Site, to, subject, body string) {
@@ -475,11 +597,15 @@ func (u *Universe) SearchRegistrationPages(host string) []string {
 func (u *Universe) handleVerify(w http.ResponseWriter, r *http.Request, site *Site) {
 	tok := r.URL.Query().Get("token")
 	if u.Store(site.Domain).Verify(tok) {
-		fmt.Fprint(w, pageShell(site, "Verified", "<p>Your email address has been verified. Thank you!</p>"))
+		u.servePage(w, site, "verified", func() string {
+			return pageShell(site, "Verified", "<p>Your email address has been verified. Thank you!</p>")
+		})
 		return
 	}
 	w.WriteHeader(http.StatusBadRequest)
-	fmt.Fprint(w, pageShell(site, "Invalid token", "<p>This verification link is invalid or has expired.</p>"))
+	u.servePage(w, site, "verify-invalid", func() string {
+		return pageShell(site, "Invalid token", "<p>This verification link is invalid or has expired.</p>")
+	})
 }
 
 // handleMembers serves the public member directory: one list item per
@@ -491,7 +617,7 @@ func (u *Universe) handleMembers(w http.ResponseWriter, site *Site) {
 		fmt.Fprintf(&b, "<li class=\"member\">%s</li>\n", escape(e.Username))
 	}
 	b.WriteString("</ul>\n")
-	fmt.Fprint(w, pageShell(site, "Members", b.String()))
+	io.WriteString(w, pageShell(site, "Members", b.String()))
 }
 
 // loginThrottled applies the site's own brute-force defence (when it has
@@ -501,19 +627,21 @@ func (u *Universe) loginThrottled(site *Site, user string) bool {
 	if !site.RateLimitsLogin {
 		return false
 	}
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return u.loginFails[site.Domain+"|"+strings.ToLower(user)] > 10
+	sh := u.shardFor(site.Domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.loginFails[site.Domain+"|"+strings.ToLower(user)] > 10
 }
 
 func (u *Universe) noteLogin(site *Site, user string, ok bool) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
+	sh := u.shardFor(site.Domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	key := site.Domain + "|" + strings.ToLower(user)
 	if ok {
-		delete(u.loginFails, key)
+		delete(sh.loginFails, key)
 	} else {
-		u.loginFails[key]++
+		sh.loginFails[key]++
 	}
 }
 
@@ -522,14 +650,14 @@ func (u *Universe) noteLogin(site *Site, user string, ok bool) {
 // way the authors manually tested sampled accounts (paper §5.2.3).
 func (u *Universe) handleLogin(w http.ResponseWriter, r *http.Request, site *Site) {
 	if err := r.ParseForm(); err != nil {
-		fmt.Fprint(w, renderOutcome(site, false, "malformed submission"))
+		io.WriteString(w, renderOutcome(site, false, "malformed submission"))
 		return
 	}
 	login := strings.TrimSpace(r.PostFormValue("login"))
 	password := r.PostFormValue("password")
 	if u.loginThrottled(site, login) {
 		w.WriteHeader(http.StatusTooManyRequests)
-		fmt.Fprint(w, pageShell(site, "Slow down", "<p class=\"error\">Too many attempts. Try again later.</p>"))
+		io.WriteString(w, pageShell(site, "Slow down", "<p class=\"error\">Too many attempts. Try again later.</p>"))
 		return
 	}
 	st := u.Store(site.Domain)
@@ -546,19 +674,19 @@ func (u *Universe) handleLogin(w http.ResponseWriter, r *http.Request, site *Sit
 	if !ok || !st.CheckPassword(acct.Username, password) {
 		u.noteLogin(site, login, false)
 		w.WriteHeader(http.StatusUnauthorized)
-		fmt.Fprint(w, pageShell(site, "Login failed", "<p class=\"error\">Invalid username or password.</p>"))
+		io.WriteString(w, pageShell(site, "Login failed", "<p class=\"error\">Invalid username or password.</p>"))
 		return
 	}
 	u.noteLogin(site, login, true)
 	if site.VerifyToLogin && !acct.Verified {
 		w.WriteHeader(http.StatusForbidden)
-		fmt.Fprint(w, pageShell(site, "Not verified", "<p class=\"error\">Please verify your email address before logging in.</p>"))
+		io.WriteString(w, pageShell(site, "Not verified", "<p class=\"error\">Please verify your email address before logging in.</p>"))
 		return
 	}
 	// The landing page after login doubles as the account overview and
 	// shows the address on file — which is how an attacker who guessed a
 	// site password learns the email account to pivot to (§6.3.5).
-	fmt.Fprint(w, pageShell(site, "Welcome", fmt.Sprintf(
+	io.WriteString(w, pageShell(site, "Welcome", fmt.Sprintf(
 		"<p>%s, %s!</p>\n<p class=\"account-email\">Email on file: %s</p>",
 		site.lex().welcome, escape(acct.Username), escape(acct.Email))))
 }
