@@ -13,6 +13,9 @@
 #   make metrics-doc-check  every registered metric name appears in DESIGN.md
 #   make bench-overhead     crawl bench with metrics on vs off in one run;
 #                           fails if mean pages/s drops >3% or allocs/op grows
+#   make bench-compare      fresh benchmark sweep diffed against
+#                           BENCH_baseline.json; fails if any benchmark's
+#                           allocs/op grew >5% (ns/op stays informational)
 
 GO ?= go
 
@@ -21,7 +24,18 @@ GO ?= go
 # with a smaller iteration count because one iteration is a full wave.
 BENCH_PKGS = ./internal/htmldom/ ./internal/crawler/ ./internal/webgen/ ./internal/emailprovider/
 
-.PHONY: build test race ci bench bench-json fuzz metrics-doc-check bench-overhead
+# The full tracked benchmark sweep, shared by bench-json (records it) and
+# bench-compare (gates on it). Fixed -benchtime everywhere keeps allocs/op
+# bit-for-bit reproducible: amortized setup allocations divide by the same
+# iteration count in every run, so baseline diffs are exact.
+define BENCH_RUN
+{ $(GO) test -run xxx -bench . -benchmem -benchtime 1000x $(BENCH_PKGS) ; \
+  $(GO) test -run xxx -bench BenchmarkParallelCrawl -benchmem -benchtime 2x ./internal/sim/ ; \
+  $(GO) test -run xxx -bench BenchmarkTimeline -benchmem -benchtime 1x ./internal/sim/ ; \
+  $(GO) test -run xxx -bench BenchmarkSweep -benchmem -benchtime 1x ./internal/sweep/ ; }
+endef
+
+.PHONY: build test race ci bench bench-json fuzz metrics-doc-check bench-overhead bench-compare
 
 build:
 	$(GO) build ./...
@@ -38,6 +52,7 @@ ci: build metrics-doc-check
 	$(GO) test -run xxx -bench . -benchtime 1x $(BENCH_PKGS)
 	$(GO) test -run xxx -bench 'BenchmarkParallelCrawl$$/workers=8' -benchtime 1x ./internal/sim/
 	$(MAKE) bench-overhead
+	$(MAKE) bench-compare
 
 # Every metric name registered anywhere in the tree must be documented in
 # DESIGN.md's Observability inventory, so the docs can't silently rot.
@@ -59,11 +74,17 @@ bench:
 	$(GO) test -run xxx -bench BenchmarkParallelCrawl -benchtime 3x ./internal/sim/
 
 bench-json: build
-	@{ $(GO) test -run xxx -bench . -benchmem -benchtime 1000x $(BENCH_PKGS) ; \
-	   $(GO) test -run xxx -bench BenchmarkParallelCrawl -benchmem -benchtime 2x ./internal/sim/ ; } \
+	@$(BENCH_RUN) \
 	 | $(GO) run ./cmd/tripwire-bench -baseline BENCH_baseline.json -out BENCH_crawl.json \
-	     -note "hot-path run vs seed baseline; workers grid 1/4/8/16 on the 2.3k universe plus the lazy 10k-universe wave (materialized-sites and heap-MB show O(crawled) cost); allocs/op is deterministic, ns/op on shared hardware is noisy"
+	     -note "hot-path run vs seed baseline; crawl workers grid 1/4/8/16 on the 2.3k universe plus the lazy 10k-universe wave, timeline engine events/s at 1/4/8 workers, multi-seed sweep seeds/s; allocs/op is deterministic, ns/op on shared hardware is noisy"
 	@echo "wrote BENCH_crawl.json"
+
+# Allocation-regression gate: re-run the tracked sweep and diff the
+# deterministic allocs/op figures against BENCH_baseline.json. Benchmarks
+# newer than the baseline are skipped until the baseline is regenerated.
+bench-compare: build
+	@$(BENCH_RUN) \
+	 | $(GO) run ./cmd/tripwire-bench -baseline BENCH_baseline.json -assert-allocs 5 -out /dev/null
 
 fuzz:
 	$(GO) test -fuzz FuzzFieldHeuristics -fuzztime 30s ./internal/crawler/

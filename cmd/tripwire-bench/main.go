@@ -15,10 +15,18 @@
 // command exits non-zero if pages/s regressed by more than PCT percent or
 // the instrumented benchmark allocates more per op.
 //
+// With -assert-allocs PCT (requires -baseline) it gates allocation
+// regressions: every benchmark on stdin that also appears in the baseline
+// with an allocs/op figure is compared, and the command exits non-zero if
+// any current allocs/op exceeds its baseline by more than PCT percent.
+// allocs/op is deterministic for a fixed -benchtime, so this check is
+// sound on shared hardware where ns/op is not; ns/op stays informational.
+//
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem ./... | tripwire-bench -out BENCH_crawl.json -baseline BENCH_baseline.json
 //	go test -run xxx -bench ParallelCrawl -benchmem ./internal/sim/ | tripwire-bench -assert-overhead 3
+//	go test -run xxx -bench . -benchmem ./... | tripwire-bench -baseline BENCH_baseline.json -assert-allocs 5 -out /dev/null
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -133,12 +142,50 @@ func assertOverhead(benchmarks map[string]Result, maxPct float64) (checked int, 
 	return checked, breaches
 }
 
+// assertAllocs compares every current benchmark against its baseline
+// entry, allocs/op only. Names absent from the baseline (new benchmarks)
+// and entries without alloc figures are skipped, so adding a benchmark
+// never breaks the gate; it starts being enforced once the baseline is
+// regenerated with it included.
+func assertAllocs(current, baseline map[string]Result, maxPct float64) (checked int, breaches []string) {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cur, base := current[name], baseline[name]
+		if cur.AllocsPerOp == nil || base.AllocsPerOp == nil {
+			continue
+		}
+		checked++
+		growth := 0.0
+		if *base.AllocsPerOp > 0 {
+			growth = 100 * (*cur.AllocsPerOp - *base.AllocsPerOp) / *base.AllocsPerOp
+		}
+		if growth > maxPct {
+			breaches = append(breaches, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (%+.2f%%, budget %.1f%%)",
+				name, *base.AllocsPerOp, *cur.AllocsPerOp, growth, maxPct))
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "tripwire-bench: %-50s allocs/op %.0f -> %.0f (%+.2f%%)\n",
+			name, *base.AllocsPerOp, *cur.AllocsPerOp, growth)
+	}
+	return checked, breaches
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "existing BENCH JSON whose benchmarks become this document's baseline")
 	note := flag.String("note", "", "free-form note recorded in the document")
 	assertPct := flag.Float64("assert-overhead", 0, "fail if the metrics-on crawl benchmark is more than this % slower (pages/s) than its metrics-free twin, or allocates more")
+	assertAllocsPct := flag.Float64("assert-allocs", 0, "fail if any benchmark's allocs/op exceeds its -baseline entry by more than this % (new benchmarks without a baseline entry are skipped)")
 	flag.Parse()
+
+	if *assertAllocsPct > 0 && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "tripwire-bench: -assert-allocs requires -baseline")
+		os.Exit(2)
+	}
 
 	doc := Doc{Schema: "tripwire-bench/1", Note: *note, Benchmarks: make(map[string]Result)}
 
@@ -185,6 +232,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "tripwire-bench: metrics overhead within %.1f%% budget across %d worker counts\n", *assertPct, checked)
+	}
+
+	if *assertAllocsPct > 0 {
+		checked, breaches := assertAllocs(doc.Benchmarks, doc.Baseline, *assertAllocsPct)
+		for _, b := range breaches {
+			fmt.Fprintln(os.Stderr, "tripwire-bench: ALLOC REGRESSION:", b)
+		}
+		if len(breaches) > 0 {
+			os.Exit(1)
+		}
+		if checked == 0 {
+			fmt.Fprintln(os.Stderr, "tripwire-bench: -assert-allocs matched no benchmarks against the baseline")
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tripwire-bench: allocs/op within %.1f%% of baseline across %d benchmarks\n", *assertAllocsPct, checked)
 	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")

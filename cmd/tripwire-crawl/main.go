@@ -5,11 +5,16 @@
 // Crawls are sharded across -workers goroutines. Output is identical for a
 // given seed regardless of worker count: identities are minted serially in
 // rank order, every per-site random draw derives from (seed, rank), and
-// results are reported in rank order.
+// results are reported in rank order. With -timeline-workers N the crawl
+// runs through the epoch-parallel timeline engine instead: every rank
+// becomes a domain-keyed event in one epoch, executed by N workers — the
+// same engine that parallelizes the pilot's attacker timeline, and the
+// output is byte-identical to the sharded path.
 //
 // Usage:
 //
-//	tripwire-crawl [-sites N] [-from R] [-to R] [-seed N] [-workers N] [-v]
+//	tripwire-crawl [-sites N] [-from R] [-to R] [-seed N] [-workers N]
+//	               [-timeline-workers N] [-v]
 //	               [-cpuprofile FILE] [-memprofile FILE]
 //	               [-mutexprofile FILE] [-blockprofile FILE]
 //	               [-metrics-addr HOST:PORT] [-metrics-out FILE]
@@ -39,6 +44,7 @@ import (
 	"tripwire/internal/crawler"
 	"tripwire/internal/identity"
 	"tripwire/internal/obs"
+	"tripwire/internal/simclock"
 	"tripwire/internal/webgen"
 	"tripwire/internal/xrand"
 )
@@ -49,6 +55,7 @@ func main() {
 	to := flag.Int("to", 200, "last rank to crawl")
 	seed := flag.Int64("seed", 1, "generation seed")
 	workers := flag.Int("workers", 0, "concurrent crawl workers (0 = GOMAXPROCS)")
+	timelineWorkers := flag.Int("timeline-workers", 0, "crawl via the epoch-parallel timeline engine with this many workers (0 = sharded crawl via -workers); output is identical either way")
 	verbose := flag.Bool("v", false, "print one line per site")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the crawl to this file")
 	memprofile := flag.String("memprofile", "", "write a post-crawl heap profile to this file")
@@ -133,26 +140,48 @@ func main() {
 	}
 
 	results := make([]crawler.Result, n)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < nw && w < n; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += nw {
-				rank := *from + i
-				site, _ := universe.SiteByRank(rank)
-				b := browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: universe}))
-				env := &crawler.Env{
-					Rng:    xrand.New(xrand.Mix(*seed, int64(rank), 1)),
-					Solver: solver.Derive(xrand.Mix(*seed, int64(rank), 2)),
-					Sleep:  func(time.Duration) {},
-				}
-				results[i] = c.RegisterWith(env, b, "http://"+site.Domain+"/", ids[i])
-			}
-		}(w)
+	crawlRank := func(i int) {
+		rank := *from + i
+		site, _ := universe.SiteByRank(rank)
+		b := browser.New(browser.WithTransport(&browser.HandlerTransport{Handler: universe}))
+		env := &crawler.Env{
+			Rng:    xrand.New(xrand.Mix(*seed, int64(rank), 1)),
+			Solver: solver.Derive(xrand.Mix(*seed, int64(rank), 2)),
+			Sleep:  func(time.Duration) {},
+		}
+		results[i] = c.RegisterWith(env, b, "http://"+site.Domain+"/", ids[i])
 	}
-	wg.Wait()
+	start := time.Now()
+	if *timelineWorkers != 0 {
+		// Epoch-engine path: all ranks share one timestamp, each keyed by
+		// its domain, so the engine's conflict partitioning spreads the
+		// crawl over the workers. Each site's result is a pure function of
+		// (seed, rank), so this matches the sharded path byte for byte.
+		nw = *timelineWorkers
+		sched := simclock.NewScheduler(simclock.New(time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC)))
+		at := sched.Clock().Now().Add(time.Hour)
+		for i := 0; i < n; i++ {
+			i := i
+			site, _ := universe.SiteByRank(*from + i)
+			sched.AtKeyed(at, simclock.KeyFor(site.Domain), "crawl "+site.Domain, func(*simclock.Exec) {
+				crawlRank(i)
+			})
+		}
+		ep := &simclock.Epochs{Sched: sched, Workers: nw}
+		ep.RunEpoch()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < nw && w < n; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += nw {
+					crawlRank(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
 	elapsed := time.Since(start)
 
 	counts := make(map[crawler.Code]int)

@@ -3,9 +3,15 @@
 // shapes (detections, validity rates, funnel proportions) are properties of
 // the system, not of one lucky random stream.
 //
+// Seeds run on a worker pool bounded by -parallel (capped at GOMAXPROCS);
+// per-seed progress streams to stderr as each study finishes, while the
+// stdout summary aggregates in seed order and is byte-identical at any
+// parallelism. The sweep exits non-zero if any seed's study carries an
+// error or fires an integrity alarm.
+//
 // Usage:
 //
-//	tripwire-sweep [-n seeds] [-scale small|paper]
+//	tripwire-sweep [-n seeds] [-scale small|paper] [-parallel N]
 package main
 
 import (
@@ -14,73 +20,38 @@ import (
 	"os"
 
 	"tripwire"
-	"tripwire/internal/core"
-	"tripwire/internal/report"
-	"tripwire/internal/stats"
+	"tripwire/internal/sweep"
 )
 
 func main() {
 	n := flag.Int("n", 5, "number of seeds to run")
 	scale := flag.String("scale", "small", "study scale: small or paper")
+	parallel := flag.Int("parallel", 1, "seeds to run concurrently (capped at GOMAXPROCS; results are identical at any value)")
 	flag.Parse()
 
-	var (
-		detections   []float64
-		hardAccessed []float64
-		validRate    []float64
-		eligSuccess  []float64
-		alarms       []float64
-	)
-	for seed := int64(1); seed <= int64(*n); seed++ {
-		var cfg tripwire.Config
-		switch *scale {
-		case "small":
-			cfg = tripwire.SmallConfig()
-		case "paper":
-			cfg = tripwire.DefaultConfig()
-		default:
-			fmt.Fprintf(os.Stderr, "tripwire-sweep: unknown scale %q\n", *scale)
-			os.Exit(2)
-		}
-		cfg.Seed = seed * 101
-		study := tripwire.NewStudy(cfg).Run()
-		p := study.Pilot()
-
-		dets := study.Detections()
-		detections = append(detections, float64(len(dets)))
-		hard := 0
-		for _, d := range dets {
-			if study.Classify(d) == core.BreachPlaintext {
-				hard++
-			}
-		}
-		hardAccessed = append(hardAccessed, float64(hard))
-
-		rows := report.Table1(p)
-		att, valid := 0, 0
-		for _, r := range rows {
-			att += r.AttHard + r.AttEasy
-			valid += r.ValidHard + r.ValidEasy
-		}
-		if att > 0 {
-			validRate = append(validRate, 100*float64(valid)/float64(att))
-		}
-		f := report.Fig3(p)
-		eligSuccess = append(eligSuccess, 100*f.SuccessOnElig)
-		alarms = append(alarms, float64(len(p.Monitor.Alarms())))
-
-		fmt.Fprintf(os.Stderr, "seed %-6d detections=%d hard=%d valid=%.0f%% eligOK=%.0f%%\n",
-			cfg.Seed, len(dets), hard, validRate[len(validRate)-1], eligSuccess[len(eligSuccess)-1])
+	if *scale != "small" && *scale != "paper" {
+		fmt.Fprintf(os.Stderr, "tripwire-sweep: unknown scale %q\n", *scale)
+		os.Exit(2)
 	}
+	out := sweep.Run(sweep.Options{
+		N:        *n,
+		Parallel: *parallel,
+		ConfigFor: func(seed int64) tripwire.Config {
+			var cfg tripwire.Config
+			if *scale == "paper" {
+				cfg = tripwire.DefaultConfig()
+			} else {
+				cfg = tripwire.SmallConfig()
+			}
+			cfg.Seed = seed * 101
+			return cfg
+		},
+		Progress: os.Stderr,
+	})
 
-	fmt.Println("\nMulti-seed robustness (", *scale, "scale )")
-	fmt.Printf("  detections:            %s\n", stats.Summarize(detections))
-	fmt.Printf("  plaintext verdicts:    %s\n", stats.Summarize(hardAccessed))
-	fmt.Printf("  account validity %%:    %s\n", stats.Summarize(validRate))
-	fmt.Printf("  success on eligible %%: %s\n", stats.Summarize(eligSuccess))
-	fmt.Printf("  integrity alarms:      %s (must be all zero)\n", stats.Summarize(alarms))
-	if _, max := stats.MinMax(alarms); max > 0 {
-		fmt.Fprintln(os.Stderr, "tripwire-sweep: INTEGRITY ALARMS FIRED")
+	fmt.Print(out.Render(*scale))
+	if err := out.Failed(); err != nil {
+		fmt.Fprintln(os.Stderr, "tripwire-sweep:", err)
 		os.Exit(1)
 	}
 }

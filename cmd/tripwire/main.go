@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	tripwire [-scale small|paper] [-seed N] [-workers N] [-detections-only]
-//	         [-metrics-addr HOST:PORT] [-metrics-out FILE] [-progress]
+//	tripwire [-scale small|paper] [-seed N] [-workers N] [-timeline-workers N]
+//	         [-detections-only] [-metrics-addr HOST:PORT] [-metrics-out FILE]
+//	         [-progress]
 //
 // The paper scale crawls 33,634 synthetic sites and monitors >100,000 honey
 // accounts; small scale runs the same pipeline on a 1,200-site web in a few
@@ -40,6 +41,7 @@ func main() {
 	detectionsOnly := flag.Bool("detections-only", false, "print only detected compromises")
 	saveDir := flag.String("save", "", "write a results directory (summary, dataset, JSON records)")
 	workers := flag.Int("workers", 0, "crawl workers per registration wave (0 = GOMAXPROCS); any value yields identical output for a given seed")
+	timelineWorkers := flag.Int("timeline-workers", 0, "timeline epoch workers (0 = GOMAXPROCS); any value yields identical output for a given seed")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /healthz on this address while running")
 	metricsOut := flag.String("metrics-out", "", "dump the metrics registry here at exit (\"-\" = stdout, *.prom = Prometheus text, else JSON)")
 	progress := flag.Bool("progress", false, "stream wave completions and detections to stderr")
@@ -60,6 +62,7 @@ func main() {
 		tripwire.WithConfig(cfg),
 		tripwire.WithSeed(*seed),
 		tripwire.WithWorkers(*workers),
+		tripwire.WithTimelineWorkers(*timelineWorkers),
 	}
 	var reg *tripwire.Metrics
 	if *metricsAddr != "" || *metricsOut != "" {

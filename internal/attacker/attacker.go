@@ -3,6 +3,7 @@ package attacker
 import (
 	"math/rand"
 	"net/netip"
+	"sort"
 	"sync"
 	"time"
 
@@ -10,6 +11,15 @@ import (
 	"tripwire/internal/identity"
 	"tripwire/internal/simclock"
 	"tripwire/internal/webgen"
+	"tripwire/internal/xrand"
+)
+
+// RNG stream tags for per-event derivation (see xrand.Mix): every random
+// decision the campaign makes is a pure function of (Seed, event seq,
+// stream), so concurrently executed events cannot perturb each other.
+const (
+	streamCrack  = 11
+	streamResale = 12
 )
 
 // Profile is an attacker's per-account access pattern. Table 3 of the paper
@@ -62,6 +72,14 @@ type CampaignConfig struct {
 	// FirstUseDelay bounds the jitter between credentials becoming usable
 	// and the first stuffing attempt.
 	FirstUseDelayMin, FirstUseDelayMax time.Duration
+	// Align coarsens attacker scheduling to this grain: every campaign
+	// event time is rounded *up* to a multiple of Align, so independent
+	// accounts' visits collide on shared timestamps and the epoch-parallel
+	// timeline engine gets frontiers worth parallelizing instead of
+	// singleton epochs. Zero disables alignment (every event keeps its
+	// exact jittered time). Rounding is ceiling-only so an aligned event
+	// never fires before the delay the model drew.
+	Align time.Duration
 	// End stops all scheduling; recurrences are not booked past it.
 	End time.Time
 	// SpamProb is the per-account probability the attacker eventually
@@ -97,6 +115,7 @@ func DefaultCampaignConfig(end time.Time) CampaignConfig {
 		CrackDelayStrong: 45 * 24 * time.Hour,
 		FirstUseDelayMin: 24 * time.Hour,
 		FirstUseDelayMax: 45 * 24 * time.Hour,
+		Align:            time.Hour,
 		End:              end,
 		SpamProb:         0.45,
 		TakeoverProb:     0.08,
@@ -109,6 +128,14 @@ func DefaultCampaignConfig(end time.Time) CampaignConfig {
 // Campaign drives breaches end to end: exfiltrate a site's account
 // database, crack it, and stuff recovered provider credentials via the
 // botnet, on the virtual-time schedule.
+//
+// Every campaign event is keyed for the epoch-parallel timeline engine:
+// breach/crack/resale events carry the domain's conflict key, per-account
+// stuffing visits carry the account's. Randomness never flows through a
+// shared sequential RNG — crack and resale events derive theirs from
+// (Seed, event seq), and each account carries a private RNG seeded at
+// scheduling time — so executing independent keys concurrently reproduces
+// the serial schedule bit for bit.
 type Campaign struct {
 	cfg      CampaignConfig
 	sched    *simclock.Scheduler
@@ -116,8 +143,7 @@ type Campaign struct {
 	cracker  *Cracker
 	provider *emailprovider.Provider
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu sync.Mutex
 	// breaches records exfil times per domain (ground truth for EXPERIMENTS).
 	breaches map[string]time.Time
 	dead     map[string]bool // accounts the attacker has abandoned
@@ -136,7 +162,6 @@ func NewCampaign(cfg CampaignConfig, sched *simclock.Scheduler, stuffer *Stuffer
 		stuffer:  stuffer,
 		cracker:  &Cracker{Words: identity.DictionaryWords()},
 		provider: provider,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		breaches: make(map[string]time.Time),
 		dead:     make(map[string]bool),
 	}
@@ -153,32 +178,48 @@ func (c *Campaign) Breaches() map[string]time.Time {
 	return out
 }
 
+// align rounds t up to the campaign's scheduling grain (no-op when Align
+// is unset, and for times already on the grain).
+func (c *Campaign) align(t time.Time) time.Time {
+	a := c.cfg.Align
+	if a <= 0 {
+		return t
+	}
+	if tr := t.Truncate(a); !tr.Equal(t) {
+		return tr.Add(a)
+	}
+	return t
+}
+
 // Breach schedules the compromise of domain at time when: the attacker
 // exfiltrates the store's dump, cracks it per the site's storage policy,
 // and begins stuffing recovered provider credentials.
 func (c *Campaign) Breach(domain string, store *webgen.Store, when time.Time) {
-	c.sched.At(when, "breach "+domain, func(now time.Time) {
+	key := simclock.KeyFor(domain)
+	c.sched.AtKeyed(c.align(when), key, "breach "+domain, func(x *simclock.Exec) {
 		c.mu.Lock()
-		c.breaches[domain] = now
+		c.breaches[domain] = x.Now()
 		c.mu.Unlock()
 		if c.Metrics != nil {
 			c.Metrics.breaches.Inc()
 		}
 		dump := store.Dump()
 		delay := c.crackDelay(store.Policy())
-		c.sched.After(delay, "crack "+domain, func(now time.Time) {
+		at := c.align(x.Now().Add(delay))
+		x.AtKeyed(at, key, "crack "+domain, func(x *simclock.Exec) {
+			rng := xrand.New(xrand.Mix(c.cfg.Seed, int64(x.Seq()), streamCrack))
 			creds := c.cracker.Crack(dump)
 			provider := FilterByDomain(creds, c.provider.Domain())
 			if c.Metrics != nil {
 				c.Metrics.credsCracked.Add(uint64(len(provider)))
 			}
 			for _, cred := range provider {
-				if c.cfg.CheckFraction > 0 && c.cfg.CheckFraction < 1 && !c.roll(c.cfg.CheckFraction) {
+				if c.cfg.CheckFraction > 0 && c.cfg.CheckFraction < 1 && rng.Float64() >= c.cfg.CheckFraction {
 					continue // evasive attacker: sample, don't sweep
 				}
-				c.scheduleStuffing(cred)
+				c.scheduleStuffing(x, rng, cred)
 			}
-			c.maybeResell(domain, provider)
+			c.maybeResell(x, rng, domain, provider)
 		})
 	})
 }
@@ -186,18 +227,19 @@ func (c *Campaign) Breach(domain string, store *webgen.Store, when time.Time) {
 // maybeResell lists the cracked credential set on an underground market;
 // months later a buyer runs a second stuffing wave with fresh behaviour
 // profiles against whatever accounts are still alive.
-func (c *Campaign) maybeResell(domain string, creds []Credential) {
-	if len(creds) == 0 || c.cfg.ResaleProb <= 0 || !c.roll(c.cfg.ResaleProb) {
+func (c *Campaign) maybeResell(x *simclock.Exec, rng *rand.Rand, domain string, creds []Credential) {
+	if len(creds) == 0 || c.cfg.ResaleProb <= 0 || rng.Float64() >= c.cfg.ResaleProb {
 		return
 	}
 	spread := c.cfg.ResaleDelayMax - c.cfg.ResaleDelayMin
 	delay := c.cfg.ResaleDelayMin
 	if spread > 0 {
-		c.mu.Lock()
-		delay += time.Duration(c.rng.Int63n(int64(spread)))
-		c.mu.Unlock()
+		delay += time.Duration(rng.Int63n(int64(spread)))
 	}
-	c.sched.After(delay, "resale of "+domain+" dump", func(now time.Time) {
+	at := c.align(x.Now().Add(delay))
+	key := simclock.KeyFor(domain)
+	x.AtKeyed(at, key, "resale of "+domain+" dump", func(x *simclock.Exec) {
+		now := x.Now()
 		if now.After(c.cfg.End) {
 			return
 		}
@@ -207,18 +249,21 @@ func (c *Campaign) maybeResell(domain string, creds []Credential) {
 		if c.Metrics != nil {
 			c.Metrics.resales.Inc()
 		}
+		rng := xrand.New(xrand.Mix(c.cfg.Seed, int64(x.Seq()), streamResale))
 		for _, cred := range creds {
-			c.scheduleStuffing(cred)
+			c.scheduleStuffing(x, rng, cred)
 		}
 	})
 }
 
-// Resales lists domains whose dumps were resold (ground truth for tests).
+// Resales lists domains whose dumps were resold (ground truth for tests),
+// sorted so the listing is independent of same-epoch resale interleaving.
 func (c *Campaign) Resales() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]string, len(c.resales))
 	copy(out, c.resales)
+	sort.Strings(out)
 	return out
 }
 
@@ -236,24 +281,36 @@ func (c *Campaign) crackDelay(p webgen.StoragePolicy) time.Duration {
 }
 
 // scheduleStuffing samples a behaviour profile for the credential and books
-// its first access.
-func (c *Campaign) scheduleStuffing(cred Credential) {
-	c.mu.Lock()
-	profile := c.sampleProfile()
-	spam := c.rng.Float64() < c.cfg.SpamProb
-	takeover := c.rng.Float64() < c.cfg.TakeoverProb
-	spamAfter := 3 + c.rng.Intn(40)
-	first := c.cfg.FirstUseDelayMin + time.Duration(c.rng.Int63n(int64(c.cfg.FirstUseDelayMax-c.cfg.FirstUseDelayMin)))
-	c.mu.Unlock()
+// its first access. rng is the scheduling event's private RNG; the account
+// itself gets an independent child RNG so its later visits draw the same
+// numbers no matter what other accounts do in between.
+func (c *Campaign) scheduleStuffing(x *simclock.Exec, rng *rand.Rand, cred Credential) {
+	profile := sampleProfile(rng)
+	spam := rng.Float64() < c.cfg.SpamProb
+	takeover := rng.Float64() < c.cfg.TakeoverProb
+	spamAfter := 3 + rng.Intn(40)
+	first := c.cfg.FirstUseDelayMin
+	if spread := c.cfg.FirstUseDelayMax - c.cfg.FirstUseDelayMin; spread > 0 {
+		first += time.Duration(rng.Int63n(int64(spread)))
+	}
 
-	state := &accountState{cred: cred, profile: profile, willSpam: spam, willTakeover: takeover, spamAfter: spamAfter}
-	c.sched.After(first, "first-use "+cred.Email, func(now time.Time) {
-		c.access(state, now)
+	state := &accountState{
+		cred:         cred,
+		key:          simclock.KeyFor(cred.Email),
+		profile:      profile,
+		willSpam:     spam,
+		willTakeover: takeover,
+		spamAfter:    spamAfter,
+		rng:          xrand.New(rng.Int63()),
+	}
+	at := c.align(x.Now().Add(first))
+	x.AtKeyed(at, state.key, "first-use "+cred.Email, func(x *simclock.Exec) {
+		c.access(state, x)
 	})
 }
 
-func (c *Campaign) sampleProfile() Profile {
-	r := c.rng.Float64()
+func sampleProfile(rng *rand.Rand) Profile {
+	r := rng.Float64()
 	switch {
 	case r < 0.15:
 		return ProfileOneShot
@@ -268,8 +325,13 @@ func (c *Campaign) sampleProfile() Profile {
 	}
 }
 
+// accountState is touched only by the account's own keyed events, which
+// the timeline engine serializes, so no lock guards it — including rng,
+// the account's private randomness stream.
 type accountState struct {
 	cred         Credential
+	key          uint64
+	rng          *rand.Rand
 	profile      Profile
 	logins       int
 	failures     int
@@ -280,7 +342,7 @@ type accountState struct {
 }
 
 // access performs one visit per the profile, then books the next.
-func (c *Campaign) access(st *accountState, now time.Time) {
+func (c *Campaign) access(st *accountState, x *simclock.Exec) {
 	c.mu.Lock()
 	if c.dead[st.cred.Email] {
 		c.mu.Unlock()
@@ -295,8 +357,8 @@ func (c *Campaign) access(st *accountState, now time.Time) {
 		// Tight retry loops on independent, flaky workers: "the systems
 		// used to login to accounts are very loosely coupled and failure
 		// is common" (§6.4.2).
-		if c.roll(0.16) {
-			n := 5 + c.intn(42)
+		if st.rng.Float64() < 0.16 {
+			n := 5 + st.rng.Intn(42)
 			for i := 0; i < n; i++ {
 				ok, _ := c.stuffOnce(st, siphon)
 				if ok {
@@ -305,8 +367,8 @@ func (c *Campaign) access(st *accountState, now time.Time) {
 					st.failures++
 				}
 			}
-			c.afterLogins(st, now)
-			c.scheduleNext(st, now)
+			c.afterLogins(st)
+			c.scheduleNext(st, x)
 			return
 		}
 	case ProfileBurstySingle:
@@ -314,8 +376,8 @@ func (c *Campaign) access(st *accountState, now time.Time) {
 		// hundreds of times within a few seconds" (§6.4.2); the worker —
 		// and hence the IP — changes between bursts, bounding per-IP reuse
 		// near the paper's observed maximum of 58.
-		burstIP := c.stuffer.Pool.Next()
-		n := 10 + c.intn(35)
+		burstIP := c.stuffer.LeaseIP(st.cred.Email)
+		n := 10 + st.rng.Intn(35)
 		for i := 0; i < n; i++ {
 			if c.stuffer.TryLoginFrom(burstIP, st.cred, false) {
 				st.logins++
@@ -323,8 +385,8 @@ func (c *Campaign) access(st *accountState, now time.Time) {
 				st.failures++
 			}
 		}
-		c.afterLogins(st, now)
-		c.scheduleNext(st, now)
+		c.afterLogins(st)
+		c.scheduleNext(st, x)
 		return
 	}
 	ok, _ := c.stuffOnce(st, siphon)
@@ -333,8 +395,8 @@ func (c *Campaign) access(st *accountState, now time.Time) {
 	} else {
 		st.failures++
 	}
-	c.afterLogins(st, now)
-	c.scheduleNext(st, now)
+	c.afterLogins(st)
+	c.scheduleNext(st, x)
 }
 
 func (c *Campaign) stuffOnce(st *accountState, siphon bool) (bool, netip.Addr) {
@@ -347,7 +409,7 @@ func (c *Campaign) stuffOnce(st *accountState, siphon bool) (bool, netip.Addr) {
 
 // afterLogins applies post-access abuse: takeover, spam (which gets the
 // account deactivated by the provider).
-func (c *Campaign) afterLogins(st *accountState, now time.Time) {
+func (c *Campaign) afterLogins(st *accountState) {
 	if st.logins == 0 {
 		return
 	}
@@ -360,7 +422,7 @@ func (c *Campaign) afterLogins(st *accountState, now time.Time) {
 		}
 	}
 	if st.willSpam && st.logins >= st.spamAfter {
-		c.provider.ReportSpam(st.cred.Email, 100+c.intn(900))
+		c.provider.ReportSpam(st.cred.Email, 100+st.rng.Intn(900))
 		c.mu.Lock()
 		c.dead[st.cred.Email] = true
 		c.mu.Unlock()
@@ -372,7 +434,7 @@ func (c *Campaign) afterLogins(st *accountState, now time.Time) {
 
 // scheduleNext books the account's next visit per profile, abandoning
 // accounts whose value is exhausted or whose logins keep failing.
-func (c *Campaign) scheduleNext(st *accountState, now time.Time) {
+func (c *Campaign) scheduleNext(st *accountState, x *simclock.Exec) {
 	if st.failures >= 30 && st.logins == 0 {
 		if c.Metrics != nil {
 			c.Metrics.credsAbandoned.Inc()
@@ -384,34 +446,24 @@ func (c *Campaign) scheduleNext(st *accountState, now time.Time) {
 	case ProfileOneShot:
 		return
 	case ProfileFewChecks:
-		if st.logins+st.failures >= 2+c.intn(8) {
+		if st.logins+st.failures >= 2+st.rng.Intn(8) {
 			return
 		}
-		gap = time.Duration(3+c.intn(40)) * 24 * time.Hour
+		gap = time.Duration(3+st.rng.Intn(40)) * 24 * time.Hour
 	case ProfileScraper:
-		gap = time.Duration(2+c.intn(9)) * 24 * time.Hour
+		gap = time.Duration(2+st.rng.Intn(9)) * 24 * time.Hour
 	case ProfileBurstyMulti:
-		gap = time.Duration(2+c.intn(11)) * 24 * time.Hour
+		gap = time.Duration(2+st.rng.Intn(11)) * 24 * time.Hour
 	case ProfileBurstySingle:
-		gap = time.Duration(20+c.intn(41)) * 24 * time.Hour
+		gap = time.Duration(20+st.rng.Intn(41)) * 24 * time.Hour
 	}
-	next := now.Add(gap)
+	next := c.align(x.Now().Add(gap))
 	if next.After(c.cfg.End) {
 		return
 	}
-	c.sched.At(next, "revisit "+st.cred.Email, func(t time.Time) { c.access(st, t) })
-}
-
-func (c *Campaign) roll(p float64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.rng.Float64() < p
-}
-
-func (c *Campaign) intn(n int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.rng.Intn(n)
+	x.AtKeyed(next, st.key, "revisit "+st.cred.Email, func(x *simclock.Exec) {
+		c.access(st, x)
+	})
 }
 
 // takeoverPassword is the deterministic password an attacker sets after

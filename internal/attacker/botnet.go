@@ -10,17 +10,43 @@ import (
 	"tripwire/internal/geo"
 	"tripwire/internal/imap"
 	"tripwire/internal/pop3"
+	"tripwire/internal/xrand"
 )
+
+// hotProxies is how many recurring exits the deterministic leasing path
+// draws reuse from; a small set keeps per-IP reuse counts near the paper's
+// observed heavy-reuse tail.
+const hotProxies = 256
+
+// fnv64 hashes an identifier for child-seed derivation (FNV-1a).
+func fnv64(s string) uint64 {
+	const offset64, prime64 = 14695981039866320922, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
 
 // ProxyPool models the attacker's access network: "a global network of
 // predominantly compromised residential machines acting as proxies" (paper
 // §6.4). Most logins come from fresh addresses; a minority of proxies are
 // reused, and a few are reused heavily.
+//
+// The pool offers two leasing paths. Next draws from one shared RNG — fine
+// for serial callers, but its results depend on global call order. Lease is
+// the epoch-parallel path: the exit for (key, n) is a pure function of the
+// pool seed, so concurrent leases by different accounts can never perturb
+// each other's draws and timeline runs stay worker-count invariant.
 type ProxyPool struct {
-	mu    sync.Mutex
-	space *geo.Space
-	rng   *rand.Rand
-	used  []netip.Addr
+	mu       sync.Mutex
+	space    *geo.Space
+	seed     int64
+	rng      *rand.Rand
+	used     []netip.Addr // fresh exits leased via Next, its reuse pool
+	hot      []netip.Addr // deterministic reuse set for Lease, built lazily
+	distinct map[netip.Addr]struct{}
 	// ReuseProb is the probability a login reuses a previously seen proxy
 	// instead of leasing a fresh one.
 	ReuseProb float64
@@ -28,10 +54,17 @@ type ProxyPool struct {
 
 // NewProxyPool returns a pool drawing from space.
 func NewProxyPool(space *geo.Space, seed int64, reuseProb float64) *ProxyPool {
-	return &ProxyPool{space: space, rng: rand.New(rand.NewSource(seed)), ReuseProb: reuseProb}
+	return &ProxyPool{
+		space:    space,
+		seed:     seed,
+		rng:      rand.New(rand.NewSource(seed)),
+		distinct: make(map[netip.Addr]struct{}),
+		ReuseProb: reuseProb,
+	}
 }
 
-// Next leases an exit address for one login.
+// Next leases an exit address for one login from the shared RNG. Results
+// depend on global call order, so Next belongs on serial paths only.
 func (p *ProxyPool) Next() netip.Addr {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -40,6 +73,33 @@ func (p *ProxyPool) Next() netip.Addr {
 	}
 	ip := p.space.SampleProxyIP(p.rng)
 	p.used = append(p.used, ip)
+	p.distinct[ip] = struct{}{}
+	return ip
+}
+
+// Lease leases the exit address for the n-th draw of key (an account
+// email). The result is a pure function of (pool seed, key, n): reuse rolls
+// and fresh samples come from a private derived RNG, and reused exits come
+// from a seed-derived hot set — so leases are deterministic under any
+// interleaving of concurrent callers.
+func (p *ProxyPool) Lease(key string, n uint64) netip.Addr {
+	rng := xrand.New(xrand.Mix(p.seed, int64(fnv64(key)), int64(n)))
+	p.mu.Lock()
+	if p.hot == nil {
+		hotRng := xrand.New(xrand.Mix(p.seed, -1, 0))
+		p.hot = make([]netip.Addr, hotProxies)
+		for i := range p.hot {
+			p.hot[i] = p.space.SampleProxyIP(hotRng)
+		}
+	}
+	var ip netip.Addr
+	if rng.Float64() < p.ReuseProb {
+		ip = p.hot[rng.Intn(len(p.hot))]
+	} else {
+		ip = p.space.SampleProxyIP(rng)
+	}
+	p.distinct[ip] = struct{}{}
+	p.mu.Unlock()
 	return ip
 }
 
@@ -47,7 +107,7 @@ func (p *ProxyPool) Next() netip.Addr {
 func (p *ProxyPool) DistinctCount() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.used)
+	return len(p.distinct)
 }
 
 // LoginRecord is the attacker-side log of one attempt against the provider.
@@ -63,6 +123,11 @@ type LoginRecord struct {
 // injected as the remote IP the provider logs. A configurable minority of
 // attempts use POP3 instead, matching the paper's "typically via IMAP"
 // observation (§6.4).
+//
+// All of the stuffer's randomness (proxy leases, the IMAP/POP3 protocol
+// split) derives from per-account draw counters, never from shared
+// sequential RNGs, so concurrent stuffing of different accounts inside one
+// timeline epoch produces exactly the logins a serial run would.
 type Stuffer struct {
 	Server *imap.Server
 	Pool   *ProxyPool
@@ -70,33 +135,95 @@ type Stuffer struct {
 	Now func() time.Time
 	// Metrics, when non-nil, counts stuffing attempts and successes.
 	Metrics *Metrics
+	// Latency emulates one network round-trip of wall-clock delay per
+	// login attempt (real stuffing tunnels through residential proxies and
+	// is latency-bound, not CPU-bound). Zero — the default — keeps
+	// simulations instant; benchmarks set it to measure how well timeline
+	// workers overlap the waits.
+	Latency time.Duration
 
 	mu      sync.Mutex
 	records []LoginRecord
+	marked  int               // records index saved by BeginSegment
+	draws   map[string]uint64 // per-account deterministic draw counters
 	pop     *pop3.Server
 	popFrac float64
-	popRng  *rand.Rand
+	popSeed int64
 }
 
 // NewStuffer returns a stuffing engine against server.
 func NewStuffer(server *imap.Server, pool *ProxyPool, now func() time.Time) *Stuffer {
-	return &Stuffer{Server: server, Pool: pool, Now: now}
+	return &Stuffer{Server: server, Pool: pool, Now: now, draws: make(map[string]uint64)}
 }
 
 // UsePOP routes frac of future logins through the given POP3 server, the
-// way a minority of real collection tooling does.
+// way a minority of real collection tooling does. Which logins switch is a
+// per-account deterministic function of (seed, email, draw count).
 func (s *Stuffer) UsePOP(server *pop3.Server, frac float64, seed int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pop = server
 	s.popFrac = frac
-	s.popRng = rand.New(rand.NewSource(seed))
+	s.popSeed = seed
 }
 
-func (s *Stuffer) pickPOP() bool {
+// nextDraw advances and returns the account's draw counter — the sequence
+// number that makes every probabilistic choice about this account a pure
+// function of (seed, email, how many draws came before).
+func (s *Stuffer) nextDraw(email string) uint64 {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pop != nil && s.popRng != nil && s.popRng.Float64() < s.popFrac
+	n := s.draws[email]
+	s.draws[email] = n + 1
+	s.mu.Unlock()
+	return n
+}
+
+func (s *Stuffer) pickPOP(email string) bool {
+	s.mu.Lock()
+	pop, frac, seed := s.pop, s.popFrac, s.popSeed
+	s.mu.Unlock()
+	if pop == nil || frac <= 0 {
+		return false
+	}
+	rng := xrand.New(xrand.Mix(seed, int64(fnv64(email)), int64(s.nextDraw(email))))
+	return rng.Float64() < frac
+}
+
+// LeaseIP leases a proxy exit for one login against email, deterministic
+// per account (see ProxyPool.Lease).
+func (s *Stuffer) LeaseIP(email string) netip.Addr {
+	return s.Pool.Lease(email, s.nextDraw(email))
+}
+
+// BeginSegment / EndSegment implement simclock.Sequencer for the
+// attacker-side record log, mirroring the provider's login ring: records
+// appended during one parallel segment all share a timestamp, so a stable
+// per-segment sort by account erases goroutine interleaving.
+func (s *Stuffer) BeginSegment() {
+	s.mu.Lock()
+	s.marked = len(s.records)
+	s.mu.Unlock()
+}
+
+// EndSegment closes the segment opened by BeginSegment.
+func (s *Stuffer) EndSegment() {
+	s.mu.Lock()
+	blk := s.records[s.marked:]
+	if len(blk) > 1 {
+		sortRecords(blk)
+	}
+	s.mu.Unlock()
+}
+
+// sortRecords stably orders a same-timestamp block by account email.
+func sortRecords(blk []LoginRecord) {
+	// Insertion sort: segment blocks are small and almost sorted, and this
+	// avoids pulling package sort's interface boxing into the hot path.
+	for i := 1; i < len(blk); i++ {
+		for j := i; j > 0 && blk[j].Email < blk[j-1].Email; j-- {
+			blk[j], blk[j-1] = blk[j-1], blk[j]
+		}
+	}
 }
 
 // TryLogin attempts one IMAP login with cred from a leased proxy. When
@@ -105,12 +232,9 @@ func (s *Stuffer) pickPOP() bool {
 // a bare credential check. It returns whether the login succeeded and the
 // exit IP used.
 func (s *Stuffer) TryLogin(cred Credential, siphon bool) (bool, netip.Addr) {
-	ip := s.Pool.Next()
+	ip := s.LeaseIP(cred.Email)
 	ok := s.loginVia(ip, cred, siphon)
-	s.mu.Lock()
-	s.records = append(s.records, LoginRecord{Email: cred.Email, Time: s.Now(), IP: ip, Success: ok})
-	s.mu.Unlock()
-	s.Metrics.attempt(ok)
+	s.record(cred.Email, ip, ok)
 	return ok, ip
 }
 
@@ -118,15 +242,22 @@ func (s *Stuffer) TryLogin(cred Credential, siphon bool) (bool, netip.Addr) {
 // behaviour, paper §6.4.2).
 func (s *Stuffer) TryLoginFrom(ip netip.Addr, cred Credential, siphon bool) bool {
 	ok := s.loginVia(ip, cred, siphon)
-	s.mu.Lock()
-	s.records = append(s.records, LoginRecord{Email: cred.Email, Time: s.Now(), IP: ip, Success: ok})
-	s.mu.Unlock()
-	s.Metrics.attempt(ok)
+	s.record(cred.Email, ip, ok)
 	return ok
 }
 
+func (s *Stuffer) record(email string, ip netip.Addr, ok bool) {
+	s.mu.Lock()
+	s.records = append(s.records, LoginRecord{Email: email, Time: s.Now(), IP: ip, Success: ok})
+	s.mu.Unlock()
+	s.Metrics.attempt(ok)
+}
+
 func (s *Stuffer) loginVia(ip netip.Addr, cred Credential, siphon bool) bool {
-	if s.pickPOP() {
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
+	if s.pickPOP(cred.Email) {
 		return s.loginPOP(ip, cred, siphon)
 	}
 	client, server := net.Pipe()

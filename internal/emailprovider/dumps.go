@@ -29,6 +29,17 @@ func (p *Provider) PurgeExpired() int {
 	return p.log.purgeExpired(p.Now().Add(-p.Retention))
 }
 
+// BeginSegment / EndSegment implement simclock.Sequencer: the epoch-parallel
+// timeline engine brackets every parallel segment with them so the login
+// log's append order — the one piece of provider state that is sensitive to
+// goroutine interleaving — is re-sequenced deterministically (see
+// loginRing.seal). All other provider state is per-account and per-account
+// events never run concurrently.
+func (p *Provider) BeginSegment() { p.log.mark() }
+
+// EndSegment closes the segment opened by BeginSegment.
+func (p *Provider) EndSegment() { p.log.seal() }
+
 // Abuse-response operations: the provider's security systems acting on
 // compromised accounts, per paper §6.4.4.
 

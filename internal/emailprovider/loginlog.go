@@ -20,6 +20,7 @@ type loginRing struct {
 	head     int // index of the oldest event in buf
 	n        int // events currently stored
 	unsorted bool
+	marked   int // logical index saved by mark() for seal()
 }
 
 // at returns the i-th oldest stored event. Callers hold mu and guarantee
@@ -127,6 +128,46 @@ func (r *loginRing) purgeExpired(cutoff time.Time) int {
 		}
 	}
 	return purged
+}
+
+// mark remembers the current logical length; seal later re-sequences
+// everything appended after it. The pair brackets one parallel timeline
+// segment (simclock.Sequencer): within a segment the clock is frozen, so
+// every appended event carries the same timestamp and cross-account append
+// order is an accident of goroutine interleaving. seal erases that accident.
+// No purge can run between mark and seal (dumps are exclusive events), so
+// the logical index stays valid.
+func (r *loginRing) mark() {
+	r.mu.Lock()
+	r.marked = r.n
+	r.mu.Unlock()
+}
+
+// seal stably sorts the block appended since mark by (Time, Account). Two
+// same-epoch logins to the same account come from the same conflict
+// partition and are therefore already in deterministic order, which the
+// stable sort preserves — making the whole log independent of how the
+// segment's partitions interleaved.
+func (r *loginRing) seal() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.marked
+	if r.n-m < 2 {
+		return
+	}
+	blk := make([]LoginEvent, r.n-m)
+	for i := m; i < r.n; i++ {
+		blk[i-m] = *r.at(i)
+	}
+	sort.SliceStable(blk, func(a, b int) bool {
+		if !blk[a].Time.Equal(blk[b].Time) {
+			return blk[a].Time.Before(blk[b].Time)
+		}
+		return blk[a].Account < blk[b].Account
+	})
+	for i := range blk {
+		*r.at(m+i) = blk[i]
+	}
 }
 
 // all returns every stored event, oldest first.

@@ -87,6 +87,14 @@ type Config struct {
 	// outcome derives only from (seed, rank, attempt), and waves merge in
 	// rank order (see parallel.go).
 	CrawlWorkers int
+	// TimelineWorkers is how many goroutines execute one timeline epoch's
+	// conflict partitions concurrently (see internal/simclock's epoch
+	// executor). Zero means runtime.GOMAXPROCS(0); 1 executes epochs
+	// serially. Results are bit-identical for a given seed regardless of
+	// the value: same-key events are serialized, scheduling from parallel
+	// handlers is flushed in frontier order, and append-ordered shared logs
+	// are re-sequenced per segment.
+	TimelineWorkers int
 	// NetLatency emulates one network round-trip of wall-clock delay per
 	// crawler page load (real crawling is latency-bound, not CPU-bound).
 	// Zero — the default — keeps simulations instant; benchmarks set it to

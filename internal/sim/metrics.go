@@ -4,10 +4,12 @@ import (
 	"time"
 
 	"tripwire/internal/obs"
+	"tripwire/internal/simclock"
 )
 
 // pilotMetrics is the sim-layer view of the registry: wave spans, task
-// throughput, and worker utilization. A nil *pilotMetrics is a no-op.
+// throughput, worker utilization, and timeline-engine telemetry. A nil
+// *pilotMetrics is a no-op.
 type pilotMetrics struct {
 	waveSpan    *obs.Span
 	waves       *obs.Counter
@@ -15,6 +17,12 @@ type pilotMetrics struct {
 	taskDur     *obs.Histogram
 	utilization *obs.Gauge
 	provisioned *obs.Counter
+
+	tlEvents      *obs.Counter
+	tlEpochs      *obs.Counter
+	tlWidth       *obs.Histogram
+	tlPartitions  *obs.Histogram
+	tlUtilization *obs.Gauge
 }
 
 // newPilotMetrics registers the sim metric families on r and exposes the
@@ -30,11 +38,38 @@ func (p *Pilot) newPilotMetrics(r *obs.Registry) *pilotMetrics {
 		taskDur:     r.Histogram("tripwire_sim_task_duration_seconds", "Wall-clock duration of one crawl task.", nil),
 		utilization: r.Gauge("tripwire_sim_worker_utilization_percent", "Share of the last phase's worker-time spent crawling."),
 		provisioned: r.Counter("tripwire_sim_identities_provisioned_total", "Honey identities provisioned at the provider."),
+
+		tlEvents:      r.Counter("tripwire_timeline_events_total", "Timeline events executed by the epoch engine."),
+		tlEpochs:      r.Counter("tripwire_timeline_epochs_total", "Timeline epochs executed."),
+		// Count-shaped buckets: these histograms observe event/partition
+		// counts, not durations (partitions cap at the 64-way key fold).
+		tlWidth:       r.Histogram("tripwire_timeline_epoch_width", "Events per epoch (frontier width).", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+		tlPartitions:  r.Histogram("tripwire_timeline_partitions", "Conflict partitions per epoch.", []float64{1, 2, 4, 8, 16, 32, 64}),
+		tlUtilization: r.Gauge("tripwire_timeline_worker_utilization_percent", "Share of the last parallel epoch's worker-time spent executing events."),
 	}
 	r.GaugeFunc("tripwire_sim_workers", "Configured crawl workers (0 meant GOMAXPROCS).", func() int64 {
 		return int64(p.workers())
 	})
+	r.GaugeFunc("tripwire_timeline_workers", "Configured timeline workers (0 meant GOMAXPROCS).", func() int64 {
+		return int64(p.timelineWorkers())
+	})
 	return m
+}
+
+// epochDone records one executed timeline epoch; it is the Epochs.Observe
+// hook. Worker utilization is only meaningful for epochs that actually ran
+// partitions in parallel, so serial epochs leave the gauge untouched.
+func (m *pilotMetrics) epochDone(st simclock.EpochStats) {
+	if m == nil {
+		return
+	}
+	m.tlEvents.Add(uint64(st.Width))
+	m.tlEpochs.Inc()
+	m.tlWidth.Observe(float64(st.Width))
+	m.tlPartitions.Observe(float64(st.Partitions))
+	if st.Workers > 1 && st.Elapsed > 0 {
+		m.tlUtilization.Set(int64(100 * st.Busy / (st.Elapsed * time.Duration(st.Workers))))
+	}
 }
 
 // waveStart opens the wave span; pair with waveDone.

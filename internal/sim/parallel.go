@@ -51,6 +51,14 @@ func (p *Pilot) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// timelineWorkers resolves Config.TimelineWorkers, defaulting to GOMAXPROCS.
+func (p *Pilot) timelineWorkers() int {
+	if p.Cfg.TimelineWorkers > 0 {
+		return p.Cfg.TimelineWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // runSharded fans fn(0..n-1) out over at most workers goroutines pulling
 // from a shared atomic counter. Which worker runs which task is timing-
 // dependent, as is completion order — callers must keep fn's effects a pure

@@ -12,6 +12,7 @@ import (
 	"tripwire/internal/browser"
 	"tripwire/internal/crawler"
 	"tripwire/internal/identity"
+	"tripwire/internal/simclock"
 	"tripwire/internal/webgen"
 )
 
@@ -24,12 +25,14 @@ func (p *Pilot) Run() *Pilot {
 }
 
 // RunContext is Run with cooperative cancellation: the context is checked
-// between scheduler events — which includes every wave boundary — so a
-// cancelled run stops cleanly after the event in flight. Completed waves
+// between timeline epochs — which includes every wave boundary — so a
+// cancelled run stops cleanly after the epoch in flight. Completed epochs
 // are untouched by cancellation: a run cancelled at any point is a prefix
-// of the uncancelled run (a test pins this). On cancellation the pilot is
-// marked Interrupted, the end-of-study accounting (final mail drain,
-// missed-breach analysis) is skipped, and ctx's error is returned.
+// of the uncancelled run (a test pins this; epochs fire in the same order
+// as serial events, so the prefix property survives parallel execution).
+// On cancellation the pilot is marked Interrupted, the end-of-study
+// accounting (final mail drain, missed-breach analysis) is skipped, and
+// ctx's error is returned.
 func (p *Pilot) RunContext(ctx context.Context) error {
 	// The SMTP forwarding session stays open for the whole run; closing it
 	// here releases the pipe and its server goroutine (a later send would
@@ -41,6 +44,17 @@ func (p *Pilot) RunContext(ctx context.Context) error {
 	p.scheduleBreaches()
 	p.scheduleDumps()
 	p.scheduleDisclosures()
+	// The epoch-parallel timeline engine: keyed attacker events in one
+	// epoch execute concurrently, bounded by TimelineWorkers; the provider
+	// login ring and the attacker record log are re-sequenced per segment.
+	ep := &simclock.Epochs{
+		Sched:      p.Sched,
+		Workers:    p.timelineWorkers(),
+		Sequencers: []simclock.Sequencer{p.Provider, p.Stuffer},
+	}
+	if p.metrics != nil {
+		ep.Observe = p.metrics.epochDone
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			p.Interrupted = true
@@ -50,7 +64,7 @@ func (p *Pilot) RunContext(ctx context.Context) error {
 		if !ok || at.After(p.Cfg.End) {
 			break
 		}
-		p.Sched.Step()
+		ep.RunEpoch()
 	}
 	p.Clock.AdvanceTo(p.Cfg.End)
 	p.drainMail()

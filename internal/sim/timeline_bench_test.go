@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"tripwire/internal/attacker"
+	"tripwire/internal/emailprovider"
+	"tripwire/internal/geo"
+	"tripwire/internal/identity"
+	"tripwire/internal/imap"
+	"tripwire/internal/simclock"
+	"tripwire/internal/webgen"
+)
+
+// benchTimelineDomains / benchTimelineAccounts size the attacker-only
+// timeline benchmark: breached plaintext sites whose dumps all crack to
+// valid provider credentials, so every account produces a long stream of
+// keyed stuffing events (real IMAP logins over in-memory pipes).
+const (
+	benchTimelineDomains  = 24
+	benchTimelineAccounts = 600
+	benchTimelineDays     = 120
+	// benchTimelineLatency emulates the proxy-network round trip each login
+	// attempt costs (Stuffer.Latency). Real stuffing is latency-bound; the
+	// speedup from extra timeline workers is latency overlap, which scales
+	// with worker count on any machine — including single-core CI boxes
+	// where a purely CPU-bound benchmark could never show one (the same
+	// reasoning as Config.NetLatency in the crawl benchmark).
+	benchTimelineLatency = 500 * time.Microsecond
+)
+
+// buildTimelineBench assembles the attacker-only fixture: provider,
+// stuffer, and a campaign with every domain breached in the first hours.
+// The 12h alignment grain packs independent accounts' visits onto shared
+// timestamps, so epochs are wide enough for the worker pool to matter —
+// the same mechanism the pilot uses, minus the crawl (which has its own
+// benchmark).
+func buildTimelineBench(workers int) (*simclock.Epochs, time.Time) {
+	start := date(2015, 6, 1)
+	end := start.Add(benchTimelineDays * 24 * time.Hour)
+	clock := simclock.New(start)
+	sched := simclock.NewScheduler(clock)
+	p := emailprovider.New(ProviderDomain)
+	p.Now = clock.Now
+	pool := attacker.NewProxyPool(geo.NewSpace(), 5, 0.25)
+	stuffer := attacker.NewStuffer(imap.NewServer(p), pool, clock.Now)
+	stuffer.Latency = benchTimelineLatency
+	cfg := attacker.DefaultCampaignConfig(end)
+	cfg.Align = 24 * time.Hour
+	camp := attacker.NewCampaign(cfg, sched, stuffer, p)
+
+	gen := identity.NewGenerator(ProviderDomain, 17)
+	per := benchTimelineAccounts / benchTimelineDomains
+	for d := 0; d < benchTimelineDomains; d++ {
+		store := webgen.NewStore(webgen.StorePlaintext)
+		for a := 0; a < per; a++ {
+			id := gen.New(identity.Easy)
+			if err := p.CreateAccount(id.Email, id.FullName(), id.Password); err != nil {
+				continue
+			}
+			local, _, _ := strings.Cut(id.Email, "@")
+			_, _ = store.Create(local, id.Email, id.Password, "", start)
+		}
+		camp.Breach(fmt.Sprintf("bench-site%03d.test", d), store, start.Add(time.Duration(d%36)*time.Hour))
+	}
+	ep := &simclock.Epochs{
+		Sched:      sched,
+		Workers:    workers,
+		Sequencers: []simclock.Sequencer{p, stuffer},
+	}
+	return ep, end
+}
+
+// BenchmarkTimeline measures timeline engine throughput (events/s) at
+// several worker counts over the attacker-heavy fixture. The fixture is
+// rebuilt outside the timer each iteration (a breach only happens once);
+// the timed region is exactly the epoch loop RunContext drives.
+func BenchmarkTimeline(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var events int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ep, end := buildTimelineBench(workers)
+				b.StartTimer()
+				events += int64(ep.RunUntil(end))
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tripwire/internal/obs"
+	"tripwire/internal/sim"
+)
+
+// TestTimelineWorkerInvariance asserts the epoch-parallel timeline
+// engine's core contract at the pilot level: a run with TimelineWorkers
+// 2, 4 or 8 is bit-identical to the serial run — same attempts in the
+// same order, same detection times, and a byte-identical provider login
+// log (the most interleaving-sensitive artifact: every stuffing login in
+// order, with IP and method). All runs carry a live metrics registry so
+// the invariance covers the metered epoch executor too.
+func TestTimelineWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full pilots in -short mode")
+	}
+	run := func(workers int) *sim.Pilot {
+		cfg := sim.SmallConfig()
+		cfg.TimelineWorkers = workers
+		cfg.Metrics = obs.New()
+		return sim.NewPilot(cfg).Run()
+	}
+	serial := run(1)
+	serialLogins := serial.Provider.AllLogins()
+	if len(serialLogins) == 0 {
+		t.Fatal("serial pilot produced no provider logins; the fixture exercises nothing")
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		par := run(workers)
+		if !reflect.DeepEqual(serial.Attempts, par.Attempts) {
+			t.Fatalf("Attempts diverge between TimelineWorkers=1 and =%d", workers)
+		}
+		if !reflect.DeepEqual(serial.DetectionTimes, par.DetectionTimes) {
+			t.Fatalf("DetectionTimes diverge between TimelineWorkers=1 and =%d:\n1: %v\n%d: %v",
+				workers, serial.DetectionTimes, workers, par.DetectionTimes)
+		}
+		logins := par.Provider.AllLogins()
+		if len(logins) != len(serialLogins) {
+			t.Fatalf("login counts differ: %d (1 worker) vs %d (%d workers)",
+				len(serialLogins), len(logins), workers)
+		}
+		for i := range logins {
+			if logins[i] != serialLogins[i] {
+				t.Fatalf("login %d diverges between TimelineWorkers=1 and =%d:\n1: %+v\n%d: %+v",
+					i, workers, serialLogins[i], workers, logins[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The epoch-parallel executor. An epoch is the frontier of pending events
+// that share the earliest timestamp. RunEpoch pops the whole frontier,
+// advances the clock once, and executes the frontier in segments:
+//
+//   - serial events (Fn, or keyed events with Key 0) are barriers — each
+//     runs alone, in frontier order;
+//   - maximal runs of keyed events form parallel segments. A segment is
+//     partitioned by conflict key (first-appearance order) and the
+//     partitions execute concurrently on a bounded worker pool, while
+//     events inside one partition run in frontier order.
+//
+// Results are bit-identical to serial execution at any worker count
+// because every source of ordering is pinned:
+//
+//  1. Same-key events never run concurrently, so per-domain and
+//     per-account state sees schedule order.
+//  2. Scheduling from a parallel handler is buffered in the handler's Exec
+//     and flushed in frontier order after the segment, so sequence numbers
+//     match what serial execution would have assigned.
+//  3. Cross-partition interleaving is unobservable: handlers draw from
+//     per-event or per-account RNGs (derived from the study seed and the
+//     event's Seq), shared substrate is mutex-protected, and
+//     append-ordered shared logs are re-sequenced per segment by the
+//     registered Sequencers.
+//
+// Starvation guard: the frontier is snapshotted before any handler runs,
+// so an event that schedules at its own timestamp cannot grow the epoch
+// it is part of — the requeue lands in the heap and forms the *next*
+// epoch (same timestamp, later sequence numbers). Intra-epoch requeues
+// are therefore capped at zero by construction and fire next epoch in
+// deterministic order, exactly as Step would have fired them.
+// TestStarvationGuard pins this.
+
+// Sequencer hooks shared append-ordered state into segment boundaries.
+// BeginSegment is called before a parallel segment starts and EndSegment
+// after all its partitions have finished; EndSegment must impose a
+// deterministic order on whatever was appended in between (all appends in
+// one segment carry the same virtual timestamp, so a stable sort by a
+// content key suffices). Calls are always paired and never nested.
+type Sequencer interface {
+	BeginSegment()
+	EndSegment()
+}
+
+// EpochStats describes one executed epoch; Epochs.Observe receives it
+// after the epoch completes. Busy and Elapsed are only measured when an
+// Observe hook is installed, so an unobserved run pays nothing for them.
+type EpochStats struct {
+	At         time.Time
+	Width      int // events in the frontier
+	Keyed      int // keyed (parallel-eligible) events among them
+	Segments   int // parallel segments executed
+	Partitions int // conflict partitions summed over segments
+	Workers    int // widest worker count any segment could use
+	Busy       time.Duration // summed partition execution time
+	Elapsed    time.Duration // wall-clock time executing the epoch
+}
+
+// Epochs drives a Scheduler epoch by epoch. Workers bounds partition
+// concurrency (values below 2 execute partitions serially, still with
+// full epoch semantics — the determinism baseline). Sequencers are
+// invoked around every parallel segment. Observe, when non-nil, receives
+// per-epoch statistics.
+type Epochs struct {
+	Sched      *Scheduler
+	Workers    int
+	Sequencers []Sequencer
+	Observe    func(EpochStats)
+
+	frontier []*Event // scratch, reused across epochs
+}
+
+// RunEpoch executes the next epoch and returns how many events fired
+// (zero when the queue is empty).
+func (e *Epochs) RunEpoch() int {
+	s := e.Sched
+	if len(s.pq) == 0 {
+		return 0
+	}
+	at := s.pq[0].At
+	frontier := e.frontier[:0]
+	for len(s.pq) > 0 && s.pq[0].At.Equal(at) {
+		frontier = append(frontier, heap.Pop(&s.pq).(*Event))
+	}
+	e.frontier = frontier
+	s.clock.AdvanceTo(at)
+
+	st := EpochStats{At: at, Width: len(frontier)}
+	var epochStart time.Time
+	if e.Observe != nil {
+		epochStart = time.Now()
+	}
+	for i := 0; i < len(frontier); {
+		ev := frontier[i]
+		if ev.KFn == nil || ev.Key == 0 {
+			s.fire(ev)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(frontier) && frontier[j].KFn != nil && frontier[j].Key != 0 {
+			j++
+		}
+		e.runSegment(frontier[i:j], &st)
+		i = j
+	}
+	if e.Observe != nil {
+		st.Elapsed = time.Since(epochStart)
+		e.Observe(st)
+	}
+	// Drop handler references so fired closures are collectable even while
+	// the scratch frontier is retained for the next epoch.
+	clear(frontier)
+	return st.Width
+}
+
+// RunUntil runs epochs until the queue is empty or the next epoch is after
+// deadline, then advances the clock to deadline (mirroring
+// Scheduler.RunUntil). It returns the number of events fired.
+func (e *Epochs) RunUntil(deadline time.Time) int {
+	n := 0
+	for {
+		at, ok := e.Sched.NextAt()
+		if !ok || at.After(deadline) {
+			break
+		}
+		n += e.RunEpoch()
+	}
+	e.Sched.clock.AdvanceTo(deadline)
+	return n
+}
+
+// runSegment executes one maximal run of keyed events: partition by key,
+// run partitions concurrently, re-sequence shared logs, then flush the
+// handlers' deferred scheduling in frontier order.
+func (e *Epochs) runSegment(seg []*Event, st *EpochStats) {
+	st.Keyed += len(seg)
+	st.Segments++
+
+	// Partition by conflict key in first-appearance order. parts holds
+	// indices into seg so flush order stays trivially the frontier order.
+	keyIdx := make(map[uint64]int, 16)
+	parts := make([][]int, 0, 16)
+	for i, ev := range seg {
+		p, ok := keyIdx[ev.Key]
+		if !ok {
+			p = len(parts)
+			keyIdx[ev.Key] = p
+			parts = append(parts, nil)
+		}
+		parts[p] = append(parts[p], i)
+	}
+	st.Partitions += len(parts)
+
+	workers := e.Workers
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > st.Workers {
+		st.Workers = workers
+	}
+
+	for _, sq := range e.Sequencers {
+		sq.BeginSegment()
+	}
+	now := e.Sched.clock.Now()
+	execs := make([]*Exec, len(seg))
+	runPartition := func(p int) {
+		for _, i := range parts[p] {
+			x := &Exec{s: e.Sched, now: now, seq: seg[i].seq, buffered: true}
+			execs[i] = x
+			seg[i].KFn(x)
+		}
+	}
+	switch {
+	case workers <= 1:
+		for p := range parts {
+			runPartition(p)
+		}
+	case e.Observe == nil:
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					p := int(next.Add(1)) - 1
+					if p >= len(parts) {
+						return
+					}
+					runPartition(p)
+				}
+			}()
+		}
+		wg.Wait()
+	default:
+		// Metered variant: per-partition wall time feeds the busy total
+		// that Observe turns into worker utilization.
+		var next, busy atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					p := int(next.Add(1)) - 1
+					if p >= len(parts) {
+						return
+					}
+					start := time.Now()
+					runPartition(p)
+					busy.Add(int64(time.Since(start)))
+				}
+			}()
+		}
+		wg.Wait()
+		st.Busy += time.Duration(busy.Load())
+	}
+	for _, sq := range e.Sequencers {
+		sq.EndSegment()
+	}
+
+	// Deterministic flush: deferred events enter the queue in frontier
+	// order, reproducing the sequence numbers serial execution assigns.
+	for _, x := range execs {
+		for _, ev := range x.deferred {
+			e.Sched.push(ev)
+		}
+	}
+}

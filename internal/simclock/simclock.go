@@ -2,27 +2,44 @@
 // discrete-event scheduler. The Tripwire pilot study spans more than a
 // calendar year (July 2014 – February 2017); simclock lets the whole
 // timeline execute in milliseconds while preserving event ordering.
+//
+// Two execution modes share one event queue. The serial mode (Step, Run,
+// RunUntil) fires events one at a time in (At, seq) order. The epoch mode
+// (Epochs, in epoch.go) pops the whole frontier of events sharing the next
+// timestamp and executes conflict-free partitions of it concurrently while
+// producing bit-identical results — see epoch.go for the determinism
+// argument.
 package simclock
 
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
-// Clock is a virtual clock. The zero value is not useful; construct with New.
-// Clock is not safe for concurrent use; the simulation driver owns it.
+// Clock is a virtual clock. The zero value is not useful; construct with
+// New.
+//
+// Reads (Now) are safe from any goroutine: the current time is an atomic
+// snapshot, so event handlers running concurrently inside an epoch — and
+// the Now-plumbing they reach in webgen, emailprovider, and core — observe
+// a stable value without locking. Writes (Advance, AdvanceTo) remain the
+// business of the single simulation driver; the clock only ever moves
+// between epochs, never while handlers run.
 type Clock struct {
-	now time.Time
+	now atomic.Pointer[time.Time]
 }
 
 // New returns a Clock set to start.
 func New(start time.Time) *Clock {
-	return &Clock{now: start}
+	c := &Clock{}
+	c.now.Store(&start)
+	return c
 }
 
-// Now returns the current virtual time.
-func (c *Clock) Now() time.Time { return c.now }
+// Now returns the current virtual time. Safe for concurrent use.
+func (c *Clock) Now() time.Time { return *c.now.Load() }
 
 // Advance moves the clock forward by d. Advance panics if d is negative:
 // virtual time never runs backwards.
@@ -30,27 +47,56 @@ func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("simclock: negative advance %v", d))
 	}
-	c.now = c.now.Add(d)
+	t := c.Now().Add(d)
+	c.now.Store(&t)
 }
 
 // AdvanceTo moves the clock forward to t. It is a no-op if t is not after
 // the current time, so callers may replay an already-sorted event stream
 // without checking.
 func (c *Clock) AdvanceTo(t time.Time) {
-	if t.After(c.now) {
-		c.now = t
+	if t.After(c.Now()) {
+		c.now.Store(&t)
 	}
 }
 
 // Event is a scheduled callback. Events with equal times fire in the order
 // they were scheduled.
+//
+// An event is either serial (Fn set) or keyed (KFn set, scheduled with
+// AtKeyed/AfterKeyed). Serial events always run exclusively. Keyed events
+// carry a conflict key; the epoch executor may run keyed events with
+// different keys concurrently, while events sharing a key stay ordered.
 type Event struct {
 	At   time.Time
 	Name string
 	Fn   func(now time.Time)
 
+	// KFn is the keyed callback. It receives an execution context instead
+	// of a bare timestamp so that events it schedules are sequenced
+	// deterministically even when the handler runs inside a parallel epoch.
+	KFn func(*Exec)
+	// Key is the event's conflict key (see KeyFor). Key 0 means exclusive:
+	// the event never runs concurrently with anything.
+	Key uint64
+
 	seq   uint64
 	index int
+}
+
+// KeyFor maps an identifier (a site domain, an account email) onto one of
+// 64 conflict-key shards, numbered 1..64 so that 0 stays reserved for
+// exclusive events. It uses the same 64-way FNV-1a sharding as the webgen
+// substrate: events about the same domain or account always collide and
+// therefore stay mutually ordered.
+func KeyFor(id string) uint64 {
+	const offset64, prime64 = 14695981039866320922, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return h&63 + 1
 }
 
 // Scheduler is a deterministic discrete-event scheduler driving a Clock.
@@ -68,14 +114,22 @@ func NewScheduler(clock *Clock) *Scheduler {
 // Clock returns the scheduler's clock.
 func (s *Scheduler) Clock() *Clock { return s.clock }
 
+// push assigns the next sequence number and queues ev. Scheduling order is
+// the tiebreak for equal times, so push must only ever run on the driver
+// goroutine — parallel epoch handlers defer their scheduling through Exec
+// buffers that the executor flushes in frontier order.
+func (s *Scheduler) push(ev *Event) *Event {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.pq, ev)
+	return ev
+}
+
 // At schedules fn to run at t. Scheduling in the past is allowed (the event
 // fires immediately on the next Run step at the current clock time); this
 // mirrors how a backlog of provider login dumps is processed on arrival.
 func (s *Scheduler) At(t time.Time, name string, fn func(now time.Time)) *Event {
-	ev := &Event{At: t, Name: name, Fn: fn, seq: s.seq}
-	s.seq++
-	heap.Push(&s.pq, ev)
-	return ev
+	return s.push(&Event{At: t, Name: name, Fn: fn})
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -83,8 +137,24 @@ func (s *Scheduler) After(d time.Duration, name string, fn func(now time.Time)) 
 	return s.At(s.clock.Now().Add(d), name, fn)
 }
 
+// AtKeyed schedules a keyed event at t. Events with the same key are
+// guaranteed to run in schedule order even under the epoch executor;
+// events with different keys may run concurrently when their timestamps
+// coincide. Key 0 makes the event exclusive.
+func (s *Scheduler) AtKeyed(t time.Time, key uint64, name string, fn func(*Exec)) *Event {
+	return s.push(&Event{At: t, Name: name, KFn: fn, Key: key})
+}
+
+// AfterKeyed schedules a keyed event d after the current virtual time.
+func (s *Scheduler) AfterKeyed(d time.Duration, key uint64, name string, fn func(*Exec)) *Event {
+	return s.AtKeyed(s.clock.Now().Add(d), key, name, fn)
+}
+
 // Cancel removes ev from the queue. Cancelling an already-fired or
-// already-cancelled event is a no-op and returns false.
+// already-cancelled event is a no-op and returns false. Events scheduled
+// from inside a parallel epoch handler are not cancellable until the epoch
+// that scheduled them has finished (they sit in the handler's deferred
+// buffer, not the queue).
 func (s *Scheduler) Cancel(ev *Event) bool {
 	if ev == nil || ev.index < 0 || ev.index >= len(s.pq) || s.pq[ev.index] != ev {
 		return false
@@ -106,15 +176,32 @@ func (s *Scheduler) NextAt() (at time.Time, ok bool) {
 	return s.pq[0].At, true
 }
 
+// fire invokes ev's callback at the current clock time. Keyed events get a
+// direct (unbuffered) Exec: outside an epoch there is nothing to defer for.
+func (s *Scheduler) fire(ev *Event) {
+	if ev.KFn != nil {
+		ev.KFn(&Exec{s: s, now: s.clock.Now(), seq: ev.seq})
+		return
+	}
+	ev.Fn(s.clock.Now())
+}
+
 // Step fires the earliest pending event, advancing the clock to its time.
 // It reports whether an event fired.
+//
+// A callback may schedule new events at its own timestamp ("now"); they are
+// queued behind every already-pending event at that timestamp (sequence
+// order breaks the tie) and fire on later Steps. Step itself therefore
+// always makes progress — one pop per call — and cannot livelock however
+// the callback reschedules; the same holds for the epoch executor, which
+// snapshots the frontier before running it (see Epochs.RunEpoch).
 func (s *Scheduler) Step() bool {
 	if len(s.pq) == 0 {
 		return false
 	}
 	ev := heap.Pop(&s.pq).(*Event)
 	s.clock.AdvanceTo(ev.At)
-	ev.Fn(s.clock.Now())
+	s.fire(ev)
 	return true
 }
 
@@ -122,6 +209,13 @@ func (s *Scheduler) Step() bool {
 // is after deadline. The clock is left at deadline if it ran dry earlier
 // than deadline, so subsequent After() calls measure from the deadline.
 // It returns the number of events fired.
+//
+// Callbacks that keep scheduling at their own timestamp extend the loop:
+// RunUntil fires them too (they are not after deadline), so a handler that
+// unconditionally reschedules "at now" forever will spin. That is a
+// runaway schedule, the same bug Run's maxEvents guard exists for — drive
+// suspect schedules with Run, or bound them with Epochs.RunUntil plus an
+// epoch budget in the driver. TestStarvationGuard pins the exact semantics.
 func (s *Scheduler) RunUntil(deadline time.Time) int {
 	n := 0
 	for len(s.pq) > 0 && !s.pq[0].At.After(deadline) {
@@ -144,6 +238,62 @@ func (s *Scheduler) Run(maxEvents int) int {
 		}
 	}
 	return n
+}
+
+// Exec is the execution context handed to a keyed event's callback. It
+// supplies the event's virtual time, its sequence number (the seed salt for
+// per-event RNG derivation), and scheduling methods.
+//
+// When the event runs inside a parallel epoch segment, scheduling through
+// Exec is buffered: the new events are held until the segment completes and
+// are then pushed in frontier order, so sequence numbers — and therefore
+// all future tie-breaking — are identical to what serial execution would
+// have assigned, at any worker count. Outside an epoch (Step/Run/RunUntil)
+// Exec schedules directly.
+type Exec struct {
+	s        *Scheduler
+	now      time.Time
+	seq      uint64
+	buffered bool
+	deferred []*Event
+}
+
+// Now returns the event's virtual time.
+func (x *Exec) Now() time.Time { return x.now }
+
+// Seq returns the event's sequence number. It is assigned in deterministic
+// schedule order and is unique per scheduler, which makes it the canonical
+// salt for deriving per-event RNG streams from the study seed.
+func (x *Exec) Seq() uint64 { return x.seq }
+
+// add routes a newly scheduled event: buffered inside an epoch segment,
+// straight to the queue otherwise.
+func (x *Exec) add(ev *Event) {
+	if x.buffered {
+		x.deferred = append(x.deferred, ev)
+		return
+	}
+	x.s.push(ev)
+}
+
+// At schedules a serial event at t.
+func (x *Exec) At(t time.Time, name string, fn func(now time.Time)) {
+	x.add(&Event{At: t, Name: name, Fn: fn})
+}
+
+// After schedules a serial event d after the event's own time.
+func (x *Exec) After(d time.Duration, name string, fn func(now time.Time)) {
+	x.At(x.now.Add(d), name, fn)
+}
+
+// AtKeyed schedules a keyed event at t.
+func (x *Exec) AtKeyed(t time.Time, key uint64, name string, fn func(*Exec)) {
+	x.add(&Event{At: t, Name: name, KFn: fn, Key: key})
+}
+
+// AfterKeyed schedules a keyed event d after the event's own time.
+func (x *Exec) AfterKeyed(d time.Duration, key uint64, name string, fn func(*Exec)) {
+	x.AtKeyed(x.now.Add(d), key, name, fn)
 }
 
 // eventQueue is a min-heap over (At, seq).

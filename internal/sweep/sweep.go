@@ -1,0 +1,182 @@
+// Package sweep runs the pilot study across many seeds and aggregates the
+// headline outcomes — the engine behind cmd/tripwire-sweep. Seeds run on a
+// bounded worker pool; per-seed progress streams as each study finishes,
+// but results aggregate in seed order, so the summary output is
+// byte-identical at any parallelism.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tripwire"
+	"tripwire/internal/core"
+	"tripwire/internal/report"
+	"tripwire/internal/stats"
+)
+
+// Options configures one multi-seed sweep.
+type Options struct {
+	// N is how many seeds to run (1..N handed to ConfigFor).
+	N int
+	// Parallel bounds how many studies run concurrently. Values <= 1 run
+	// serially; larger values are capped at GOMAXPROCS and N. Parallelism
+	// affects wall clock and progress-line order only — never the results.
+	Parallel int
+	// ConfigFor builds the study configuration for one seed index.
+	ConfigFor func(seed int64) tripwire.Config
+	// Progress, when non-nil, receives one line per seed as it finishes.
+	// Under parallelism the line order follows completion order.
+	Progress io.Writer
+}
+
+// SeedResult is the headline outcome of one seed's study.
+type SeedResult struct {
+	Seed       int64 // cfg.Seed actually run
+	Detections int   // detected compromises
+	Plaintext  int   // detections classified as plaintext breaches
+	ValidPct   float64
+	HasValid   bool // false when no registration attempts happened
+	EligPct    float64
+	Alarms     int   // integrity alarms (must be zero)
+	Err        error // Study.Err, when construction or the run failed
+}
+
+// Outcome is the full sweep result, in seed order.
+type Outcome struct {
+	Results []SeedResult
+}
+
+// Run executes the sweep described by o.
+func Run(o Options) *Outcome {
+	if o.N <= 0 {
+		return &Outcome{}
+	}
+	workers := o.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	if workers > o.N {
+		workers = o.N
+	}
+
+	results := make([]SeedResult, o.N)
+	var (
+		next     atomic.Int64
+		progress sync.Mutex
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.N {
+					return
+				}
+				r := runSeed(o.ConfigFor(int64(i + 1)))
+				results[i] = r
+				if o.Progress != nil {
+					progress.Lock()
+					writeProgress(o.Progress, r)
+					progress.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return &Outcome{Results: results}
+}
+
+// runSeed runs one study and distills its SeedResult.
+func runSeed(cfg tripwire.Config) SeedResult {
+	r := SeedResult{Seed: cfg.Seed}
+	study := tripwire.NewStudy(cfg).Run()
+	if err := study.Err(); err != nil {
+		r.Err = err
+		return r
+	}
+	p := study.Pilot()
+
+	dets := study.Detections()
+	r.Detections = len(dets)
+	for _, d := range dets {
+		if study.Classify(d) == core.BreachPlaintext {
+			r.Plaintext++
+		}
+	}
+	att, valid := 0, 0
+	for _, row := range report.Table1(p) {
+		att += row.AttHard + row.AttEasy
+		valid += row.ValidHard + row.ValidEasy
+	}
+	if att > 0 {
+		r.ValidPct = 100 * float64(valid) / float64(att)
+		r.HasValid = true
+	}
+	r.EligPct = 100 * report.Fig3(p).SuccessOnElig
+	r.Alarms = len(p.Monitor.Alarms())
+	return r
+}
+
+// writeProgress emits the one-line per-seed progress record.
+func writeProgress(w io.Writer, r SeedResult) {
+	if r.Err != nil {
+		fmt.Fprintf(w, "seed %-6d ERROR: %v\n", r.Seed, r.Err)
+		return
+	}
+	fmt.Fprintf(w, "seed %-6d detections=%d hard=%d valid=%.0f%% eligOK=%.0f%%\n",
+		r.Seed, r.Detections, r.Plaintext, r.ValidPct, r.EligPct)
+}
+
+// Render formats the aggregate summary block for the given scale label.
+// It walks Results in seed order, so serial and parallel sweeps render
+// byte-identical output.
+func (oc *Outcome) Render(label string) string {
+	var detections, plaintext, validRate, eligSuccess, alarms []float64
+	for _, r := range oc.Results {
+		if r.Err != nil {
+			continue
+		}
+		detections = append(detections, float64(r.Detections))
+		plaintext = append(plaintext, float64(r.Plaintext))
+		if r.HasValid {
+			validRate = append(validRate, r.ValidPct)
+		}
+		eligSuccess = append(eligSuccess, r.EligPct)
+		alarms = append(alarms, float64(r.Alarms))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nMulti-seed robustness ( %s scale )\n", label)
+	fmt.Fprintf(&b, "  detections:            %s\n", stats.Summarize(detections))
+	fmt.Fprintf(&b, "  plaintext verdicts:    %s\n", stats.Summarize(plaintext))
+	fmt.Fprintf(&b, "  account validity %%:    %s\n", stats.Summarize(validRate))
+	fmt.Fprintf(&b, "  success on eligible %%: %s\n", stats.Summarize(eligSuccess))
+	fmt.Fprintf(&b, "  integrity alarms:      %s (must be all zero)\n", stats.Summarize(alarms))
+	return b.String()
+}
+
+// Failed reports why the sweep should exit non-zero: the first seed whose
+// study carried an error, else the first seed that fired integrity alarms.
+// A nil return means every seed ran clean.
+func (oc *Outcome) Failed() error {
+	for _, r := range oc.Results {
+		if r.Err != nil {
+			return fmt.Errorf("seed %d: %w", r.Seed, r.Err)
+		}
+	}
+	for _, r := range oc.Results {
+		if r.Alarms > 0 {
+			return fmt.Errorf("integrity alarms fired (seed %d)", r.Seed)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package sweep_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tripwire"
+	"tripwire/internal/sweep"
+)
+
+// tinyConfig shrinks the small-scale study to the quick-pilot size the sim
+// tests use, keeping a multi-seed sweep affordable inside a unit test.
+func tinyConfig(seed int64) tripwire.Config {
+	cfg := tripwire.SmallConfig()
+	cfg.Seed = seed * 101
+	cfg.Web.NumSites = 400
+	cfg.NumUnused = 300
+	return cfg
+}
+
+// TestSweepParallelByteIdentical pins the sweep's core contract: the
+// aggregate summary (and every per-seed result) from a parallel sweep is
+// byte-identical to the serial one — parallelism reorders only the
+// streamed progress lines, never the outcome.
+func TestSweepParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight quick pilots in -short mode")
+	}
+	run := func(parallel int) (*sweep.Outcome, string) {
+		var progress bytes.Buffer
+		out := sweep.Run(sweep.Options{
+			N:         4,
+			Parallel:  parallel,
+			ConfigFor: tinyConfig,
+			Progress:  &progress,
+		})
+		return out, progress.String()
+	}
+	serial, serialProg := run(1)
+	par, parProg := run(4)
+
+	if !reflect.DeepEqual(serial.Results, par.Results) {
+		t.Fatalf("per-seed results diverge between -parallel 1 and 4:\nserial: %+v\nparallel: %+v",
+			serial.Results, par.Results)
+	}
+	a, b := serial.Render("small"), par.Render("small")
+	if a != b {
+		t.Fatalf("rendered summaries differ:\nserial:\n%s\nparallel:\n%s", a, b)
+	}
+	for _, prog := range []string{serialProg, parProg} {
+		if got := strings.Count(prog, "\n"); got != 4 {
+			t.Fatalf("progress stream has %d lines, want one per seed (4):\n%s", got, prog)
+		}
+	}
+	if err := serial.Failed(); err != nil {
+		t.Fatalf("clean sweep reported failure: %v", err)
+	}
+	if len(serial.Results) != 4 || serial.Results[0].Seed != 101 {
+		t.Fatalf("unexpected results shape: %+v", serial.Results)
+	}
+}
+
+// TestSweepFailedSurfacesErrors checks the exit-status plumbing: a seed
+// whose study construction fails must surface through Failed.
+func TestSweepFailedSurfacesErrors(t *testing.T) {
+	out := sweep.Run(sweep.Options{
+		N: 1,
+		ConfigFor: func(seed int64) tripwire.Config {
+			cfg := tinyConfig(seed)
+			cfg.Web.NumSites = -1 // invalid: study carries a config error
+			return cfg
+		},
+	})
+	if err := out.Failed(); err == nil {
+		t.Fatal("Failed() = nil for a sweep whose only seed errored")
+	}
+	if out.Results[0].Err == nil {
+		t.Fatal("seed result did not record the study error")
+	}
+}
+
+// BenchmarkSweep measures whole-study sweep throughput (seeds/s) serially
+// and with the worker pool engaged.
+func BenchmarkSweep(b *testing.B) {
+	const seeds = 3
+	for _, parallel := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := sweep.Run(sweep.Options{N: seeds, Parallel: parallel, ConfigFor: tinyConfig})
+				if err := out.Failed(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*seeds)/b.Elapsed().Seconds(), "seeds/s")
+		})
+	}
+}

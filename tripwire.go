@@ -104,16 +104,17 @@ func SmallConfig() Config { return sim.SmallConfig() }
 
 // Option customizes a study built by New. Options are applied on top of
 // the base configuration in a fixed precedence: WithConfig replaces the
-// base wholesale, and the targeted options (WithWorkers, WithSeed,
-// WithMetrics) are applied afterwards — so the targeted options win
-// regardless of the order they are passed in.
+// base wholesale, and the targeted options (WithWorkers,
+// WithTimelineWorkers, WithSeed, WithMetrics) are applied afterwards — so
+// the targeted options win regardless of the order they are passed in.
 type Option func(*studyOptions)
 
 type studyOptions struct {
-	cfg     Config
-	workers *int
-	seed    *int64
-	metrics **Metrics
+	cfg             Config
+	workers         *int
+	timelineWorkers *int
+	seed            *int64
+	metrics         **Metrics
 }
 
 // WithConfig replaces the base configuration (DefaultConfig) wholesale.
@@ -126,6 +127,14 @@ func WithConfig(cfg Config) Option {
 // given seed regardless of the value.
 func WithWorkers(n int) Option {
 	return func(o *studyOptions) { o.workers = &n }
+}
+
+// WithTimelineWorkers sets how many goroutines execute one timeline
+// epoch's conflict partitions concurrently (the epoch-parallel
+// discrete-event engine). Zero means GOMAXPROCS. Results are bit-identical
+// for a given seed regardless of the value.
+func WithTimelineWorkers(n int) Option {
+	return func(o *studyOptions) { o.timelineWorkers = &n }
 }
 
 // WithSeed sets the master seed; every derived RNG stream follows from it.
@@ -161,6 +170,9 @@ func New(opts ...Option) *Study {
 	}
 	if o.workers != nil {
 		o.cfg.CrawlWorkers = *o.workers
+	}
+	if o.timelineWorkers != nil {
+		o.cfg.TimelineWorkers = *o.timelineWorkers
 	}
 	if o.seed != nil {
 		o.cfg.Seed = *o.seed
