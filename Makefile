@@ -3,7 +3,10 @@
 #   make build       compile everything
 #   make test        the seed tier-1 gate (build + tests)
 #   make race        full suite under the race detector
-#   make ci          what a PR must pass: build, vet, race tests, bench smoke
+#   make ci          what a PR must pass: build, vet, race tests, snapshot
+#                    fuzz corpora as seed tests, resume byte-identity smoke
+#                    (workers grid incl. 8, under -race), bench smoke, and
+#                    the overhead/alloc/heap gates
 #   make bench       parallel crawl engine benchmark (1/4/8/16 workers, plus
 #                    the lazy 10k-universe variant)
 #   make bench-json  run the hot-path benchmarks and write BENCH_crawl.json
@@ -16,6 +19,9 @@
 #   make bench-compare      fresh benchmark sweep diffed against
 #                           BENCH_baseline.json; fails if any benchmark's
 #                           allocs/op grew >5% (ns/op stays informational)
+#                           or any live-heap figure (heap-MB: the lazy 10k
+#                           wave and the 1M-site spilled-log heap
+#                           envelope) grew >5%
 
 GO ?= go
 
@@ -32,6 +38,7 @@ define BENCH_RUN
 { $(GO) test -run xxx -bench . -benchmem -benchtime 1000x $(BENCH_PKGS) ; \
   $(GO) test -run xxx -bench BenchmarkParallelCrawl -benchmem -benchtime 2x ./internal/sim/ ; \
   $(GO) test -run xxx -bench BenchmarkTimeline -benchmem -benchtime 1x ./internal/sim/ ; \
+  $(GO) test -run xxx -bench BenchmarkHeapEnvelope -benchmem -benchtime 1x ./internal/sim/ ; \
   $(GO) test -run xxx -bench BenchmarkSweep -benchmem -benchtime 1x ./internal/sweep/ ; }
 endef
 
@@ -49,6 +56,8 @@ race:
 ci: build metrics-doc-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run Fuzz ./internal/snapshot/ ./internal/crawler/
+	$(GO) test -race -run 'TestResumeByteIdentical|TestStudyCheckpointResume' ./internal/sim/ .
 	$(GO) test -run xxx -bench . -benchtime 1x $(BENCH_PKGS)
 	$(GO) test -run xxx -bench 'BenchmarkParallelCrawl$$/workers=8' -benchtime 1x ./internal/sim/
 	$(MAKE) bench-overhead
@@ -76,15 +85,16 @@ bench:
 bench-json: build
 	@$(BENCH_RUN) \
 	 | $(GO) run ./cmd/tripwire-bench -baseline BENCH_baseline.json -out BENCH_crawl.json \
-	     -note "hot-path run vs seed baseline; crawl workers grid 1/4/8/16 on the 2.3k universe plus the lazy 10k-universe wave, timeline engine events/s at 1/4/8 workers, multi-seed sweep seeds/s; allocs/op is deterministic, ns/op on shared hardware is noisy"
+	     -note "hot-path run vs seed baseline; crawl workers grid 1/4/8/16 on the 2.3k universe plus the lazy 10k-universe wave, timeline engine events/s at 1/4/8 workers, multi-seed sweep seeds/s, and the 1M-site spilled-log heap envelope (heap-MB); allocs/op and post-GC live heap are deterministic, ns/op on shared hardware is noisy"
 	@echo "wrote BENCH_crawl.json"
 
-# Allocation-regression gate: re-run the tracked sweep and diff the
-# deterministic allocs/op figures against BENCH_baseline.json. Benchmarks
-# newer than the baseline are skipped until the baseline is regenerated.
+# Regression gates: re-run the tracked sweep and diff the deterministic
+# allocs/op figures and the post-GC live-heap figures (heap-MB) against
+# BENCH_baseline.json. Benchmarks newer than the baseline are skipped
+# until the baseline is regenerated.
 bench-compare: build
 	@$(BENCH_RUN) \
-	 | $(GO) run ./cmd/tripwire-bench -baseline BENCH_baseline.json -assert-allocs 5 -out /dev/null
+	 | $(GO) run ./cmd/tripwire-bench -baseline BENCH_baseline.json -assert-allocs 5 -assert-heap 5 -out /dev/null
 
 fuzz:
 	$(GO) test -fuzz FuzzFieldHeuristics -fuzztime 30s ./internal/crawler/

@@ -22,6 +22,12 @@
 // allocs/op is deterministic for a fixed -benchtime, so this check is
 // sound on shared hardware where ns/op is not; ns/op stays informational.
 //
+// With -assert-heap PCT (requires -baseline) it gates live-heap
+// regressions the same way, over the heap-MB custom metric that the
+// lazy-universe and heap-envelope benchmarks report (live heap after a
+// forced GC, so it is stable across machines in a way wall-clock time is
+// not). Benchmarks without a heap-MB figure on both sides are skipped.
+//
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem ./... | tripwire-bench -out BENCH_crawl.json -baseline BENCH_baseline.json
@@ -174,16 +180,54 @@ func assertAllocs(current, baseline map[string]Result, maxPct float64) (checked 
 	return checked, breaches
 }
 
+// assertHeap compares every current benchmark's live-heap figure (the
+// heap-MB custom metric) against its baseline entry. Post-GC live heap is
+// a property of the retained data structures, not the machine, so a
+// sustained growth past the budget means the envelope regressed — e.g.
+// the login log stopped spilling or lazy materialization turned eager.
+func assertHeap(current, baseline map[string]Result, maxPct float64) (checked int, breaches []string) {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cur, ok := current[name].Metrics["heap-MB"]
+		base, okBase := baseline[name].Metrics["heap-MB"]
+		if !ok || !okBase {
+			continue
+		}
+		checked++
+		growth := 0.0
+		if base > 0 {
+			growth = 100 * (cur - base) / base
+		}
+		if growth > maxPct {
+			breaches = append(breaches, fmt.Sprintf("%s: heap-MB %.1f -> %.1f (%+.2f%%, budget %.1f%%)",
+				name, base, cur, growth, maxPct))
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "tripwire-bench: %-50s heap-MB %.1f -> %.1f (%+.2f%%)\n",
+			name, base, cur, growth)
+	}
+	return checked, breaches
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "existing BENCH JSON whose benchmarks become this document's baseline")
 	note := flag.String("note", "", "free-form note recorded in the document")
 	assertPct := flag.Float64("assert-overhead", 0, "fail if the metrics-on crawl benchmark is more than this % slower (pages/s) than its metrics-free twin, or allocates more")
 	assertAllocsPct := flag.Float64("assert-allocs", 0, "fail if any benchmark's allocs/op exceeds its -baseline entry by more than this % (new benchmarks without a baseline entry are skipped)")
+	assertHeapPct := flag.Float64("assert-heap", 0, "fail if any benchmark's heap-MB metric exceeds its -baseline entry by more than this % (benchmarks without a heap-MB figure on both sides are skipped)")
 	flag.Parse()
 
 	if *assertAllocsPct > 0 && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "tripwire-bench: -assert-allocs requires -baseline")
+		os.Exit(2)
+	}
+	if *assertHeapPct > 0 && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "tripwire-bench: -assert-heap requires -baseline")
 		os.Exit(2)
 	}
 
@@ -247,6 +291,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "tripwire-bench: allocs/op within %.1f%% of baseline across %d benchmarks\n", *assertAllocsPct, checked)
+	}
+
+	if *assertHeapPct > 0 {
+		checked, breaches := assertHeap(doc.Benchmarks, doc.Baseline, *assertHeapPct)
+		for _, b := range breaches {
+			fmt.Fprintln(os.Stderr, "tripwire-bench: HEAP REGRESSION:", b)
+		}
+		if len(breaches) > 0 {
+			os.Exit(1)
+		}
+		if checked == 0 {
+			fmt.Fprintln(os.Stderr, "tripwire-bench: -assert-heap matched no heap-MB figures against the baseline")
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tripwire-bench: live heap within %.1f%% of baseline across %d benchmarks\n", *assertHeapPct, checked)
 	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+
+	"tripwire/internal/crawler"
+	"tripwire/internal/snapshot"
+)
+
+// Crawl checkpoints. A site's crawl result is a pure function of
+// (seed, rank), so — unlike the pilot, which must replay — the crawl tool
+// resumes by skipping: the checkpoint stores the results of a completed
+// rank prefix, and a resumed run loads them and crawls only the remaining
+// ranks. The params section pins the inputs that determine the results;
+// resuming under different flags is refused rather than silently mixing
+// two universes' results.
+
+const (
+	crawlParamsSection  = "params"
+	crawlResultsSection = "results"
+)
+
+// crawlParams are the inputs every per-rank result derives from.
+type crawlParams struct {
+	Sites int
+	From  int
+	To    int
+	Seed  int64
+}
+
+func encodeCrawlCheckpoint(p crawlParams, results []crawler.Result) *snapshot.File {
+	e := snapshot.NewEncoder()
+	e.Int(int64(p.Sites))
+	e.Int(int64(p.From))
+	e.Int(int64(p.To))
+	e.Int(p.Seed)
+	f := snapshot.New()
+	f.Add(crawlParamsSection, e.Bytes())
+
+	e = snapshot.NewEncoder()
+	e.Uint(uint64(len(results)))
+	for _, r := range results {
+		e.Int(int64(r.Code))
+		e.String(r.Site)
+		e.String(r.RegURL)
+		e.Bool(r.Exposed)
+		e.Int(int64(r.PageLoads))
+		e.String(r.Detail)
+	}
+	f.Add(crawlResultsSection, e.Bytes())
+	return f
+}
+
+func decodeCrawlCheckpoint(f *snapshot.File) (crawlParams, []crawler.Result, error) {
+	pdata, ok := f.Section(crawlParamsSection)
+	if !ok {
+		return crawlParams{}, nil, fmt.Errorf("%w: no %q section", snapshot.ErrCorrupt, crawlParamsSection)
+	}
+	d := snapshot.NewDecoder(pdata)
+	p := crawlParams{
+		Sites: int(d.Int()),
+		From:  int(d.Int()),
+		To:    int(d.Int()),
+		Seed:  d.Int(),
+	}
+	if err := d.Err(); err != nil {
+		return crawlParams{}, nil, fmt.Errorf("params section: %w", err)
+	}
+
+	rdata, ok := f.Section(crawlResultsSection)
+	if !ok {
+		return crawlParams{}, nil, fmt.Errorf("%w: no %q section", snapshot.ErrCorrupt, crawlResultsSection)
+	}
+	d = snapshot.NewDecoder(rdata)
+	var results []crawler.Result
+	if n := d.Count(6); n > 0 {
+		results = make([]crawler.Result, n)
+		for i := range results {
+			r := &results[i]
+			r.Code = crawler.Code(d.Int())
+			r.Site = d.String()
+			r.RegURL = d.String()
+			r.Exposed = d.Bool()
+			r.PageLoads = int(d.Int())
+			r.Detail = d.String()
+		}
+	}
+	if err := d.Err(); err != nil {
+		return crawlParams{}, nil, fmt.Errorf("results section: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return crawlParams{}, nil, fmt.Errorf("results section: %w: %d trailing bytes", snapshot.ErrCorrupt, d.Remaining())
+	}
+	return p, results, nil
+}
+
+func readCrawlCheckpoint(path string) (crawlParams, []crawler.Result, error) {
+	f, err := snapshot.ReadFile(path)
+	if err != nil {
+		return crawlParams{}, nil, err
+	}
+	return decodeCrawlCheckpoint(f)
+}

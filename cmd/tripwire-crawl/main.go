@@ -18,6 +18,13 @@
 //	               [-cpuprofile FILE] [-memprofile FILE]
 //	               [-mutexprofile FILE] [-blockprofile FILE]
 //	               [-metrics-addr HOST:PORT] [-metrics-out FILE]
+//	               [-checkpoint-dir DIR] [-resume FILE]
+//
+// Checkpoint/resume: with -checkpoint-dir the crawl runs in rank chunks
+// and rewrites DIR/crawl-checkpoint.twsnap after each completed chunk.
+// -resume FILE skips the checkpointed prefix outright — per-rank results
+// are pure functions of (seed, rank), so no replay is needed — and crawls
+// only the remaining ranks; the flags must match the checkpointed run.
 //
 // The profile flags capture the crawl hot path for pprof: -cpuprofile
 // records the whole crawl, -memprofile writes a post-crawl heap profile,
@@ -34,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sync"
@@ -45,6 +53,7 @@ import (
 	"tripwire/internal/identity"
 	"tripwire/internal/obs"
 	"tripwire/internal/simclock"
+	"tripwire/internal/snapshot"
 	"tripwire/internal/webgen"
 	"tripwire/internal/xrand"
 )
@@ -63,6 +72,8 @@ func main() {
 	blockprofile := flag.String("blockprofile", "", "write a post-crawl goroutine-blocking profile to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /healthz on this address while crawling")
 	metricsOut := flag.String("metrics-out", "", "dump the metrics registry here at exit (\"-\" = stdout, *.prom = Prometheus text, else JSON)")
+	checkpointDir := flag.String("checkpoint-dir", "", "write crawl-checkpoint.twsnap here after every completed chunk of ranks")
+	resume := flag.String("resume", "", "resume a crawl from this checkpoint; -sites/-from/-to/-seed must match the checkpointed run")
 	flag.Parse()
 
 	if *from < 1 || *to < *from {
@@ -151,36 +162,93 @@ func main() {
 		}
 		results[i] = c.RegisterWith(env, b, "http://"+site.Domain+"/", ids[i])
 	}
-	start := time.Now()
-	if *timelineWorkers != 0 {
-		// Epoch-engine path: all ranks share one timestamp, each keyed by
-		// its domain, so the engine's conflict partitioning spreads the
-		// crawl over the workers. Each site's result is a pure function of
-		// (seed, rank), so this matches the sharded path byte for byte.
-		nw = *timelineWorkers
-		sched := simclock.NewScheduler(simclock.New(time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC)))
-		at := sched.Clock().Now().Add(time.Hour)
-		for i := 0; i < n; i++ {
-			i := i
-			site, _ := universe.SiteByRank(*from + i)
-			sched.AtKeyed(at, simclock.KeyFor(site.Domain), "crawl "+site.Domain, func(*simclock.Exec) {
-				crawlRank(i)
-			})
+	// runRange crawls slots [lo, hi) with the selected engine. Both paths
+	// yield byte-identical results: each slot is a pure function of
+	// (seed, rank), so neither engine choice nor chunking is observable.
+	runRange := func(lo, hi int) {
+		if hi <= lo {
+			return
 		}
-		ep := &simclock.Epochs{Sched: sched, Workers: nw}
-		ep.RunEpoch()
-	} else {
+		if *timelineWorkers != 0 {
+			// Epoch-engine path: all ranks share one timestamp, each keyed
+			// by its domain, so the engine's conflict partitioning spreads
+			// the crawl over the workers.
+			nw = *timelineWorkers
+			sched := simclock.NewScheduler(simclock.New(time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC)))
+			at := sched.Clock().Now().Add(time.Hour)
+			for i := lo; i < hi; i++ {
+				i := i
+				site, _ := universe.SiteByRank(*from + i)
+				sched.AtKeyed(at, simclock.KeyFor(site.Domain), "crawl "+site.Domain, func(*simclock.Exec) {
+					crawlRank(i)
+				})
+			}
+			ep := &simclock.Epochs{Sched: sched, Workers: nw}
+			ep.RunEpoch()
+			return
+		}
 		var wg sync.WaitGroup
-		for w := 0; w < nw && w < n; w++ {
+		span := hi - lo
+		for w := 0; w < nw && w < span; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				for i := w; i < n; i += nw {
+				for i := lo + w; i < hi; i += nw {
 					crawlRank(i)
 				}
 			}(w)
 		}
 		wg.Wait()
+	}
+
+	// Checkpoint/resume. Results are pure per rank, so resume skips the
+	// checkpointed prefix outright instead of replaying it; the params
+	// section refuses a resume under different flags.
+	params := crawlParams{Sites: *numSites, From: *from, To: last, Seed: *seed}
+	done := 0
+	if *resume != "" {
+		p, prev, err := readCrawlCheckpoint(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tripwire-crawl:", err)
+			os.Exit(1)
+		}
+		if p != params {
+			fmt.Fprintf(os.Stderr, "tripwire-crawl: checkpoint was taken with -sites %d -from %d -to %d -seed %d; refusing to mix\n",
+				p.Sites, p.From, p.To, p.Seed)
+			os.Exit(2)
+		}
+		done = copy(results, prev)
+		fmt.Fprintf(os.Stderr, "tripwire-crawl: resumed %d of %d ranks from %s\n", done, n, *resume)
+	}
+
+	start := time.Now()
+	if *checkpointDir != "" || *resume != "" {
+		// Chunked execution: a checkpoint lands after every completed chunk,
+		// holding the results of the finished prefix.
+		const chunk = 256
+		ckptPath := ""
+		if *checkpointDir != "" {
+			if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "tripwire-crawl:", err)
+				os.Exit(1)
+			}
+			ckptPath = filepath.Join(*checkpointDir, "crawl-checkpoint.twsnap")
+		}
+		for lo := done; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			runRange(lo, hi)
+			if ckptPath != "" {
+				if err := snapshot.WriteFile(ckptPath, encodeCrawlCheckpoint(params, results[:hi])); err != nil {
+					fmt.Fprintln(os.Stderr, "tripwire-crawl: checkpoint:", err)
+					os.Exit(1)
+				}
+			}
+		}
+	} else {
+		runRange(0, n)
 	}
 	elapsed := time.Since(start)
 

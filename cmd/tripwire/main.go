@@ -6,7 +6,8 @@
 //
 //	tripwire [-scale small|paper] [-seed N] [-workers N] [-timeline-workers N]
 //	         [-detections-only] [-metrics-addr HOST:PORT] [-metrics-out FILE]
-//	         [-progress]
+//	         [-progress] [-checkpoint-dir DIR] [-checkpoint-every N]
+//	         [-resume FILE]
 //
 // The paper scale crawls 33,634 synthetic sites and monitors >100,000 honey
 // accounts; small scale runs the same pipeline on a 1,200-site web in a few
@@ -18,6 +19,15 @@
 // JSON); -progress streams wave and detection events to stderr. Ctrl-C
 // stops the study at the next wave boundary, keeping every completed
 // wave's results (and the metrics dump) intact.
+//
+// Checkpoint/resume: -checkpoint-dir (with -checkpoint-every, default 10)
+// writes a resumable snapshot after every Nth completed wave, so an
+// interrupted paper-scale run loses at most one checkpoint interval.
+// -resume FILE rebuilds the study from a snapshot, deterministically
+// replays the completed prefix, verifies it byte-for-byte against the
+// snapshot, and continues; the final output is identical to an
+// uninterrupted run. -scale and -seed are taken from the snapshot when
+// resuming; worker counts and metrics flags still apply.
 package main
 
 import (
@@ -45,6 +55,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /healthz on this address while running")
 	metricsOut := flag.String("metrics-out", "", "dump the metrics registry here at exit (\"-\" = stdout, *.prom = Prometheus text, else JSON)")
 	progress := flag.Bool("progress", false, "stream wave completions and detections to stderr")
+	checkpointDir := flag.String("checkpoint-dir", "", "write resumable snapshots into this directory at wave boundaries")
+	checkpointEvery := flag.Int("checkpoint-every", 10, "checkpoint after every Nth completed wave (with -checkpoint-dir)")
+	resume := flag.String("resume", "", "resume from this checkpoint file; replays and verifies the completed prefix, then continues")
 	flag.Parse()
 
 	var cfg tripwire.Config
@@ -59,17 +72,32 @@ func main() {
 	}
 
 	opts := []tripwire.Option{
-		tripwire.WithConfig(cfg),
-		tripwire.WithSeed(*seed),
 		tripwire.WithWorkers(*workers),
 		tripwire.WithTimelineWorkers(*timelineWorkers),
+	}
+	if *checkpointDir != "" {
+		opts = append(opts, tripwire.WithCheckpoint(*checkpointDir, *checkpointEvery))
 	}
 	var reg *tripwire.Metrics
 	if *metricsAddr != "" || *metricsOut != "" {
 		reg = tripwire.NewMetrics()
 		opts = append(opts, tripwire.WithMetrics(reg))
 	}
-	study := tripwire.New(opts...)
+	var study *tripwire.Study
+	if *resume != "" {
+		// The snapshot carries the configuration (scale, seed, batches);
+		// -scale and -seed are ignored on resume.
+		s, err := tripwire.Resume(*resume, opts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tripwire: %v\n", err)
+			os.Exit(1)
+		}
+		study = s
+		cfg = s.Pilot().Cfg
+		fmt.Fprintf(os.Stderr, "tripwire: resuming from %s\n", *resume)
+	} else {
+		study = tripwire.New(append(opts, tripwire.WithConfig(cfg), tripwire.WithSeed(*seed))...)
+	}
 	if err := study.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "tripwire: %v\n", err)
 		os.Exit(1)
@@ -104,8 +132,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "tripwire: generating %d-site web and running pilot (%s scale, seed %d)...\n",
-		cfg.Web.NumSites, *scale, *seed)
+	fmt.Fprintf(os.Stderr, "tripwire: generating %d-site web and running pilot (seed %d)...\n",
+		cfg.Web.NumSites, cfg.Seed)
 	start := time.Now()
 	runErr := study.RunContext(ctx)
 	switch {

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tripwire/internal/crawler"
+	"tripwire/internal/emailprovider"
+	"tripwire/internal/identity"
+	"tripwire/internal/snapshot"
+)
+
+// RegistrationState is one burned registration in canonical form. The
+// identity is embedded by value — registrations own their identity for
+// snapshot purposes; the pool/control/unused sets never overlap with the
+// burned set.
+type RegistrationState struct {
+	Identity identity.Identity
+	Domain   string
+	Rank     int
+	Category string
+	When     time.Time
+	Code     crawler.Code
+	Status   AccountStatus
+	Manual   bool
+}
+
+// LedgerState is the Tripwire database in canonical form: FIFO identity
+// pools (order preserved — it is the determinism-bearing part), burned
+// registrations, control accounts, and the unused monitored set.
+type LedgerState struct {
+	PoolHard      []identity.Identity // FIFO order
+	PoolEasy      []identity.Identity // FIFO order
+	Registrations []RegistrationState // sorted by identity email
+	Controls      []identity.Identity // sorted by email
+	Unused        []string            // sorted lowercased emails
+}
+
+// canonIdentity copies an identity with its times canonicalized.
+func canonIdentity(id *identity.Identity) identity.Identity {
+	c := *id
+	c.Birthday = snapshot.CanonTime(c.Birthday)
+	return c
+}
+
+// ExportState captures the ledger. Pool slices keep their FIFO order;
+// map-backed sets are sorted, so equivalent ledgers export identically.
+func (l *Ledger) ExportState() *LedgerState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := &LedgerState{}
+	for _, id := range l.pool[identity.Hard] {
+		st.PoolHard = append(st.PoolHard, canonIdentity(id))
+	}
+	for _, id := range l.pool[identity.Easy] {
+		st.PoolEasy = append(st.PoolEasy, canonIdentity(id))
+	}
+	for _, reg := range l.byEmail {
+		st.Registrations = append(st.Registrations, RegistrationState{
+			Identity: canonIdentity(reg.Identity),
+			Domain:   reg.Domain,
+			Rank:     reg.Rank,
+			Category: reg.Category,
+			When:     snapshot.CanonTime(reg.When),
+			Code:     reg.Code,
+			Status:   reg.Status,
+			Manual:   reg.Manual,
+		})
+	}
+	sort.Slice(st.Registrations, func(i, j int) bool {
+		return strings.ToLower(st.Registrations[i].Identity.Email) < strings.ToLower(st.Registrations[j].Identity.Email)
+	})
+	for _, id := range l.controls {
+		st.Controls = append(st.Controls, canonIdentity(id))
+	}
+	sort.Slice(st.Controls, func(i, j int) bool { return st.Controls[i].Email < st.Controls[j].Email })
+	for email := range l.unused {
+		st.Unused = append(st.Unused, email)
+	}
+	sort.Strings(st.Unused)
+	return st
+}
+
+func appendIdentity(e *snapshot.Encoder, id *identity.Identity) {
+	e.Int(int64(id.ID))
+	e.String(id.FirstName)
+	e.String(id.LastName)
+	e.String(id.Username)
+	e.String(id.LocalPart)
+	e.String(id.Email)
+	e.String(id.Password)
+	e.Uint(uint64(id.Class))
+	e.String(id.Street)
+	e.String(id.City)
+	e.String(id.State)
+	e.String(id.Zip)
+	e.String(id.Phone)
+	e.Time(id.Birthday)
+	e.String(id.Employer)
+}
+
+func decodeIdentity(d *snapshot.Decoder) identity.Identity {
+	return identity.Identity{
+		ID:        int(d.Int()),
+		FirstName: d.String(),
+		LastName:  d.String(),
+		Username:  d.String(),
+		LocalPart: d.String(),
+		Email:     d.String(),
+		Password:  d.String(),
+		Class:     identity.PasswordClass(d.Uint()),
+		Street:    d.String(),
+		City:      d.String(),
+		State:     d.String(),
+		Zip:       d.String(),
+		Phone:     d.String(),
+		Birthday:  d.Time(),
+		Employer:  d.String(),
+	}
+}
+
+// identityMinBytes: an identity costs at least 15 length/flag bytes.
+const identityMinBytes = 15
+
+func encodeIdentities(e *snapshot.Encoder, ids []identity.Identity) {
+	e.Uint(uint64(len(ids)))
+	for i := range ids {
+		appendIdentity(e, &ids[i])
+	}
+}
+
+func decodeIdentities(d *snapshot.Decoder) []identity.Identity {
+	n := d.Count(identityMinBytes)
+	var out []identity.Identity
+	if n > 0 {
+		out = make([]identity.Identity, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, decodeIdentity(d))
+	}
+	return out
+}
+
+// EncodeLedgerState serializes the export into snapshot-section bytes.
+func EncodeLedgerState(st *LedgerState) []byte {
+	e := snapshot.NewEncoder()
+	encodeIdentities(e, st.PoolHard)
+	encodeIdentities(e, st.PoolEasy)
+	e.Uint(uint64(len(st.Registrations)))
+	for i := range st.Registrations {
+		r := &st.Registrations[i]
+		appendIdentity(e, &r.Identity)
+		e.String(r.Domain)
+		e.Int(int64(r.Rank))
+		e.String(r.Category)
+		e.Time(r.When)
+		e.Uint(uint64(r.Code))
+		e.Uint(uint64(r.Status))
+		e.Bool(r.Manual)
+	}
+	encodeIdentities(e, st.Controls)
+	e.Uint(uint64(len(st.Unused)))
+	for _, email := range st.Unused {
+		e.String(email)
+	}
+	return e.Bytes()
+}
+
+// DecodeLedgerState parses EncodeLedgerState's output.
+func DecodeLedgerState(data []byte) (*LedgerState, error) {
+	d := snapshot.NewDecoder(data)
+	st := &LedgerState{}
+	st.PoolHard = decodeIdentities(d)
+	st.PoolEasy = decodeIdentities(d)
+	n := d.Count(identityMinBytes + 7)
+	for i := 0; i < n; i++ {
+		var r RegistrationState
+		r.Identity = decodeIdentity(d)
+		r.Domain = d.String()
+		r.Rank = int(d.Int())
+		r.Category = d.String()
+		r.When = d.Time()
+		r.Code = crawler.Code(d.Uint())
+		r.Status = AccountStatus(d.Uint())
+		r.Manual = d.Bool()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		st.Registrations = append(st.Registrations, r)
+	}
+	st.Controls = decodeIdentities(d)
+	nu := d.Count(1)
+	for i := 0; i < nu; i++ {
+		st.Unused = append(st.Unused, d.String())
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in ledger state", snapshot.ErrCorrupt, d.Remaining())
+	}
+	return st, nil
+}
+
+// ControlSeen is one control account's observed-login count.
+type ControlSeen struct {
+	Account string
+	Count   int
+}
+
+// DetectionState is one site detection in canonical form; per-account
+// login lists are flattened into a slice sorted by account.
+type DetectionState struct {
+	Domain             string
+	Rank               int
+	Category           string
+	FirstSeen          time.Time
+	LastSeen           time.Time
+	HardAccessed       bool
+	AccountsRegistered int
+	AccountsAccessed   int
+	Logins             []AccountLogins
+}
+
+// AccountLogins is the attributed events of one account at one site.
+type AccountLogins struct {
+	Account string
+	Events  []emailprovider.LoginEvent
+}
+
+// AttributedState is one attributed login flattened to its registration
+// domain (the pointer identity is re-derivable from the ledger).
+type AttributedState struct {
+	Event  emailprovider.LoginEvent
+	Domain string
+}
+
+// MonitorState is the monitor's durable view: the dump cursor, control
+// bookkeeping, the full attributed-login history, alarm count, and every
+// detection in first-detection order.
+type MonitorState struct {
+	LastDump         time.Time
+	ExpectedControls []string // sorted
+	SeenControls     []ControlSeen
+	Attributed       []AttributedState
+	Alarms           int
+	Detections       []DetectionState // first-detection order
+}
+
+// ExportState captures the monitor.
+func (m *Monitor) ExportState() *MonitorState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := &MonitorState{LastDump: snapshot.CanonTime(m.lastDump), Alarms: len(m.alarms)}
+	for acct := range m.expectedControls {
+		st.ExpectedControls = append(st.ExpectedControls, acct)
+	}
+	sort.Strings(st.ExpectedControls)
+	for acct, n := range m.seenControls {
+		st.SeenControls = append(st.SeenControls, ControlSeen{Account: acct, Count: n})
+	}
+	sort.Slice(st.SeenControls, func(i, j int) bool { return st.SeenControls[i].Account < st.SeenControls[j].Account })
+	for _, al := range m.attributed {
+		ev := al.Event
+		ev.Time = snapshot.CanonTime(ev.Time)
+		st.Attributed = append(st.Attributed, AttributedState{Event: ev, Domain: al.Registration.Domain})
+	}
+	for _, domain := range m.order {
+		det := m.detections[domain]
+		ds := DetectionState{
+			Domain:             det.Domain,
+			Rank:               det.Rank,
+			Category:           det.Category,
+			FirstSeen:          snapshot.CanonTime(det.FirstSeen),
+			LastSeen:           snapshot.CanonTime(det.LastSeen),
+			HardAccessed:       det.HardAccessed,
+			AccountsRegistered: det.AccountsRegistered,
+			AccountsAccessed:   det.AccountsAccessed,
+		}
+		for acct, evs := range det.Logins {
+			cp := make([]emailprovider.LoginEvent, len(evs))
+			copy(cp, evs)
+			for i := range cp {
+				cp[i].Time = snapshot.CanonTime(cp[i].Time)
+			}
+			ds.Logins = append(ds.Logins, AccountLogins{Account: acct, Events: cp})
+		}
+		sort.Slice(ds.Logins, func(i, j int) bool { return ds.Logins[i].Account < ds.Logins[j].Account })
+		st.Detections = append(st.Detections, ds)
+	}
+	return st
+}
+
+// EncodeMonitorState serializes the export into snapshot-section bytes.
+func EncodeMonitorState(st *MonitorState) []byte {
+	e := snapshot.NewEncoder()
+	e.Time(st.LastDump)
+	e.Uint(uint64(len(st.ExpectedControls)))
+	for _, acct := range st.ExpectedControls {
+		e.String(acct)
+	}
+	e.Uint(uint64(len(st.SeenControls)))
+	for _, cs := range st.SeenControls {
+		e.String(cs.Account)
+		e.Int(int64(cs.Count))
+	}
+	e.Uint(uint64(len(st.Attributed)))
+	for _, at := range st.Attributed {
+		emailprovider.AppendLoginEvent(e, at.Event)
+		e.String(at.Domain)
+	}
+	e.Int(int64(st.Alarms))
+	e.Uint(uint64(len(st.Detections)))
+	for i := range st.Detections {
+		det := &st.Detections[i]
+		e.String(det.Domain)
+		e.Int(int64(det.Rank))
+		e.String(det.Category)
+		e.Time(det.FirstSeen)
+		e.Time(det.LastSeen)
+		e.Bool(det.HardAccessed)
+		e.Int(int64(det.AccountsRegistered))
+		e.Int(int64(det.AccountsAccessed))
+		e.Uint(uint64(len(det.Logins)))
+		for _, al := range det.Logins {
+			e.String(al.Account)
+			emailprovider.EncodeLoginEvents(e, al.Events)
+		}
+	}
+	return e.Bytes()
+}
+
+// DecodeMonitorState parses EncodeMonitorState's output.
+func DecodeMonitorState(data []byte) (*MonitorState, error) {
+	d := snapshot.NewDecoder(data)
+	st := &MonitorState{LastDump: d.Time()}
+	n := d.Count(1)
+	for i := 0; i < n; i++ {
+		st.ExpectedControls = append(st.ExpectedControls, d.String())
+	}
+	n = d.Count(2)
+	for i := 0; i < n; i++ {
+		st.SeenControls = append(st.SeenControls, ControlSeen{Account: d.String(), Count: int(d.Int())})
+	}
+	n = d.Count(5)
+	for i := 0; i < n; i++ {
+		ev, err := emailprovider.DecodeLoginEvent(d)
+		if err != nil {
+			return nil, err
+		}
+		st.Attributed = append(st.Attributed, AttributedState{Event: ev, Domain: d.String()})
+	}
+	st.Alarms = int(d.Int())
+	n = d.Count(10)
+	for i := 0; i < n; i++ {
+		var det DetectionState
+		det.Domain = d.String()
+		det.Rank = int(d.Int())
+		det.Category = d.String()
+		det.FirstSeen = d.Time()
+		det.LastSeen = d.Time()
+		det.HardAccessed = d.Bool()
+		det.AccountsRegistered = int(d.Int())
+		det.AccountsAccessed = int(d.Int())
+		na := d.Count(2)
+		for j := 0; j < na; j++ {
+			acct := d.String()
+			evs, err := emailprovider.DecodeLoginEvents(d)
+			if err != nil {
+				return nil, err
+			}
+			det.Logins = append(det.Logins, AccountLogins{Account: acct, Events: evs})
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		st.Detections = append(st.Detections, det)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in monitor state", snapshot.ErrCorrupt, d.Remaining())
+	}
+	return st, nil
+}

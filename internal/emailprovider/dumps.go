@@ -11,22 +11,40 @@ import (
 // misunderstanding of the retention limits at the email provider, login
 // activity was lost from March 20, 2015, through June 1, 2015").
 //
-// The log is a time-ordered ring (see loginRing), so the window is located
-// by binary search rather than a scan over the whole retained history.
+// The log is a time-ordered ring (see loginRing) plus optional cold
+// segments spilled to disk (see spill.go); both tiers are time-sorted, so
+// the window is located by binary search in each rather than a scan over
+// the whole retained history. Cold segments are strictly older than every
+// resident event, so concatenating segment results before ring results
+// preserves global order.
 func (p *Provider) DumpSince(since time.Time) []LoginEvent {
 	now := p.Now()
-	return p.log.dumpSince(since, now.Add(-p.Retention), now)
+	cutoff := now.Add(-p.Retention)
+	out := p.spilledSince(since, cutoff, now)
+	resident := p.log.dumpSince(since, cutoff, now)
+	if out == nil {
+		return resident
+	}
+	return append(out, resident...)
 }
 
-// AllLogins returns every retained login event (ground truth for tests).
+// AllLogins returns every retained login event, cold and resident tiers
+// merged oldest-first (ground truth for tests and state export).
 func (p *Provider) AllLogins() []LoginEvent {
-	return p.log.all()
+	spilled := p.allSpilled()
+	resident := p.log.all()
+	if spilled == nil {
+		return resident
+	}
+	return append(spilled, resident...)
 }
 
 // PurgeExpired discards events beyond the retention window, modelling the
-// provider's storage policy actually deleting data.
+// provider's storage policy actually deleting data. Cold segments wholly
+// behind the window are unlinked; the resident ring advances its head.
 func (p *Provider) PurgeExpired() int {
-	return p.log.purgeExpired(p.Now().Add(-p.Retention))
+	cutoff := p.Now().Add(-p.Retention)
+	return p.purgeSpilled(cutoff) + p.log.purgeExpired(cutoff)
 }
 
 // BeginSegment / EndSegment implement simclock.Sequencer: the epoch-parallel
@@ -37,8 +55,13 @@ func (p *Provider) PurgeExpired() int {
 // events never run concurrently.
 func (p *Provider) BeginSegment() { p.log.mark() }
 
-// EndSegment closes the segment opened by BeginSegment.
-func (p *Provider) EndSegment() { p.log.seal() }
+// EndSegment closes the segment opened by BeginSegment, then gives the
+// cold tier a chance to spill: post-seal the ring's order is
+// deterministic, so segment boundaries are too.
+func (p *Provider) EndSegment() {
+	p.log.seal()
+	p.maybeSpill()
+}
 
 // Abuse-response operations: the provider's security systems acting on
 // compromised accounts, per paper §6.4.4.

@@ -21,6 +21,11 @@ type loginRing struct {
 	n        int // events currently stored
 	unsorted bool
 	marked   int // logical index saved by mark() for seal()
+	// inSegment is true between mark and seal. While set, takeSpill
+	// refuses to detach a prefix: spilling would move the head and
+	// invalidate the marked index, and mid-segment content is not yet
+	// deterministically ordered.
+	inSegment bool
 }
 
 // at returns the i-th oldest stored event. Callers hold mu and guarantee
@@ -140,6 +145,7 @@ func (r *loginRing) purgeExpired(cutoff time.Time) int {
 func (r *loginRing) mark() {
 	r.mu.Lock()
 	r.marked = r.n
+	r.inSegment = true
 	r.mu.Unlock()
 }
 
@@ -151,6 +157,7 @@ func (r *loginRing) mark() {
 func (r *loginRing) seal() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.inSegment = false
 	m := r.marked
 	if r.n-m < 2 {
 		return
@@ -168,6 +175,41 @@ func (r *loginRing) seal() {
 	for i := range blk {
 		*r.at(m+i) = blk[i]
 	}
+}
+
+// takeSpill detaches and returns the oldest prefix when the ring holds
+// more than budget events, leaving budget/2 resident (so spills happen in
+// batches rather than on every append). It refuses mid-segment (the
+// marked index must stay valid and segment content is not yet sealed into
+// deterministic order) and on the unsorted fallback path (a disordered
+// prefix cannot be binary-searched once cold). After detaching it shrinks
+// the buffer, releasing the spilled prefix's heap.
+func (r *loginRing) takeSpill(budget int) []LoginEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if budget <= 0 || r.inSegment || r.unsorted || r.n <= budget {
+		return nil
+	}
+	keep := budget / 2
+	k := r.n - keep
+	out := make([]LoginEvent, k)
+	for i := 0; i < k; i++ {
+		out[i] = *r.at(i)
+	}
+	r.head = (r.head + k) % len(r.buf)
+	r.n = keep
+	if r.n == 0 {
+		r.head = 0
+	}
+	if want := max(64, 2*r.n); len(r.buf) > 2*want {
+		next := make([]LoginEvent, want)
+		for i := 0; i < r.n; i++ {
+			next[i] = *r.at(i)
+		}
+		r.buf = next
+		r.head = 0
+	}
+	return out
 }
 
 // all returns every stored event, oldest first.

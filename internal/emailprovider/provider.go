@@ -103,6 +103,12 @@ type Provider struct {
 	// time-indexed successful-login record dumps read from.
 	shards [accountShards]accountShard
 	log    loginRing
+	// Cold-tier spill configuration and bookkeeping (see spill.go). Set
+	// via SpillLoginLog before the first login; zero values disable the
+	// tier and keep the whole log resident.
+	spillDir          string
+	logResidentBudget int
+	spill             spillState
 	// reserved local parts per the provider's naming policy. Read-only
 	// after New, so lookups need no lock.
 	reserved map[string]bool
@@ -327,6 +333,7 @@ func (p *Provider) login(email, password string, remote netip.Addr, method strin
 	}
 	a.failedCount = 0
 	p.log.append(LoginEvent{Account: a.email, Time: now, IP: remote, Method: method})
+	p.maybeSpill()
 	p.Metrics.loginOK(method)
 	return a, nil
 }

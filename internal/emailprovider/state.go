@@ -1,0 +1,215 @@
+package emailprovider
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"tripwire/internal/imap"
+	"tripwire/internal/snapshot"
+)
+
+// AccountState is one provider account in canonical (exported) form:
+// plain values, times reduced to CanonTime, ready for codec round trips
+// and deep-equality comparison.
+type AccountState struct {
+	Email        string
+	Name         string
+	Password     string
+	State        State
+	ForwardTo    string
+	Inbox        []imap.Message
+	FailedSince  time.Time
+	FailedCount  int
+	ThrottledTil time.Time
+}
+
+// ProviderState is the provider's full durable state: every account plus
+// the complete retained login log (resident and spilled tiers alike).
+// Accounts are sorted by address so the export is independent of shard
+// layout and map iteration order.
+type ProviderState struct {
+	Domain   string
+	Accounts []AccountState
+	Logins   []LoginEvent
+}
+
+// ExportState captures the provider's durable state. The export is
+// deterministic: two providers that processed the same events export
+// byte-identical state regardless of interleaving history.
+func (p *Provider) ExportState() *ProviderState {
+	st := &ProviderState{Domain: p.domain}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, a := range sh.accounts {
+			var inbox []imap.Message
+			if len(a.inbox) > 0 {
+				inbox = make([]imap.Message, len(a.inbox))
+				copy(inbox, a.inbox)
+			}
+			st.Accounts = append(st.Accounts, AccountState{
+				Email:        a.email,
+				Name:         a.name,
+				Password:     a.password,
+				State:        a.state,
+				ForwardTo:    a.forwardTo,
+				Inbox:        inbox,
+				FailedSince:  snapshot.CanonTime(a.failedSince),
+				FailedCount:  a.failedCount,
+				ThrottledTil: snapshot.CanonTime(a.throttledTil),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(st.Accounts, func(i, j int) bool { return st.Accounts[i].Email < st.Accounts[j].Email })
+	if evs := canonLogins(p.AllLogins()); len(evs) > 0 {
+		st.Logins = evs
+	}
+	return st
+}
+
+// canonLogins canonicalizes event times for deep-equal comparison.
+func canonLogins(evs []LoginEvent) []LoginEvent {
+	for i := range evs {
+		evs[i].Time = snapshot.CanonTime(evs[i].Time)
+	}
+	return evs
+}
+
+// AppendLoginEvent encodes one login event. The format is shared by the
+// provider snapshot section, the monitor's attributed-login export, and
+// the on-disk cold log segments.
+func AppendLoginEvent(e *snapshot.Encoder, ev LoginEvent) {
+	e.String(ev.Account)
+	e.Time(ev.Time)
+	e.Blob(ev.IP.AsSlice())
+	e.String(ev.Method)
+}
+
+// DecodeLoginEvent reads one login event. Decode errors surface through
+// the decoder's sticky error; a malformed IP is reported directly.
+func DecodeLoginEvent(d *snapshot.Decoder) (LoginEvent, error) {
+	var ev LoginEvent
+	ev.Account = d.String()
+	ev.Time = d.Time()
+	raw := d.Blob()
+	ev.Method = d.String()
+	if err := d.Err(); err != nil {
+		return LoginEvent{}, err
+	}
+	if len(raw) > 0 {
+		ip, ok := netip.AddrFromSlice(raw)
+		if !ok {
+			return LoginEvent{}, fmt.Errorf("%w: login event with %d-byte IP", snapshot.ErrCorrupt, len(raw))
+		}
+		ev.IP = ip
+	}
+	return ev, nil
+}
+
+// loginEventMinBytes is the least a login event can occupy encoded (four
+// length/flag bytes), used to sanity-cap collection counts before decode
+// allocates.
+const loginEventMinBytes = 4
+
+// EncodeLoginEvents encodes a count-prefixed run of login events — the
+// payload format of both the provider section's log and cold segments.
+func EncodeLoginEvents(e *snapshot.Encoder, evs []LoginEvent) {
+	e.Uint(uint64(len(evs)))
+	for _, ev := range evs {
+		AppendLoginEvent(e, ev)
+	}
+}
+
+// DecodeLoginEvents reads a count-prefixed run of login events.
+func DecodeLoginEvents(d *snapshot.Decoder) ([]LoginEvent, error) {
+	n := d.Count(loginEventMinBytes)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	var evs []LoginEvent
+	if n > 0 {
+		evs = make([]LoginEvent, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		ev, err := DecodeLoginEvent(d)
+		if err != nil {
+			return nil, err
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}
+
+// EncodeProviderState serializes the export into snapshot-section bytes.
+func EncodeProviderState(st *ProviderState) []byte {
+	e := snapshot.NewEncoder()
+	e.String(st.Domain)
+	e.Uint(uint64(len(st.Accounts)))
+	for i := range st.Accounts {
+		a := &st.Accounts[i]
+		e.String(a.Email)
+		e.String(a.Name)
+		e.String(a.Password)
+		e.Uint(uint64(a.State))
+		e.String(a.ForwardTo)
+		e.Uint(uint64(len(a.Inbox)))
+		for _, m := range a.Inbox {
+			e.String(m.From)
+			e.String(m.Subject)
+			e.String(m.Body)
+		}
+		e.Time(a.FailedSince)
+		e.Int(int64(a.FailedCount))
+		e.Time(a.ThrottledTil)
+	}
+	EncodeLoginEvents(e, st.Logins)
+	return e.Bytes()
+}
+
+// DecodeProviderState parses EncodeProviderState's output.
+func DecodeProviderState(data []byte) (*ProviderState, error) {
+	d := snapshot.NewDecoder(data)
+	st := &ProviderState{Domain: d.String()}
+	// An empty account still costs ≥ 9 bytes of length/flag fields.
+	n := d.Count(9)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		st.Accounts = make([]AccountState, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		var a AccountState
+		a.Email = d.String()
+		a.Name = d.String()
+		a.Password = d.String()
+		a.State = State(d.Uint())
+		a.ForwardTo = d.String()
+		nm := d.Count(3)
+		for j := 0; j < nm; j++ {
+			a.Inbox = append(a.Inbox, imap.Message{From: d.String(), Subject: d.String(), Body: d.String()})
+		}
+		a.FailedSince = d.Time()
+		a.FailedCount = int(d.Int())
+		a.ThrottledTil = d.Time()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		st.Accounts = append(st.Accounts, a)
+	}
+	logins, err := DecodeLoginEvents(d)
+	if err != nil {
+		return nil, err
+	}
+	st.Logins = logins
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in provider state", snapshot.ErrCorrupt, d.Remaining())
+	}
+	return st, nil
+}

@@ -101,6 +101,26 @@ type Config struct {
 	// measure how well workers overlap network waits.
 	NetLatency time.Duration
 
+	// CheckpointEvery, with CheckpointDir, writes a resumable snapshot
+	// after every CheckpointEvery-th completed registration wave (see
+	// internal/snapshot and Pilot.WriteCheckpoint). Zero disables periodic
+	// checkpoints. Checkpoint writes are observation-only: they draw no
+	// randomness and feed nothing back, so enabling them never changes
+	// study results.
+	CheckpointEvery int
+	// CheckpointDir is where periodic checkpoints land, named
+	// checkpoint-%06d.twsnap by completed-wave count. Created on demand.
+	CheckpointDir string
+
+	// LogResidentBudget caps how many login events the email provider
+	// keeps in memory; when exceeded, the oldest events spill to cold
+	// segment files in LogSpillDir (see internal/emailprovider's spill
+	// tier). Zero keeps the whole log resident. Spilling is transparent:
+	// dumps and exports see identical results either way.
+	LogResidentBudget int
+	// LogSpillDir is where cold login-log segments are written.
+	LogSpillDir string
+
 	// Metrics, when non-nil, receives telemetry from every subsystem of the
 	// pilot. Instruments are observation-only — they draw no randomness and
 	// feed nothing back — so attaching a registry never changes results

@@ -74,6 +74,18 @@ func Validate(cfg Config) error {
 	if cfg.NetLatency < 0 {
 		fail("NetLatency = %v, cannot be negative", cfg.NetLatency)
 	}
+	if cfg.CheckpointEvery < 0 {
+		fail("CheckpointEvery = %d, cannot be negative", cfg.CheckpointEvery)
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" {
+		fail("CheckpointEvery = %d but CheckpointDir is empty; periodic checkpoints need a directory", cfg.CheckpointEvery)
+	}
+	if cfg.LogResidentBudget < 0 {
+		fail("LogResidentBudget = %d, cannot be negative", cfg.LogResidentBudget)
+	}
+	if cfg.LogResidentBudget > 0 && cfg.LogSpillDir == "" {
+		fail("LogResidentBudget = %d but LogSpillDir is empty; spilling needs a directory", cfg.LogResidentBudget)
+	}
 	if len(errs) == 0 {
 		return nil
 	}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// The heap-envelope configuration: a full (short) study over a 1M-site
+// universe whose batches register 2048 of those sites, with the login log
+// capped at a small resident budget so the run must spill cold segments
+// to disk. The point of the numbers: the universe is ~500x larger than
+// the registered set, so any O(universe) heap cost — eager
+// materialization, a full login log held resident — blows the envelope
+// immediately, while the intended O(registered) cost fits with room to
+// spare.
+const (
+	envelopeUniverse = 1_000_000
+	envelopeRanks    = 2048
+	envelopeBudget   = 64 // resident login-log events before spilling
+
+	// envelopeHeapMB is the in-bench live-heap ceiling. Measured ~31 MB;
+	// the ceiling leaves ~3x headroom for GC timing and platform variance
+	// while still catching any O(universe) regression (eagerly
+	// materializing even 5% of the universe costs hundreds of MB). The
+	// tighter 5% drift gate lives in `make bench-compare` against
+	// BENCH_baseline.json.
+	envelopeHeapMB = 100
+)
+
+// envelopeConfig is the 1M-site spilled-log study the envelope is defined
+// over. Batches cover ranks 1..2048 twice (seed + refresh) so accounts
+// age, dumps fire, and the login log grows well past the resident budget.
+func envelopeConfig(spillDir string) Config {
+	cfg := SmallConfig()
+	cfg.Web.NumSites = envelopeUniverse
+	cfg.Batches = []Batch{
+		{Name: "seed", Start: date(2014, 12, 10), Duration: 14 * 24 * time.Hour, FromRank: 1, ToRank: envelopeRanks / 2},
+		{Name: "refresh", Start: date(2015, 11, 20), Duration: 21 * 24 * time.Hour, FromRank: 1, ToRank: envelopeRanks},
+	}
+	cfg.NumUnused = 200
+	cfg.BreachRegistered = 6
+	cfg.BreachUnregistered = 3
+	cfg.OrganicUsersMin = 5
+	cfg.OrganicUsersMax = 15
+	cfg.CrawlWorkers = 8
+	cfg.NetLatency = time.Millisecond
+	cfg.LogSpillDir = spillDir
+	cfg.LogResidentBudget = envelopeBudget
+	return cfg
+}
+
+// BenchmarkHeapEnvelope runs the full 1M-site spilled-log study and
+// measures the live heap it retains at the end (post-GC, study state
+// still reachable). It reports heap-MB, materialized-sites, and
+// spilled-segments, and fails outright if the live heap exceeds the
+// fixed envelope. `make bench-compare` additionally gates heap-MB at 5%
+// drift against the tracked baseline.
+func BenchmarkHeapEnvelope(b *testing.B) {
+	b.ReportAllocs()
+	var p *Pilot
+	var materialized, segments, resident int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := envelopeConfig(b.TempDir())
+		p = NewPilot(cfg)
+		b.StartTimer()
+		p.Run()
+		b.StopTimer()
+		if err := p.Provider.SpillErr(); err != nil {
+			b.Fatal(err)
+		}
+		materialized = int64(p.Universe.MaterializedSites())
+		segments = int64(p.Provider.SpilledSegments())
+		resident = int64(p.Provider.ResidentLogSize())
+		if segments == 0 {
+			b.Fatalf("resident budget %d never forced a spill (resident log size %d)",
+				envelopeBudget, resident)
+		}
+		if resident > envelopeBudget {
+			b.Fatalf("resident log size %d exceeds budget %d", resident, envelopeBudget)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	// Live heap with the final pilot still reachable: what a long-running
+	// study retains between waves, not what the run transiently allocated.
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	heapMB := float64(ms.HeapAlloc) / 1e6
+	b.ReportMetric(heapMB, "heap-MB")
+	b.ReportMetric(float64(materialized), "materialized-sites")
+	b.ReportMetric(float64(segments), "spilled-segments")
+	if heapMB > envelopeHeapMB {
+		b.Fatalf("live heap %.1f MB exceeds the %d MB envelope for a %d-site universe / %d-rank study",
+			heapMB, envelopeHeapMB, envelopeUniverse, envelopeRanks)
+	}
+	runtime.KeepAlive(p)
+}

@@ -283,6 +283,10 @@ func (p *Pilot) runWave(ranks []rankAt, manual bool, batch string) {
 		p.runPhase(easy)
 	}
 	p.metrics.waveDone(timer)
+	// Wave events are exclusive scheduler events (they mutate p.Attempts),
+	// so the counter needs no synchronization. It is the checkpoint cadence:
+	// wave boundaries depend only on batch rank ranges, never on workers.
+	p.wavesDone++
 	if len(ranks) > 0 {
 		p.emit(Event{
 			Kind:     EventWaveDone,

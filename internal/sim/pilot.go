@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"net"
 	"net/netip"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"tripwire/internal/mailserv"
 	"tripwire/internal/pop3"
 	"tripwire/internal/simclock"
+	"tripwire/internal/snapshot"
 	"tripwire/internal/webgen"
 )
 
@@ -80,6 +82,20 @@ type Pilot struct {
 	lastDump     time.Time
 	organicSeq   int
 
+	// Checkpoint/resume progress markers. epochsRun counts completed
+	// timeline epochs — the replay unit of resume: an epoch's boundary is a
+	// pure function of the schedule, never of worker count, so "run N
+	// epochs" lands every run in the same global state. wavesDone counts
+	// completed registration waves and drives the checkpoint cadence.
+	epochsRun uint64
+	wavesDone int
+	ckptNext  int // next wavesDone value that triggers a checkpoint
+	// replayEpochs/resumeSnap are set by ResumePilot: RunContext first
+	// re-executes replayEpochs epochs, then attests the rebuilt state
+	// against resumeSnap section by section before continuing.
+	replayEpochs uint64
+	resumeSnap   *snapshot.File
+
 	// DetectionTimes records when the monitor first reported each site.
 	DetectionTimes map[string]time.Time
 	// MissedBreaches are breached sites that produced no detection.
@@ -118,6 +134,13 @@ func NewPilot(cfg Config) *Pilot {
 	p.Provider = emailprovider.New(ProviderDomain)
 	p.Provider.Now = clock.Now
 	p.Provider.Retention = cfg.Retention
+	if cfg.LogSpillDir != "" && cfg.LogResidentBudget > 0 {
+		// Cold-tier spilling for the login log. Directory creation is
+		// best-effort here; an unwritable directory surfaces as SpillErr on
+		// the first spill, which checkpointing checks.
+		_ = os.MkdirAll(cfg.LogSpillDir, 0o755)
+		p.Provider.SpillLoginLog(cfg.LogSpillDir, cfg.LogResidentBudget)
+	}
 	p.Universe.Mailer = p.Provider
 
 	// Tripwire mail server, fed by the provider's forwarding over real

@@ -166,6 +166,12 @@ func (s *Scheduler) Cancel(ev *Event) bool {
 // Len reports the number of pending events.
 func (s *Scheduler) Len() int { return len(s.pq) }
 
+// Seq returns the next sequence number the scheduler will assign. It is a
+// progress fingerprint: two runs of the same study that have assigned the
+// same Seq have scheduled exactly the same events, so checkpoints record
+// it and resume verifies it.
+func (s *Scheduler) Seq() uint64 { return s.seq }
+
 // NextAt returns the time of the earliest pending event. ok is false when
 // the queue is empty. Drivers use it to decide whether to keep stepping —
 // e.g. checking a context between events without disturbing the queue.

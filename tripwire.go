@@ -115,6 +115,43 @@ type studyOptions struct {
 	timelineWorkers *int
 	seed            *int64
 	metrics         **Metrics
+	checkpoint      *checkpointOption
+	logSpill        *logSpillOption
+}
+
+type checkpointOption struct {
+	dir   string
+	every int
+}
+
+type logSpillOption struct {
+	dir    string
+	budget int
+}
+
+// apply lays the targeted options over cfg (WithConfig replacement has
+// already happened by the time this runs).
+func (o *studyOptions) apply(cfg *Config) {
+	if o.workers != nil {
+		cfg.CrawlWorkers = *o.workers
+	}
+	if o.timelineWorkers != nil {
+		cfg.TimelineWorkers = *o.timelineWorkers
+	}
+	if o.seed != nil {
+		cfg.Seed = *o.seed
+	}
+	if o.metrics != nil {
+		cfg.Metrics = *o.metrics
+	}
+	if o.checkpoint != nil {
+		cfg.CheckpointDir = o.checkpoint.dir
+		cfg.CheckpointEvery = o.checkpoint.every
+	}
+	if o.logSpill != nil {
+		cfg.LogSpillDir = o.logSpill.dir
+		cfg.LogResidentBudget = o.logSpill.budget
+	}
 }
 
 // WithConfig replaces the base configuration (DefaultConfig) wholesale.
@@ -149,6 +186,23 @@ func WithMetrics(r *Metrics) Option {
 	return func(o *studyOptions) { o.metrics = &r }
 }
 
+// WithCheckpoint writes a resumable snapshot into dir after every Nth
+// completed registration wave, named checkpoint-%06d.twsnap by wave count.
+// Pass a snapshot to Resume to continue a cancelled study. Checkpointing
+// is observation-only: enabling it never changes study results.
+func WithCheckpoint(dir string, every int) Option {
+	return func(o *studyOptions) { o.checkpoint = &checkpointOption{dir: dir, every: every} }
+}
+
+// WithLogSpill caps the email provider's in-memory login log at budget
+// events; older events spill to CRC-protected cold segment files in dir.
+// Spilling is transparent — dumps, detections, and exports are
+// byte-identical to an all-resident run — and bounds the resident heap of
+// very large or very long studies.
+func WithLogSpill(dir string, budget int) Option {
+	return func(o *studyOptions) { o.logSpill = &logSpillOption{dir: dir, budget: budget} }
+}
+
 // Study is one end-to-end Tripwire pilot: registration, monitoring,
 // attacker activity, and inference over a virtual timeline.
 type Study struct {
@@ -168,18 +222,7 @@ func New(opts ...Option) *Study {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if o.workers != nil {
-		o.cfg.CrawlWorkers = *o.workers
-	}
-	if o.timelineWorkers != nil {
-		o.cfg.TimelineWorkers = *o.timelineWorkers
-	}
-	if o.seed != nil {
-		o.cfg.Seed = *o.seed
-	}
-	if o.metrics != nil {
-		o.cfg.Metrics = *o.metrics
-	}
+	o.apply(&o.cfg)
 	s := &Study{cfg: o.cfg, events: newEventStream()}
 	if err := sim.Validate(o.cfg); err != nil {
 		s.err = err
@@ -193,6 +236,38 @@ func New(opts ...Option) *Study {
 //
 // Deprecated: use New(WithConfig(cfg)).
 func NewStudy(cfg Config) *Study { return New(WithConfig(cfg)) }
+
+// Resume rebuilds a study from a checkpoint written by a run configured
+// with WithCheckpoint (or Config.CheckpointEvery/CheckpointDir) and
+// prepares it to continue to the configured end date.
+//
+// The scheduler's pending queue cannot be serialized (it holds closures
+// over live subsystem state), so resume replays: the study is rebuilt from
+// the checkpoint's embedded configuration, RunContext deterministically
+// re-executes the completed prefix — exactly the epoch count the
+// checkpoint recorded — verifies the rebuilt state byte-for-byte against
+// the snapshot (an error names the first diverging section), and then
+// continues. The finished run's results (attempts, detections, login
+// logs, events) are byte-identical to an uninterrupted run at any worker
+// count. Events replays the full sequence from the start of the study,
+// not just the continuation.
+//
+// Targeted options (WithWorkers, WithTimelineWorkers, WithMetrics,
+// WithCheckpoint, WithLogSpill) adjust runtime knobs on the restored
+// configuration. WithConfig is ignored — the configuration comes from the
+// snapshot — and WithSeed will make the replay diverge from the attested
+// snapshot, which RunContext reports as an error.
+func Resume(path string, opts ...Option) (*Study, error) {
+	o := studyOptions{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	pilot, err := sim.ResumePilot(path, func(cfg *Config) { o.apply(cfg) })
+	if err != nil {
+		return nil, err
+	}
+	return &Study{cfg: pilot.Cfg, pilot: pilot, events: newEventStream()}, nil
+}
 
 // RunContext executes the study to its configured end date. For an
 // invalid configuration it returns the validation error instead of
