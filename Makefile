@@ -5,8 +5,9 @@
 #   make race        full suite under the race detector
 #   make ci          what a PR must pass: build, vet, race tests, snapshot
 #                    fuzz corpora as seed tests, resume byte-identity smoke
-#                    (workers grid incl. 8, under -race), bench smoke, and
-#                    the overhead/alloc/heap gates
+#                    (workers grid incl. 8, under -race), the 1M-account
+#                    lazy-store smoke (-short, under -race), bench smoke,
+#                    and the overhead/alloc/heap gates
 #   make bench       parallel crawl engine benchmark (1/4/8/16 workers, plus
 #                    the lazy 10k-universe variant)
 #   make bench-json  run the hot-path benchmarks and write BENCH_crawl.json
@@ -19,9 +20,10 @@
 #   make bench-compare      fresh benchmark sweep diffed against
 #                           BENCH_baseline.json; fails if any benchmark's
 #                           allocs/op grew >5% (ns/op stays informational)
-#                           or any live-heap figure (heap-MB: the lazy 10k
-#                           wave and the 1M-site spilled-log heap
-#                           envelope) grew >5%
+#                           or any memory-envelope figure grew >5%
+#                           (heap-MB: the lazy 10k wave and the 1M-site /
+#                           10M-account heap envelopes; ckpt-full-KB /
+#                           ckpt-incr-KB: the incremental-checkpoint split)
 
 GO ?= go
 
@@ -39,6 +41,7 @@ define BENCH_RUN
   $(GO) test -run xxx -bench BenchmarkParallelCrawl -benchmem -benchtime 2x ./internal/sim/ ; \
   $(GO) test -run xxx -bench BenchmarkTimeline -benchmem -benchtime 1x ./internal/sim/ ; \
   $(GO) test -run xxx -bench BenchmarkHeapEnvelope -benchmem -benchtime 1x ./internal/sim/ ; \
+  $(GO) test -run xxx -bench BenchmarkCheckpoint -benchmem -benchtime 1x ./internal/sim/ ; \
   $(GO) test -run xxx -bench BenchmarkSweep -benchmem -benchtime 1x ./internal/sweep/ ; }
 endef
 
@@ -58,6 +61,7 @@ ci: build metrics-doc-check
 	$(GO) test -race ./...
 	$(GO) test -run Fuzz ./internal/snapshot/ ./internal/crawler/
 	$(GO) test -race -run 'TestResumeByteIdentical|TestStudyCheckpointResume' ./internal/sim/ .
+	$(GO) test -race -short -run 'TestLazyMillionAccountSmoke|TestIncrementalCheckpointEquivalence' ./internal/sim/
 	$(GO) test -run xxx -bench . -benchtime 1x $(BENCH_PKGS)
 	$(GO) test -run xxx -bench 'BenchmarkParallelCrawl$$/workers=8' -benchtime 1x ./internal/sim/
 	$(MAKE) bench-overhead
@@ -85,7 +89,7 @@ bench:
 bench-json: build
 	@$(BENCH_RUN) \
 	 | $(GO) run ./cmd/tripwire-bench -baseline BENCH_baseline.json -out BENCH_crawl.json \
-	     -note "hot-path run vs seed baseline; crawl workers grid 1/4/8/16 on the 2.3k universe plus the lazy 10k-universe wave, timeline engine events/s at 1/4/8 workers, multi-seed sweep seeds/s, and the 1M-site spilled-log heap envelope (heap-MB); allocs/op and post-GC live heap are deterministic, ns/op on shared hardware is noisy"
+	     -note "hot-path run vs seed baseline; crawl workers grid 1/4/8/16 on the 2.3k universe plus the lazy 10k-universe wave, timeline engine events/s at 1/4/8 workers, multi-seed sweep seeds/s, the 1M-site and 10M-account spilled-log heap envelopes (heap-MB), and the incremental-checkpoint byte split (ckpt-full-KB vs ckpt-incr-KB); allocs/op, post-GC live heap, and checkpoint bytes are deterministic, ns/op on shared hardware is noisy"
 	@echo "wrote BENCH_crawl.json"
 
 # Regression gates: re-run the tracked sweep and diff the deterministic

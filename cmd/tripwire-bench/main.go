@@ -22,11 +22,13 @@
 // allocs/op is deterministic for a fixed -benchtime, so this check is
 // sound on shared hardware where ns/op is not; ns/op stays informational.
 //
-// With -assert-heap PCT (requires -baseline) it gates live-heap
+// With -assert-heap PCT (requires -baseline) it gates memory-envelope
 // regressions the same way, over the heap-MB custom metric that the
 // lazy-universe and heap-envelope benchmarks report (live heap after a
 // forced GC, so it is stable across machines in a way wall-clock time is
-// not). Benchmarks without a heap-MB figure on both sides are skipped.
+// not) and the ckpt-full-KB / ckpt-incr-KB figures that BenchmarkCheckpoint
+// reports (full-snapshot size vs bytes re-encoded on a steady-state wave).
+// Benchmarks without a given figure on both sides are skipped.
 //
 // Usage:
 //
@@ -180,11 +182,19 @@ func assertAllocs(current, baseline map[string]Result, maxPct float64) (checked 
 	return checked, breaches
 }
 
-// assertHeap compares every current benchmark's live-heap figure (the
-// heap-MB custom metric) against its baseline entry. Post-GC live heap is
-// a property of the retained data structures, not the machine, so a
-// sustained growth past the budget means the envelope regressed — e.g.
-// the login log stopped spilling or lazy materialization turned eager.
+// memoryGatedUnits are the deterministic memory-envelope metrics gated by
+// -assert-heap: post-GC live heap (heap-MB) and the checkpoint byte split
+// (ckpt-full-KB for a complete re-encode, ckpt-incr-KB for the bytes a
+// steady-state wave's incremental checkpoint actually re-encoded). All
+// three are properties of the retained data structures and the dirty-
+// tracking protocol, not of the machine.
+var memoryGatedUnits = []string{"heap-MB", "ckpt-full-KB", "ckpt-incr-KB"}
+
+// assertHeap compares every current benchmark's memory-envelope figures
+// (memoryGatedUnits) against its baseline entry. A sustained growth past
+// the budget means an envelope regressed — e.g. the login log stopped
+// spilling, lazy materialization turned eager, or a checkpoint section
+// cache stopped reusing bytes.
 func assertHeap(current, baseline map[string]Result, maxPct float64) (checked int, breaches []string) {
 	names := make([]string, 0, len(current))
 	for name := range current {
@@ -192,23 +202,25 @@ func assertHeap(current, baseline map[string]Result, maxPct float64) (checked in
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		cur, ok := current[name].Metrics["heap-MB"]
-		base, okBase := baseline[name].Metrics["heap-MB"]
-		if !ok || !okBase {
-			continue
+		for _, unit := range memoryGatedUnits {
+			cur, ok := current[name].Metrics[unit]
+			base, okBase := baseline[name].Metrics[unit]
+			if !ok || !okBase {
+				continue
+			}
+			checked++
+			growth := 0.0
+			if base > 0 {
+				growth = 100 * (cur - base) / base
+			}
+			if growth > maxPct {
+				breaches = append(breaches, fmt.Sprintf("%s: %s %.1f -> %.1f (%+.2f%%, budget %.1f%%)",
+					name, unit, base, cur, growth, maxPct))
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "tripwire-bench: %-50s %s %.1f -> %.1f (%+.2f%%)\n",
+				name, unit, base, cur, growth)
 		}
-		checked++
-		growth := 0.0
-		if base > 0 {
-			growth = 100 * (cur - base) / base
-		}
-		if growth > maxPct {
-			breaches = append(breaches, fmt.Sprintf("%s: heap-MB %.1f -> %.1f (%+.2f%%, budget %.1f%%)",
-				name, base, cur, growth, maxPct))
-			continue
-		}
-		fmt.Fprintf(os.Stderr, "tripwire-bench: %-50s heap-MB %.1f -> %.1f (%+.2f%%)\n",
-			name, base, cur, growth)
 	}
 	return checked, breaches
 }
@@ -219,7 +231,7 @@ func main() {
 	note := flag.String("note", "", "free-form note recorded in the document")
 	assertPct := flag.Float64("assert-overhead", 0, "fail if the metrics-on crawl benchmark is more than this % slower (pages/s) than its metrics-free twin, or allocates more")
 	assertAllocsPct := flag.Float64("assert-allocs", 0, "fail if any benchmark's allocs/op exceeds its -baseline entry by more than this % (new benchmarks without a baseline entry are skipped)")
-	assertHeapPct := flag.Float64("assert-heap", 0, "fail if any benchmark's heap-MB metric exceeds its -baseline entry by more than this % (benchmarks without a heap-MB figure on both sides are skipped)")
+	assertHeapPct := flag.Float64("assert-heap", 0, "fail if any benchmark's heap-MB, ckpt-full-KB, or ckpt-incr-KB metric exceeds its -baseline entry by more than this % (benchmarks without the figure on both sides are skipped)")
 	flag.Parse()
 
 	if *assertAllocsPct > 0 && *baseline == "" {
@@ -302,10 +314,10 @@ func main() {
 			os.Exit(1)
 		}
 		if checked == 0 {
-			fmt.Fprintln(os.Stderr, "tripwire-bench: -assert-heap matched no heap-MB figures against the baseline")
+			fmt.Fprintln(os.Stderr, "tripwire-bench: -assert-heap matched no memory-envelope figures against the baseline")
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "tripwire-bench: live heap within %.1f%% of baseline across %d benchmarks\n", *assertHeapPct, checked)
+		fmt.Fprintf(os.Stderr, "tripwire-bench: memory envelopes within %.1f%% of baseline across %d figures\n", *assertHeapPct, checked)
 	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")

@@ -7,7 +7,7 @@
 //	tripwire [-scale small|paper] [-seed N] [-workers N] [-timeline-workers N]
 //	         [-detections-only] [-metrics-addr HOST:PORT] [-metrics-out FILE]
 //	         [-progress] [-checkpoint-dir DIR] [-checkpoint-every N]
-//	         [-resume FILE]
+//	         [-resume FILE] [-eager-accounts]
 //
 // The paper scale crawls 33,634 synthetic sites and monitors >100,000 honey
 // accounts; small scale runs the same pipeline on a 1,200-site web in a few
@@ -58,6 +58,7 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "write resumable snapshots into this directory at wave boundaries")
 	checkpointEvery := flag.Int("checkpoint-every", 10, "checkpoint after every Nth completed wave (with -checkpoint-dir)")
 	resume := flag.String("resume", "", "resume from this checkpoint file; replays and verifies the completed prefix, then continues")
+	eagerAccounts := flag.Bool("eager-accounts", false, "materialize every honey account up front instead of deriving lazily from (seed, rank); results are identical, memory is not")
 	flag.Parse()
 
 	var cfg tripwire.Config
@@ -74,6 +75,9 @@ func main() {
 	opts := []tripwire.Option{
 		tripwire.WithWorkers(*workers),
 		tripwire.WithTimelineWorkers(*timelineWorkers),
+	}
+	if *eagerAccounts {
+		opts = append(opts, tripwire.WithEagerAccounts(true))
 	}
 	if *checkpointDir != "" {
 		opts = append(opts, tripwire.WithCheckpoint(*checkpointDir, *checkpointEvery))

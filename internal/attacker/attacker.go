@@ -148,6 +148,7 @@ type Campaign struct {
 	breaches map[string]time.Time
 	dead     map[string]bool // accounts the attacker has abandoned
 	resales  []string        // domains whose dumps were resold
+	rev      uint64          // durable-state mutation counter (checkpoint cache key)
 
 	// Metrics, when non-nil, receives campaign-progress observations.
 	// Recording is atomic-only and draws no randomness.
@@ -199,6 +200,7 @@ func (c *Campaign) Breach(domain string, store *webgen.Store, when time.Time) {
 	c.sched.AtKeyed(c.align(when), key, "breach "+domain, func(x *simclock.Exec) {
 		c.mu.Lock()
 		c.breaches[domain] = x.Now()
+		c.rev++
 		c.mu.Unlock()
 		if c.Metrics != nil {
 			c.Metrics.breaches.Inc()
@@ -245,6 +247,7 @@ func (c *Campaign) maybeResell(x *simclock.Exec, rng *rand.Rand, domain string, 
 		}
 		c.mu.Lock()
 		c.resales = append(c.resales, domain)
+		c.rev++
 		c.mu.Unlock()
 		if c.Metrics != nil {
 			c.Metrics.resales.Inc()
@@ -425,6 +428,7 @@ func (c *Campaign) afterLogins(st *accountState) {
 		c.provider.ReportSpam(st.cred.Email, 100+st.rng.Intn(900))
 		c.mu.Lock()
 		c.dead[st.cred.Email] = true
+		c.rev++
 		c.mu.Unlock()
 		if c.Metrics != nil {
 			c.Metrics.spamTakedowns.Inc()

@@ -145,6 +145,7 @@ type Stuffer struct {
 	mu      sync.Mutex
 	records []LoginRecord
 	marked  int               // records index saved by BeginSegment
+	rev     uint64            // durable-state mutation counter (checkpoint cache key)
 	draws   map[string]uint64 // per-account deterministic draw counters
 	pop     *pop3.Server
 	popFrac float64
@@ -174,6 +175,7 @@ func (s *Stuffer) nextDraw(email string) uint64 {
 	s.mu.Lock()
 	n := s.draws[email]
 	s.draws[email] = n + 1
+	s.rev++
 	s.mu.Unlock()
 	return n
 }
@@ -211,6 +213,7 @@ func (s *Stuffer) EndSegment() {
 	blk := s.records[s.marked:]
 	if len(blk) > 1 {
 		sortRecords(blk)
+		s.rev++
 	}
 	s.mu.Unlock()
 }
@@ -249,6 +252,7 @@ func (s *Stuffer) TryLoginFrom(ip netip.Addr, cred Credential, siphon bool) bool
 func (s *Stuffer) record(email string, ip netip.Addr, ok bool) {
 	s.mu.Lock()
 	s.records = append(s.records, LoginRecord{Email: email, Time: s.Now(), IP: ip, Success: ok})
+	s.rev++
 	s.mu.Unlock()
 	s.Metrics.attempt(ok)
 }

@@ -44,6 +44,22 @@ type AttackerState struct {
 	Stuffer  StufferState
 }
 
+// StateRev returns the campaign's durable-state mutation counter: it moves
+// whenever ExportState's result may have changed, so checkpoints can reuse
+// a cached encoding while it holds still.
+func (c *Campaign) StateRev() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rev
+}
+
+// StateRev returns the stuffer's durable-state mutation counter.
+func (s *Stuffer) StateRev() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rev
+}
+
 // ExportState captures the campaign's ground truth.
 func (c *Campaign) ExportState() CampaignState {
 	c.mu.Lock()

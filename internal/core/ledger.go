@@ -10,6 +10,8 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -69,38 +71,159 @@ type Registration struct {
 	Code     crawler.Code
 	Status   AccountStatus
 	Manual   bool
+
+	// version counts mutations since creation so the incremental
+	// checkpoint can tell whether its cached per-registration blob is
+	// stale. Guarded by the owning regShard's mutex.
+	version uint64
 }
+
+// ledgerShards is the burn-map stripe count. Burned-identity lookups are
+// the hot ledger operation during parallel crawling (every wave probes
+// tripwireAccountExists per candidate); striping by email hash keeps them
+// from serializing on one mutex.
+const ledgerShards = 64
+
+// regShard is one stripe of the email → registration index.
+type regShard struct {
+	mu   sync.Mutex
+	regs map[string]*Registration
+}
+
+// poolSegment is one run of the FIFO identity pool: either a contiguous
+// span of not-yet-materialized identity indexes [from, to) — the common
+// case after bulk provisioning — or a single explicitly added identity
+// (AddIdentity, Return). Spans keep the 10M-account pool O(1) resident;
+// identities materialize one at a time as Take reaches them.
+type poolSegment struct {
+	from, to int64              // index span when id == nil
+	id       *identity.Identity // explicit item when id != nil
+}
+
+// classPool is one password class's FIFO pool: segments in arrival order,
+// consumed from the front.
+type classPool struct {
+	segs []poolSegment
+	head int
+}
+
+func (p *classPool) size() int64 {
+	n := int64(0)
+	for i := p.head; i < len(p.segs); i++ {
+		if s := &p.segs[i]; s.id != nil {
+			n++
+		} else {
+			n += s.to - s.from
+		}
+	}
+	return n
+}
+
+// compact reclaims the consumed prefix once it dominates the slice.
+func (p *classPool) compact() {
+	if p.head > 64 && p.head*2 >= len(p.segs) {
+		p.segs = append(p.segs[:0], p.segs[p.head:]...)
+		p.head = 0
+	}
+}
+
+// rankSpan is a half-open run [from, to) of identity indexes of one class
+// belonging to the monitored-unused universe.
+type rankSpan struct{ from, to int64 }
 
 // Ledger is the Tripwire database: the identity pool, burned identities,
 // per-site registrations, and the monitored-but-unused account set. All
 // methods are safe for concurrent use.
+//
+// The pool and the unused set are virtual: bulk provisioning records index
+// spans (ExtendPool) instead of materialized identities, and membership
+// questions resolve arithmetically through the deriver/rank functions the
+// pilot injects. Only explicitly added identities (AddIdentity, Return)
+// and burned registrations occupy per-account memory.
 type Ledger struct {
-	mu       sync.Mutex
-	pool     map[identity.PasswordClass][]*identity.Identity
-	byEmail  map[string]*Registration
-	bySite   map[string][]*Registration
-	controls map[string]*identity.Identity // control accounts, never registered
-	unused   map[string]*identity.Identity // provisioned, not yet used
+	mu        sync.Mutex // guards pools, bySite, controls, unused, spans, burned
+	pools     [2]classPool
+	bySite    map[string][]*Registration
+	controls  map[string]*identity.Identity // control accounts, never registered
+	unused    map[string]*identity.Identity // explicitly provisioned, not yet used
+	spans     [2][]rankSpan                 // unused-universe index spans per class
+	spanTotal int64                         // total indexes covered by spans
+	burnedIn  int64                         // span members burned so far
+	burned    map[int64]struct{}            // burned ranks from spans
+
+	deriver func(rank int64) *identity.Identity
+	rankFn  func(email string) (rank int64, ok bool)
+
+	shards [ledgerShards]regShard // email → registration
 }
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
-	return &Ledger{
-		pool:     make(map[identity.PasswordClass][]*identity.Identity),
-		byEmail:  make(map[string]*Registration),
+	l := &Ledger{
 		bySite:   make(map[string][]*Registration),
 		controls: make(map[string]*identity.Identity),
 		unused:   make(map[string]*identity.Identity),
+		burned:   make(map[int64]struct{}),
 	}
+	for i := range l.shards {
+		l.shards[i].regs = make(map[string]*Registration)
+	}
+	return l
 }
 
-// AddIdentity places an identity in the available pool. Its email account
-// is also tracked as unused until burned.
+// SetDeriver installs the rank → identity materializer (identity.Generator.At)
+// used when Take reaches a span segment.
+func (l *Ledger) SetDeriver(fn func(rank int64) *identity.Identity) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.deriver = fn
+}
+
+// SetRankFn installs the email → rank inverse (identity.Generator.RankOf)
+// used to answer unused-set membership for span-covered accounts.
+func (l *Ledger) SetRankFn(fn func(email string) (int64, bool)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rankFn = fn
+}
+
+func (l *Ledger) shardFor(email string) *regShard {
+	h := fnv.New32a()
+	h.Write([]byte(email))
+	return &l.shards[h.Sum32()%ledgerShards]
+}
+
+// AddIdentity places a materialized identity in the available pool. Its
+// email account is also tracked as unused until burned.
 func (l *Ledger) AddIdentity(id *identity.Identity) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.pool[id.Class] = append(l.pool[id.Class], id)
+	p := &l.pools[id.Class]
+	p.segs = append(p.segs, poolSegment{id: id})
 	l.unused[strings.ToLower(id.Email)] = id
+}
+
+// ExtendPool appends the index span [from, from+n) of class to the FIFO
+// pool without materializing anything: the span's identities exist only as
+// arithmetic until Take reaches them. The span also joins the
+// monitored-unused universe, exactly as if each identity had been added
+// via AddIdentity.
+func (l *Ledger) ExtendPool(class identity.PasswordClass, from, n int64) {
+	if n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := &l.pools[class]
+	p.segs = append(p.segs, poolSegment{from: from, to: from + n})
+	spans := l.spans[class]
+	if k := len(spans); k > 0 && spans[k-1].to == from {
+		spans[k-1].to = from + n
+	} else {
+		spans = append(spans, rankSpan{from: from, to: from + n})
+	}
+	l.spans[class] = spans
+	l.spanTotal += n
 }
 
 // AddControl registers a control account: provisioned at the provider,
@@ -122,17 +245,33 @@ func (l *Ledger) IsControl(email string) bool {
 
 // Take removes and returns an identity of the given class from the pool,
 // or nil when the pool is dry. Identities are handed out in FIFO order so
-// runs are deterministic.
+// runs are deterministic; a span segment materializes its front rank
+// through the injected deriver.
 func (l *Ledger) Take(class identity.PasswordClass) *identity.Identity {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	q := l.pool[class]
-	if len(q) == 0 {
-		return nil
+	p := &l.pools[class]
+	for p.head < len(p.segs) {
+		s := &p.segs[p.head]
+		if s.id != nil {
+			id := s.id
+			p.head++
+			p.compact()
+			return id
+		}
+		if s.from < s.to {
+			rank := identity.RankFor(class, s.from)
+			s.from++
+			if s.from == s.to {
+				p.head++
+				p.compact()
+			}
+			return l.deriver(rank)
+		}
+		p.head++
 	}
-	id := q[0]
-	l.pool[class] = q[1:]
-	return id
+	p.compact()
+	return nil
 }
 
 // Return puts an identity back in the pool. Only legal if the identity was
@@ -141,12 +280,18 @@ func (l *Ledger) Take(class identity.PasswordClass) *identity.Identity {
 // Returning a burned identity panics: that is a protocol violation the
 // simulation must never commit.
 func (l *Ledger) Return(id *identity.Identity) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, burned := l.byEmail[strings.ToLower(id.Email)]; burned {
+	email := strings.ToLower(id.Email)
+	sh := l.shardFor(email)
+	sh.mu.Lock()
+	_, burnedReg := sh.regs[email]
+	sh.mu.Unlock()
+	if burnedReg {
 		panic("core: returning a burned identity to the pool")
 	}
-	l.pool[id.Class] = append(l.pool[id.Class], id)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := &l.pools[id.Class]
+	p.segs = append(p.segs, poolSegment{id: id})
 }
 
 // Burn permanently associates id with a site. The first burn wins; burning
@@ -154,11 +299,13 @@ func (l *Ledger) Return(id *identity.Identity) {
 // is the system's core invariant, §4.1).
 func (l *Ledger) Burn(id *identity.Identity, domain string, rank int, category string, when time.Time, code crawler.Code, manual bool) *Registration {
 	email := strings.ToLower(id.Email)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if prev, ok := l.byEmail[email]; ok {
-		if prev.Domain != domain {
-			panic(fmt.Sprintf("core: identity %s already burned to %s, cannot burn to %s", email, prev.Domain, domain))
+	sh := l.shardFor(email)
+	sh.mu.Lock()
+	if prev, ok := sh.regs[email]; ok {
+		prevDomain := prev.Domain
+		sh.mu.Unlock()
+		if prevDomain != domain {
+			panic(fmt.Sprintf("core: identity %s already burned to %s, cannot burn to %s", email, prevDomain, domain))
 		}
 		return prev
 	}
@@ -171,11 +318,35 @@ func (l *Ledger) Burn(id *identity.Identity, domain string, rank int, category s
 		Code:     code,
 		Manual:   manual,
 		Status:   initialStatus(code, manual),
+		version:  1,
 	}
-	l.byEmail[email] = reg
+	sh.regs[email] = reg
+	sh.mu.Unlock()
+
+	l.mu.Lock()
 	l.bySite[domain] = append(l.bySite[domain], reg)
-	delete(l.unused, email)
+	if _, ok := l.unused[email]; ok {
+		delete(l.unused, email)
+	} else if l.rankFn != nil {
+		if r, ok := l.rankFn(email); ok && l.inSpansLocked(r) {
+			if _, dup := l.burned[r]; !dup {
+				l.burned[r] = struct{}{}
+				l.burnedIn++
+			}
+		}
+	}
+	l.mu.Unlock()
 	return reg
+}
+
+// inSpansLocked reports whether rank belongs to the span-provisioned
+// unused universe. Caller holds l.mu.
+func (l *Ledger) inSpansLocked(rank int64) bool {
+	class := identity.ClassOf(rank)
+	idx := identity.IndexOf(rank)
+	spans := l.spans[class]
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].to > idx })
+	return i < len(spans) && spans[i].from <= idx
 }
 
 func initialStatus(code crawler.Code, manual bool) AccountStatus {
@@ -193,9 +364,11 @@ func initialStatus(code crawler.Code, manual bool) AccountStatus {
 // mail lifts it to EmailVerified; any other mail to at least EmailReceived.
 // It returns the registration, or nil if the recipient is not burned.
 func (l *Ledger) NoteEmail(rcpt string, isVerification bool) *Registration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	reg, ok := l.byEmail[strings.ToLower(rcpt)]
+	email := strings.ToLower(rcpt)
+	sh := l.shardFor(email)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	reg, ok := sh.regs[email]
 	if !ok {
 		return nil
 	}
@@ -203,18 +376,24 @@ func (l *Ledger) NoteEmail(rcpt string, isVerification bool) *Registration {
 		return reg
 	}
 	if isVerification {
-		reg.Status = StatusEmailVerified
+		if reg.Status != StatusEmailVerified {
+			reg.Status = StatusEmailVerified
+			reg.version++
+		}
 	} else if reg.Status < StatusEmailReceived {
 		reg.Status = StatusEmailReceived
+		reg.version++
 	}
 	return reg
 }
 
 // Lookup returns the registration bound to email.
 func (l *Ledger) Lookup(email string) (*Registration, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	reg, ok := l.byEmail[strings.ToLower(email)]
+	key := strings.ToLower(email)
+	sh := l.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	reg, ok := sh.regs[key]
 	return reg, ok
 }
 
@@ -229,11 +408,14 @@ func (l *Ledger) SiteRegistrations(domain string) []*Registration {
 
 // Registrations returns every burned registration.
 func (l *Ledger) Registrations() []*Registration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]*Registration, 0, len(l.byEmail))
-	for _, reg := range l.byEmail {
-		out = append(out, reg)
+	var out []*Registration
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for _, reg := range sh.regs {
+			out = append(out, reg)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -253,27 +435,35 @@ func (l *Ledger) Sites() []string {
 func (l *Ledger) PoolSize() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	n := 0
-	for _, q := range l.pool {
-		n += len(q)
-	}
-	return n
+	return int(l.pools[identity.Hard].size() + l.pools[identity.Easy].size())
 }
 
 // UnusedCount returns how many provisioned accounts were never used at any
 // site — the honeypot set guarding the provider's and Tripwire's own
 // integrity (paper §4.4: "more than 100,000 valid email addresses ...
-// monitored for logins, but ... not registered with sites").
+// monitored for logins, but ... not registered with sites"). Span-covered
+// members are counted arithmetically.
 func (l *Ledger) UnusedCount() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.unused)
+	return len(l.unused) + int(l.spanTotal-l.burnedIn)
 }
 
 // IsUnused reports whether email belongs to the unused monitored set.
 func (l *Ledger) IsUnused(email string) bool {
+	key := strings.ToLower(email)
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	_, ok := l.unused[strings.ToLower(email)]
-	return ok
+	if _, ok := l.unused[key]; ok {
+		return true
+	}
+	if l.rankFn == nil {
+		return false
+	}
+	rank, ok := l.rankFn(key)
+	if !ok || !l.inSpansLocked(rank) {
+		return false
+	}
+	_, wasBurned := l.burned[rank]
+	return !wasBurned
 }

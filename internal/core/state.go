@@ -27,15 +27,34 @@ type RegistrationState struct {
 	Manual   bool
 }
 
+// PoolSegmentState is one FIFO pool segment in canonical form: either a
+// contiguous run of not-yet-materialized identity indexes [From, To) or a
+// single explicitly added identity.
+type PoolSegmentState struct {
+	IsItem   bool
+	From, To int64             // index span when !IsItem
+	Item     identity.Identity // when IsItem
+}
+
+// SpanState is a half-open run [From, To) of identity indexes of one
+// class belonging to the monitored-unused universe.
+type SpanState struct{ From, To int64 }
+
 // LedgerState is the Tripwire database in canonical form: FIFO identity
-// pools (order preserved — it is the determinism-bearing part), burned
-// registrations, control accounts, and the unused monitored set.
+// pools (segment order preserved — it is the determinism-bearing part),
+// the span-provisioned unused universe with its burned ranks, burned
+// registrations, control accounts, and the explicitly provisioned unused
+// set. Span-covered pool members appear only as index arithmetic, so the
+// export stays O(deviation) even with a 10M-account universe.
 type LedgerState struct {
-	PoolHard      []identity.Identity // FIFO order
-	PoolEasy      []identity.Identity // FIFO order
+	PoolHard      []PoolSegmentState  // FIFO order
+	PoolEasy      []PoolSegmentState  // FIFO order
+	SpansHard     []SpanState         // unused-universe index spans
+	SpansEasy     []SpanState         // unused-universe index spans
+	Burned        []int64             // sorted burned span ranks
 	Registrations []RegistrationState // sorted by identity email
 	Controls      []identity.Identity // sorted by email
-	Unused        []string            // sorted lowercased emails
+	Unused        []string            // sorted lowercased explicit emails
 }
 
 // canonIdentity copies an identity with its times canonicalized.
@@ -45,33 +64,65 @@ func canonIdentity(id *identity.Identity) identity.Identity {
 	return c
 }
 
-// ExportState captures the ledger. Pool slices keep their FIFO order;
+func exportPool(p *classPool) []PoolSegmentState {
+	var out []PoolSegmentState
+	for i := p.head; i < len(p.segs); i++ {
+		s := &p.segs[i]
+		if s.id != nil {
+			out = append(out, PoolSegmentState{IsItem: true, Item: canonIdentity(s.id)})
+		} else if s.from < s.to {
+			out = append(out, PoolSegmentState{From: s.from, To: s.to})
+		}
+	}
+	return out
+}
+
+func exportSpans(spans []rankSpan) []SpanState {
+	var out []SpanState
+	for _, s := range spans {
+		out = append(out, SpanState{From: s.from, To: s.to})
+	}
+	return out
+}
+
+func exportRegistration(reg *Registration) RegistrationState {
+	return RegistrationState{
+		Identity: canonIdentity(reg.Identity),
+		Domain:   reg.Domain,
+		Rank:     reg.Rank,
+		Category: reg.Category,
+		When:     snapshot.CanonTime(reg.When),
+		Code:     reg.Code,
+		Status:   reg.Status,
+		Manual:   reg.Manual,
+	}
+}
+
+// ExportState captures the ledger. Pool segments keep their FIFO order;
 // map-backed sets are sorted, so equivalent ledgers export identically.
 func (l *Ledger) ExportState() *LedgerState {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	st := &LedgerState{}
-	for _, id := range l.pool[identity.Hard] {
-		st.PoolHard = append(st.PoolHard, canonIdentity(id))
-	}
-	for _, id := range l.pool[identity.Easy] {
-		st.PoolEasy = append(st.PoolEasy, canonIdentity(id))
-	}
-	for _, reg := range l.byEmail {
-		st.Registrations = append(st.Registrations, RegistrationState{
-			Identity: canonIdentity(reg.Identity),
-			Domain:   reg.Domain,
-			Rank:     reg.Rank,
-			Category: reg.Category,
-			When:     snapshot.CanonTime(reg.When),
-			Code:     reg.Code,
-			Status:   reg.Status,
-			Manual:   reg.Manual,
-		})
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for _, reg := range sh.regs {
+			st.Registrations = append(st.Registrations, exportRegistration(reg))
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(st.Registrations, func(i, j int) bool {
 		return strings.ToLower(st.Registrations[i].Identity.Email) < strings.ToLower(st.Registrations[j].Identity.Email)
 	})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st.PoolHard = exportPool(&l.pools[identity.Hard])
+	st.PoolEasy = exportPool(&l.pools[identity.Easy])
+	st.SpansHard = exportSpans(l.spans[identity.Hard])
+	st.SpansEasy = exportSpans(l.spans[identity.Easy])
+	for rank := range l.burned {
+		st.Burned = append(st.Burned, rank)
+	}
+	sort.Slice(st.Burned, func(i, j int) bool { return st.Burned[i] < st.Burned[j] })
 	for _, id := range l.controls {
 		st.Controls = append(st.Controls, canonIdentity(id))
 	}
@@ -143,22 +194,85 @@ func decodeIdentities(d *snapshot.Decoder) []identity.Identity {
 	return out
 }
 
+func encodePoolSegments(e *snapshot.Encoder, segs []PoolSegmentState) {
+	e.Uint(uint64(len(segs)))
+	for i := range segs {
+		s := &segs[i]
+		e.Bool(s.IsItem)
+		if s.IsItem {
+			appendIdentity(e, &s.Item)
+		} else {
+			e.Int(s.From)
+			e.Int(s.To)
+		}
+	}
+}
+
+func decodePoolSegments(d *snapshot.Decoder) []PoolSegmentState {
+	n := d.Count(3)
+	var out []PoolSegmentState
+	for i := 0; i < n; i++ {
+		var s PoolSegmentState
+		s.IsItem = d.Bool()
+		if s.IsItem {
+			s.Item = decodeIdentity(d)
+		} else {
+			s.From = d.Int()
+			s.To = d.Int()
+		}
+		if d.Err() != nil {
+			return out
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func encodeSpans(e *snapshot.Encoder, spans []SpanState) {
+	e.Uint(uint64(len(spans)))
+	for _, s := range spans {
+		e.Int(s.From)
+		e.Int(s.To)
+	}
+}
+
+func decodeSpans(d *snapshot.Decoder) []SpanState {
+	n := d.Count(2)
+	var out []SpanState
+	for i := 0; i < n; i++ {
+		out = append(out, SpanState{From: d.Int(), To: d.Int()})
+	}
+	return out
+}
+
+// appendRegistrationState encodes one registration body — shared by the
+// monolithic section encode and the per-registration cache blobs, so the
+// two paths are byte-identical by construction.
+func appendRegistrationState(e *snapshot.Encoder, r *RegistrationState) {
+	appendIdentity(e, &r.Identity)
+	e.String(r.Domain)
+	e.Int(int64(r.Rank))
+	e.String(r.Category)
+	e.Time(r.When)
+	e.Uint(uint64(r.Code))
+	e.Uint(uint64(r.Status))
+	e.Bool(r.Manual)
+}
+
 // EncodeLedgerState serializes the export into snapshot-section bytes.
 func EncodeLedgerState(st *LedgerState) []byte {
 	e := snapshot.NewEncoder()
-	encodeIdentities(e, st.PoolHard)
-	encodeIdentities(e, st.PoolEasy)
+	encodePoolSegments(e, st.PoolHard)
+	encodePoolSegments(e, st.PoolEasy)
+	encodeSpans(e, st.SpansHard)
+	encodeSpans(e, st.SpansEasy)
+	e.Uint(uint64(len(st.Burned)))
+	for _, rank := range st.Burned {
+		e.Int(rank)
+	}
 	e.Uint(uint64(len(st.Registrations)))
 	for i := range st.Registrations {
-		r := &st.Registrations[i]
-		appendIdentity(e, &r.Identity)
-		e.String(r.Domain)
-		e.Int(int64(r.Rank))
-		e.String(r.Category)
-		e.Time(r.When)
-		e.Uint(uint64(r.Code))
-		e.Uint(uint64(r.Status))
-		e.Bool(r.Manual)
+		appendRegistrationState(e, &st.Registrations[i])
 	}
 	encodeIdentities(e, st.Controls)
 	e.Uint(uint64(len(st.Unused)))
@@ -172,8 +286,14 @@ func EncodeLedgerState(st *LedgerState) []byte {
 func DecodeLedgerState(data []byte) (*LedgerState, error) {
 	d := snapshot.NewDecoder(data)
 	st := &LedgerState{}
-	st.PoolHard = decodeIdentities(d)
-	st.PoolEasy = decodeIdentities(d)
+	st.PoolHard = decodePoolSegments(d)
+	st.PoolEasy = decodePoolSegments(d)
+	st.SpansHard = decodeSpans(d)
+	st.SpansEasy = decodeSpans(d)
+	nb := d.Count(1)
+	for i := 0; i < nb; i++ {
+		st.Burned = append(st.Burned, d.Int())
+	}
 	n := d.Count(identityMinBytes + 7)
 	for i := 0; i < n; i++ {
 		var r RegistrationState
@@ -202,6 +322,83 @@ func DecodeLedgerState(data []byte) (*LedgerState, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes in ledger state", snapshot.ErrCorrupt, d.Remaining())
 	}
 	return st, nil
+}
+
+// EncodeStateCached produces the ledger section bytes through a
+// SectionCache: per-registration blobs whose versions did not move since
+// the last checkpoint are stitched back verbatim. Everything else (pool
+// segments, spans, burned ranks, controls, explicit unused) is tiny under
+// the virtual-pool representation and re-encodes fresh. A nil cache falls
+// back to the canonical full encode; the output is byte-identical either
+// way.
+func (l *Ledger) EncodeStateCached(c *snapshot.SectionCache) []byte {
+	if c == nil {
+		return EncodeLedgerState(l.ExportState())
+	}
+	type ref struct {
+		email string
+		reg   *Registration
+		ver   uint64
+	}
+	var refs []ref
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for email, reg := range sh.regs {
+			refs = append(refs, ref{email: email, reg: reg, ver: reg.version})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].email < refs[j].email })
+
+	st := &LedgerState{}
+	l.mu.Lock()
+	st.PoolHard = exportPool(&l.pools[identity.Hard])
+	st.PoolEasy = exportPool(&l.pools[identity.Easy])
+	st.SpansHard = exportSpans(l.spans[identity.Hard])
+	st.SpansEasy = exportSpans(l.spans[identity.Easy])
+	for rank := range l.burned {
+		st.Burned = append(st.Burned, rank)
+	}
+	for _, id := range l.controls {
+		st.Controls = append(st.Controls, canonIdentity(id))
+	}
+	for email := range l.unused {
+		st.Unused = append(st.Unused, email)
+	}
+	l.mu.Unlock()
+	sort.Slice(st.Burned, func(i, j int) bool { return st.Burned[i] < st.Burned[j] })
+	sort.Slice(st.Controls, func(i, j int) bool { return st.Controls[i].Email < st.Controls[j].Email })
+	sort.Strings(st.Unused)
+
+	e := snapshot.NewEncoder()
+	encodePoolSegments(e, st.PoolHard)
+	encodePoolSegments(e, st.PoolEasy)
+	encodeSpans(e, st.SpansHard)
+	encodeSpans(e, st.SpansEasy)
+	e.Uint(uint64(len(st.Burned)))
+	for _, rank := range st.Burned {
+		e.Int(rank)
+	}
+	e.Uint(uint64(len(refs)))
+	for _, r := range refs {
+		r := r
+		e.Raw(c.GetOrBuild("lr/"+r.email, r.ver, func() []byte {
+			sh := l.shardFor(r.email)
+			sh.mu.Lock()
+			rs := exportRegistration(r.reg)
+			sh.mu.Unlock()
+			blob := snapshot.NewEncoder()
+			appendRegistrationState(blob, &rs)
+			return blob.Bytes()
+		}))
+	}
+	encodeIdentities(e, st.Controls)
+	e.Uint(uint64(len(st.Unused)))
+	for _, email := range st.Unused {
+		e.String(email)
+	}
+	return e.Bytes()
 }
 
 // ControlSeen is one control account's observed-login count.

@@ -53,13 +53,33 @@ func randIdentity(rng *rand.Rand, i int) identity.Identity {
 func randLedgerState(rng *rand.Rand) *LedgerState {
 	st := &LedgerState{}
 	id := 0
-	for i := 0; i < rng.Intn(4); i++ {
-		st.PoolHard = append(st.PoolHard, randIdentity(rng, id))
-		id++
+	randSegs := func() []PoolSegmentState {
+		var segs []PoolSegmentState
+		for i := 0; i < rng.Intn(4); i++ {
+			if rng.Intn(2) == 0 {
+				segs = append(segs, PoolSegmentState{IsItem: true, Item: randIdentity(rng, id)})
+				id++
+			} else {
+				from := rng.Int63n(1 << 30)
+				segs = append(segs, PoolSegmentState{From: from, To: from + 1 + rng.Int63n(1000)})
+			}
+		}
+		return segs
 	}
-	for i := 0; i < rng.Intn(4); i++ {
-		st.PoolEasy = append(st.PoolEasy, randIdentity(rng, id))
-		id++
+	st.PoolHard = randSegs()
+	st.PoolEasy = randSegs()
+	randSpans := func() []SpanState {
+		var spans []SpanState
+		for i := 0; i < rng.Intn(3); i++ {
+			from := rng.Int63n(1 << 30)
+			spans = append(spans, SpanState{From: from, To: from + 1 + rng.Int63n(1 << 20)})
+		}
+		return spans
+	}
+	st.SpansHard = randSpans()
+	st.SpansEasy = randSpans()
+	for i := 0; i < rng.Intn(5); i++ {
+		st.Burned = append(st.Burned, rng.Int63n(1<<40))
 	}
 	for i := 0; i < rng.Intn(4); i++ {
 		st.Registrations = append(st.Registrations, RegistrationState{

@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"strings"
 	"testing"
 
 	"tripwire/internal/browser"
@@ -117,7 +118,10 @@ func TestMultiStageSupportCompletesStepTwo(t *testing.T) {
 		t.Fatalf("multi-stage crawler: %v (%s)", res2.Code, res2.Detail)
 	}
 	st := u.Store(site.Domain)
-	if !st.CheckPassword(id.Username, id.Password) {
+	// Sites may key the account on the submitted username or derive it from
+	// the email local-part (which can exceed the 14-char username cap), so
+	// accept either — the same fallback production lookups use.
+	if !st.CheckPassword(id.Username, id.Password) && !st.CheckPassword(strings.ToLower(id.LocalPart), id.Password) {
 		t.Fatal("step-two completion did not store the credential")
 	}
 }

@@ -76,23 +76,23 @@ func (p *Provider) Deactivate(email string) bool { return p.setState(email, Deac
 func (p *Provider) ForceReset(email string) bool { return p.setState(email, ResetForced) }
 
 func (p *Provider) setState(email string, st State) bool {
-	a, sh := p.lookup(email)
-	defer sh.mu.Unlock()
-	if a == nil {
-		return false
-	}
-	if p.Metrics != nil && a.state != st {
-		switch st {
-		case Frozen:
-			p.Metrics.frozen.Inc()
-		case Deactivated:
-			p.Metrics.deactivated.Inc()
-		case ResetForced:
-			p.Metrics.forcedResets.Inc()
+	return p.mutate(email, func(sh *accountShard, slot int32) bool {
+		if State(sh.states[slot]) == st {
+			return false
 		}
-	}
-	a.state = st
-	return true
+		if p.Metrics != nil {
+			switch st {
+			case Frozen:
+				p.Metrics.frozen.Inc()
+			case Deactivated:
+				p.Metrics.deactivated.Inc()
+			case ResetForced:
+				p.Metrics.forcedResets.Inc()
+			}
+		}
+		sh.states[slot] = uint8(st)
+		return true
+	})
 }
 
 // Attacker-side account manipulation (observed in paper §6.4.4: "account g2
@@ -101,42 +101,44 @@ func (p *Provider) setState(email string, st State) bool {
 
 // ChangePassword sets a new password on the account.
 func (p *Provider) ChangePassword(email, newPassword string) bool {
-	a, sh := p.lookup(email)
-	defer sh.mu.Unlock()
-	if a == nil {
-		return false
-	}
-	a.password = newPassword
-	return true
+	return p.mutate(email, func(sh *accountShard, slot int32) bool {
+		if sh.passwords[slot] == newPassword {
+			return false
+		}
+		sh.passwords[slot] = newPassword
+		return true
+	})
 }
 
 // RemoveForwarding clears the account's forwarding address.
 func (p *Provider) RemoveForwarding(email string) bool {
-	a, sh := p.lookup(email)
-	defer sh.mu.Unlock()
-	if a == nil {
-		return false
-	}
-	a.forwardTo = ""
-	return true
+	return p.mutate(email, func(sh *accountShard, slot int32) bool {
+		if sh.forwards[slot] == "" {
+			return false
+		}
+		sh.forwards[slot] = ""
+		return true
+	})
 }
 
 // ReportSpam records that an account emitted outbound spam; after a couple
 // of reports the provider deactivates it, matching the fate of accounts b1,
 // g2, h1, h2, i2, k1 and m2 in the paper.
 func (p *Provider) ReportSpam(email string, messages int) State {
-	a, sh := p.lookup(email)
-	defer sh.mu.Unlock()
-	if a == nil {
-		return Active
-	}
-	if messages > 0 && a.state == Active {
-		a.state = Deactivated
-		if p.Metrics != nil {
-			p.Metrics.deactivated.Inc()
+	st := Active
+	p.mutate(email, func(sh *accountShard, slot int32) bool {
+		st = State(sh.states[slot])
+		if messages > 0 && st == Active {
+			st = Deactivated
+			sh.states[slot] = uint8(Deactivated)
+			if p.Metrics != nil {
+				p.Metrics.deactivated.Inc()
+			}
+			return true
 		}
-	}
-	return a.state
+		return false
+	})
+	return st
 }
 
 // FrozenOrDeactivated reports whether the provider has locked the account

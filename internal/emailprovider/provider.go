@@ -4,6 +4,15 @@
 // records every successful login with timestamp, remote IP, and method,
 // defends against brute-forcing, and freezes or deactivates abused accounts
 // — each behaviour the paper reports observing.
+//
+// The account table is built to hold a 10M-account honey population in a
+// bounded heap: storage is struct-of-arrays per shard (flat columns instead
+// of per-account heap objects, times packed as int64 nanos, the domain
+// interned once), and accounts covered by an AccountDeriver exist only
+// implicitly — a pristine account is a pure function of its address, so it
+// is materialized into a shard row the first time something actually
+// mutates it (a delivery, a failed login, a state change). Reads and
+// correct-password logins on pristine accounts never allocate a row.
 package emailprovider
 
 import (
@@ -12,6 +21,7 @@ import (
 	"net/netip"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tripwire/internal/imap"
@@ -71,16 +81,23 @@ var (
 	ErrNamingPolicy = errors.New("emailprovider: address violates naming policy")
 )
 
-type account struct {
-	email        string
-	name         string
-	password     string
-	state        State
-	forwardTo    string
-	inbox        []imap.Message
-	failedSince  time.Time
-	failedCount  int
-	throttledTil time.Time
+// DerivedAccount is the pristine form of an implicitly provisioned
+// account: what its row would hold if it were materialized untouched.
+type DerivedAccount struct {
+	Name      string
+	Password  string
+	ForwardTo string
+}
+
+// AccountDeriver makes a honey-account population implicit: DeriveAccount
+// reports whether an address is covered and, if so, its pristine account,
+// as a pure function of the address. DerivedCount is how many addresses
+// are covered in total. Implementations must be safe for concurrent use
+// and deterministic — two calls for the same address must agree, and
+// coverage may only grow.
+type AccountDeriver interface {
+	DeriveAccount(email string) (DerivedAccount, bool)
+	DerivedCount() int64
 }
 
 // accountShards fixes the provider's lock striping width. Per-account
@@ -89,10 +106,41 @@ type account struct {
 // keep unrelated accounts off each other's locks.
 const accountShards = 32
 
-// accountShard guards one stripe of the account table.
+// accountShard guards one stripe of the account table: a local-part index
+// into parallel flat columns. Rows are never deleted, so a slot is a
+// stable handle. versions counts mutations per row — the incremental
+// checkpoint's dirty tracking.
 type accountShard struct {
-	mu       sync.Mutex
-	accounts map[string]*account
+	mu    sync.Mutex
+	index map[string]int32 // local-part → slot
+
+	locals       []string
+	names        []string
+	passwords    []string
+	forwards     []string
+	states       []uint8
+	failedSince  []int64 // UnixNano; 0 = never
+	throttledTil []int64 // UnixNano; 0 = never
+	failedCount  []int32
+	inboxes      [][]imap.Message
+	versions     []uint32
+}
+
+// insertLocked appends a row and returns its slot. Caller holds mu.
+func (sh *accountShard) insertLocked(local, name, password, forwardTo string) int32 {
+	slot := int32(len(sh.locals))
+	sh.index[local] = slot
+	sh.locals = append(sh.locals, local)
+	sh.names = append(sh.names, name)
+	sh.passwords = append(sh.passwords, password)
+	sh.forwards = append(sh.forwards, forwardTo)
+	sh.states = append(sh.states, uint8(Active))
+	sh.failedSince = append(sh.failedSince, 0)
+	sh.throttledTil = append(sh.throttledTil, 0)
+	sh.failedCount = append(sh.failedCount, 0)
+	sh.inboxes = append(sh.inboxes, nil)
+	sh.versions = append(sh.versions, 1)
+	return slot
 }
 
 // Provider is the simulated email service.
@@ -103,6 +151,11 @@ type Provider struct {
 	// time-indexed successful-login record dumps read from.
 	shards [accountShards]accountShard
 	log    loginRing
+	// deriver, when set, makes covered accounts implicit (see
+	// AccountDeriver); explicit counts accounts created outside its
+	// coverage, so NumAccounts is a lock-free sum.
+	deriver  AccountDeriver
+	explicit atomic.Int64
 	// Cold-tier spill configuration and bookkeeping (see spill.go). Set
 	// via SpillLoginLog before the first login; zero values disable the
 	// tier and keep the whole log resident.
@@ -145,16 +198,29 @@ func New(domain string) *Provider {
 		Retention:        365 * 24 * time.Hour,
 	}
 	for i := range p.shards {
-		p.shards[i].accounts = make(map[string]*account)
+		p.shards[i].index = make(map[string]int32)
 	}
 	return p
 }
 
-// shardFor maps a lowercased address to its account shard (FNV-1a).
-func (p *Provider) shardFor(email string) *accountShard {
+// SetDeriver installs the implicit-account source. Must be called before
+// the provider sees traffic; coverage growing later (the deriver extending
+// its allocated range) is fine.
+func (p *Provider) SetDeriver(d AccountDeriver) { p.deriver = d }
+
+// shardFor maps a lowercased local-part to its account shard (FNV-1a over
+// the full address, so the stripe layout is stable against the storage
+// becoming local-part-keyed).
+func (p *Provider) shardFor(local string) *accountShard {
 	h := uint64(0xcbf29ce484222325)
-	for i := 0; i < len(email); i++ {
-		h ^= uint64(email[i])
+	for i := 0; i < len(local); i++ {
+		h ^= uint64(local[i])
+		h *= 0x100000001b3
+	}
+	h ^= '@'
+	h *= 0x100000001b3
+	for i := 0; i < len(p.domain); i++ {
+		h ^= uint64(p.domain[i])
 		h *= 0x100000001b3
 	}
 	return &p.shards[h&(accountShards-1)]
@@ -163,14 +229,35 @@ func (p *Provider) shardFor(email string) *accountShard {
 // Domain returns the provider's mail domain.
 func (p *Provider) Domain() string { return p.domain }
 
+// localOf splits a lowercased address under the provider's domain into its
+// local part; ok is false for foreign addresses.
+func (p *Provider) localOf(email string) (string, bool) {
+	email = strings.ToLower(email)
+	local, dom, found := strings.Cut(email, "@")
+	if !found || dom != p.domain {
+		return "", false
+	}
+	return local, true
+}
+
+// derive consults the deriver for the pristine account of an address.
+func (p *Provider) derive(local string) (DerivedAccount, bool) {
+	if p.deriver == nil {
+		return DerivedAccount{}, false
+	}
+	return p.deriver.DeriveAccount(local + "@" + p.domain)
+}
+
 // CreateAccount provisions an account, applying the collision and
 // naming-policy checks the paper describes: "the corresponding accounts
 // unless they collided with a pre-existing account or violated the
-// provider's naming policies."
+// provider's naming policies." Creating an address the deriver covers
+// materializes it with the supplied name and password (and no forwarding)
+// — exactly the state an eager provisioning pass would have left.
 func (p *Provider) CreateAccount(email, fullName, password string) error {
 	email = strings.ToLower(email)
-	local, dom, ok := strings.Cut(email, "@")
-	if !ok || dom != p.domain {
+	local, ok := p.localOf(email)
+	if !ok {
 		return fmt.Errorf("emailprovider: %q is not an address under %s", email, p.domain)
 	}
 	if len(local) < 3 || len(local) > 64 || p.reserved[local] {
@@ -182,94 +269,163 @@ func (p *Provider) CreateAccount(email, fullName, password string) error {
 			return ErrNamingPolicy
 		}
 	}
-	sh := p.shardFor(email)
+	_, covered := p.derive(local)
+	sh := p.shardFor(local)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, dup := sh.accounts[email]; dup {
+	if _, dup := sh.index[local]; dup {
 		return ErrCollision
 	}
-	sh.accounts[email] = &account{email: email, name: fullName, password: password, state: Active}
+	sh.insertLocked(local, fullName, password, "")
+	if !covered {
+		p.explicit.Add(1)
+	}
 	return nil
 }
 
-// lookup returns the account for email (case-insensitive) with its shard
-// locked; the caller must unlock sh.mu. The account pointer is nil when the
-// address has no account.
-func (p *Provider) lookup(email string) (*account, *accountShard) {
-	email = strings.ToLower(email)
-	sh := p.shardFor(email)
-	sh.mu.Lock()
-	return sh.accounts[email], sh
-}
-
-// Exists reports whether the address has an account.
-func (p *Provider) Exists(email string) bool {
-	a, sh := p.lookup(email)
-	sh.mu.Unlock()
-	return a != nil
-}
-
-// NumAccounts returns the number of provisioned accounts.
-func (p *Provider) NumAccounts() int {
-	n := 0
-	for i := range p.shards {
-		sh := &p.shards[i]
+// lookup returns the materialized slot for email with its shard locked;
+// the caller must unlock sh.mu. slot is -1 when the address has no row
+// (it may still exist implicitly — callers consult derive).
+func (p *Provider) lookup(email string) (local string, slot int32, sh *accountShard) {
+	local, ok := p.localOf(email)
+	if !ok {
+		sh = &p.shards[0]
 		sh.mu.Lock()
-		n += len(sh.accounts)
-		sh.mu.Unlock()
+		return "", -1, sh
 	}
-	return n
+	sh = p.shardFor(local)
+	sh.mu.Lock()
+	if s, found := sh.index[local]; found {
+		return local, s, sh
+	}
+	return local, -1, sh
+}
+
+// materializeLocked turns an implicit pristine account into a shard row.
+// Caller holds sh.mu and has verified the address is covered and absent.
+func (sh *accountShard) materializeLocked(local string, d DerivedAccount) int32 {
+	return sh.insertLocked(local, d.Name, d.Password, d.ForwardTo)
+}
+
+// Exists reports whether the address has an account, materialized or
+// implicit.
+func (p *Provider) Exists(email string) bool {
+	local, slot, sh := p.lookup(email)
+	sh.mu.Unlock()
+	if slot >= 0 {
+		return true
+	}
+	if local == "" {
+		return false
+	}
+	_, covered := p.derive(local)
+	return covered
+}
+
+// NumAccounts returns the number of provisioned accounts — every address
+// the deriver covers plus every explicitly created one. Lock-free: the
+// obs gauge samples it on every scrape.
+func (p *Provider) NumAccounts() int {
+	n := p.explicit.Load()
+	if p.deriver != nil {
+		n += p.deriver.DerivedCount()
+	}
+	return int(n)
+}
+
+// mutate runs fn against the account's row, materializing a covered
+// implicit account first, and bumps the row version when fn reports a
+// change. It returns false when the address has no account at all.
+func (p *Provider) mutate(email string, fn func(sh *accountShard, slot int32) (changed bool)) bool {
+	local, slot, sh := p.lookup(email)
+	defer sh.mu.Unlock()
+	if slot < 0 {
+		if local == "" {
+			return false
+		}
+		d, covered := p.derive(local)
+		if !covered {
+			return false
+		}
+		slot = sh.materializeLocked(local, d)
+	}
+	if fn(sh, slot) {
+		sh.versions[slot]++
+	}
+	return true
 }
 
 // SetForwarding configures mail forwarding for email to target. Forwarding
 // addresses are visible in the web interface, so Tripwire points them at
 // innocuous domains it controls (paper §4.2).
 func (p *Provider) SetForwarding(email, target string) error {
-	a, sh := p.lookup(email)
-	defer sh.mu.Unlock()
-	if a == nil {
+	ok := p.mutate(email, func(sh *accountShard, slot int32) bool {
+		if sh.forwards[slot] == target {
+			return false
+		}
+		sh.forwards[slot] = target
+		return true
+	})
+	if !ok {
 		return fmt.Errorf("emailprovider: no account %q", email)
 	}
-	a.forwardTo = target
 	return nil
 }
 
-// ForwardingOf returns the forwarding target for email, if any.
+// ForwardingOf returns the forwarding target for email, if any. Implicit
+// accounts report their derived target without materializing.
 func (p *Provider) ForwardingOf(email string) (string, bool) {
-	a, sh := p.lookup(email)
-	defer sh.mu.Unlock()
-	if a == nil || a.forwardTo == "" {
+	local, slot, sh := p.lookup(email)
+	if slot >= 0 {
+		fwd := sh.forwards[slot]
+		sh.mu.Unlock()
+		return fwd, fwd != ""
+	}
+	sh.mu.Unlock()
+	if local == "" {
 		return "", false
 	}
-	return a.forwardTo, true
+	if d, covered := p.derive(local); covered && d.ForwardTo != "" {
+		return d.ForwardTo, true
+	}
+	return "", false
 }
 
 // State returns the account's lifecycle state.
 func (p *Provider) State(email string) (State, bool) {
-	a, sh := p.lookup(email)
-	defer sh.mu.Unlock()
-	if a == nil {
+	local, slot, sh := p.lookup(email)
+	if slot >= 0 {
+		st := State(sh.states[slot])
+		sh.mu.Unlock()
+		return st, true
+	}
+	sh.mu.Unlock()
+	if local == "" {
 		return Active, false
 	}
-	return a.state, true
+	if _, covered := p.derive(local); covered {
+		return Active, true
+	}
+	return Active, false
 }
 
 // Deliver accepts a message addressed to a provider account: it is stored
 // in the account's inbox and, when forwarding is configured, relayed to the
 // Tripwire mail server. Implements webgen.Mailer.
 func (p *Provider) Deliver(from, to, subject, body string) error {
-	a, sh := p.lookup(to)
-	if a == nil {
-		sh.mu.Unlock()
+	var fwd string
+	var deactivated bool
+	ok := p.mutate(to, func(sh *accountShard, slot int32) bool {
+		sh.inboxes[slot] = append(sh.inboxes[slot], imap.Message{From: from, Subject: subject, Body: body})
+		fwd = sh.forwards[slot]
+		deactivated = State(sh.states[slot]) == Deactivated
+		return true
+	})
+	if !ok {
 		return fmt.Errorf("emailprovider: no mailbox %q", to)
 	}
-	a.inbox = append(a.inbox, imap.Message{From: from, Subject: subject, Body: body})
-	fwd := a.forwardTo
-	forward := p.Forward
-	deactivated := a.state == Deactivated
-	sh.mu.Unlock()
-	if fwd != "" && forward != nil && !deactivated {
-		return forward(from, fwd, subject, body)
+	if fwd != "" && p.Forward != nil && !deactivated {
+		return p.Forward(from, fwd, subject, body)
 	}
 	return nil
 }
@@ -282,69 +438,98 @@ func (p *Provider) Send(from, to, subject, body string) error {
 
 // Inbox returns a copy of the account's stored messages.
 func (p *Provider) Inbox(email string) []imap.Message {
-	a, sh := p.lookup(email)
+	_, slot, sh := p.lookup(email)
 	defer sh.mu.Unlock()
-	if a == nil {
+	if slot < 0 {
 		return nil
 	}
-	out := make([]imap.Message, len(a.inbox))
-	copy(out, a.inbox)
+	inbox := sh.inboxes[slot]
+	if len(inbox) == 0 {
+		return nil
+	}
+	out := make([]imap.Message, len(inbox))
+	copy(out, inbox)
 	return out
 }
 
 // login is the shared auth path; method labels the access channel.
-func (p *Provider) login(email, password string, remote netip.Addr, method string) (*account, error) {
+func (p *Provider) login(email, password string, remote netip.Addr, method string) (string, error) {
 	now := p.Now()
-	a, sh := p.lookup(email)
-	defer sh.mu.Unlock()
-	if a == nil {
-		if p.Metrics != nil {
-			p.Metrics.authFailures.Inc()
+	local, slot, sh := p.lookup(email)
+	if slot < 0 {
+		d, covered := DerivedAccount{}, false
+		if local != "" {
+			d, covered = p.derive(local)
 		}
-		return nil, imap.ErrAuthFailed
+		if !covered {
+			sh.mu.Unlock()
+			if p.Metrics != nil {
+				p.Metrics.authFailures.Inc()
+			}
+			return "", imap.ErrAuthFailed
+		}
+		if password == d.Password {
+			// A correct-password login on a pristine account mutates
+			// nothing (its failure counters are already zero), so it
+			// succeeds without materializing a row.
+			sh.mu.Unlock()
+			p.log.append(LoginEvent{Account: local + "@" + p.domain, Time: now, IP: remote, Method: method})
+			p.maybeSpill()
+			p.Metrics.loginOK(method)
+			return local + "@" + p.domain, nil
+		}
+		// Wrong password: the brute-force counters are about to move, so
+		// the account becomes real.
+		slot = sh.materializeLocked(local, d)
 	}
-	if now.Before(a.throttledTil) {
+	defer sh.mu.Unlock()
+	if t := sh.throttledTil[slot]; t != 0 && now.Before(time.Unix(0, t)) {
 		if p.Metrics != nil {
 			p.Metrics.throttled.Inc()
 		}
-		return nil, imap.ErrThrottled
+		return "", imap.ErrThrottled
 	}
-	if a.state == Frozen || a.state == Deactivated {
+	st := State(sh.states[slot])
+	if st == Frozen || st == Deactivated {
 		if p.Metrics != nil {
 			p.Metrics.lockedOut.Inc()
 		}
-		return nil, imap.ErrAccountFrozen
+		return "", imap.ErrAccountFrozen
 	}
-	if a.state == ResetForced || a.password != password {
+	if st == ResetForced || sh.passwords[slot] != password {
 		// Track failures for the brute-force defence. Failed attempts are
 		// never disclosed in dumps.
-		if now.Sub(a.failedSince) > p.BruteForceWindow {
-			a.failedSince = now
-			a.failedCount = 0
+		if fs := sh.failedSince[slot]; fs == 0 || now.Sub(time.Unix(0, fs)) > p.BruteForceWindow {
+			sh.failedSince[slot] = now.UnixNano()
+			sh.failedCount[slot] = 0
 		}
-		a.failedCount++
-		if a.failedCount > p.BruteForceMax {
-			a.throttledTil = now.Add(p.ThrottlePeriod)
+		sh.failedCount[slot]++
+		if int(sh.failedCount[slot]) > p.BruteForceMax {
+			sh.throttledTil[slot] = now.Add(p.ThrottlePeriod).UnixNano()
 		}
+		sh.versions[slot]++
 		if p.Metrics != nil {
 			p.Metrics.authFailures.Inc()
 		}
-		return nil, imap.ErrAuthFailed
+		return "", imap.ErrAuthFailed
 	}
-	a.failedCount = 0
-	p.log.append(LoginEvent{Account: a.email, Time: now, IP: remote, Method: method})
+	if sh.failedCount[slot] != 0 {
+		sh.failedCount[slot] = 0
+		sh.versions[slot]++
+	}
+	p.log.append(LoginEvent{Account: local + "@" + p.domain, Time: now, IP: remote, Method: method})
 	p.maybeSpill()
 	p.Metrics.loginOK(method)
-	return a, nil
+	return local + "@" + p.domain, nil
 }
 
 // Login implements imap.Backend.
 func (p *Provider) Login(user, pass string, remote netip.Addr) (imap.Session, error) {
-	a, err := p.login(user, pass, remote, "IMAP")
+	email, err := p.login(user, pass, remote, "IMAP")
 	if err != nil {
 		return nil, err
 	}
-	return &session{p: p, a: a}, nil
+	return &session{p: p, email: email}, nil
 }
 
 // methodBackend is an imap.Backend view of the provider that records a
@@ -356,11 +541,11 @@ type methodBackend struct {
 
 // Login implements imap.Backend with the wrapped method label.
 func (b methodBackend) Login(user, pass string, remote netip.Addr) (imap.Session, error) {
-	a, err := b.p.login(user, pass, remote, b.method)
+	email, err := b.p.login(user, pass, remote, b.method)
 	if err != nil {
 		return nil, err
 	}
-	return &session{p: b.p, a: a}, nil
+	return &session{p: b.p, email: email}, nil
 }
 
 // POPBackend returns a mailbox backend whose successful logins are logged
@@ -380,10 +565,12 @@ func (p *Provider) POPLogin(email, password string, remote netip.Addr) error {
 	return err
 }
 
-// session implements imap.Session over a provider account.
+// session implements imap.Session over a provider account. It holds the
+// address, not a row: a pristine account has no row yet, and re-resolving
+// per operation keeps the session valid if one materializes mid-session.
 type session struct {
 	p        *Provider
-	a        *account
+	email    string
 	selected bool
 }
 
@@ -392,20 +579,21 @@ func (s *session) Select(mailbox string) (int, error) {
 		return 0, fmt.Errorf("emailprovider: no mailbox %q", mailbox)
 	}
 	s.selected = true
-	sh := s.p.shardFor(s.a.email)
-	sh.mu.Lock()
+	_, slot, sh := s.p.lookup(s.email)
 	defer sh.mu.Unlock()
-	return len(s.a.inbox), nil
+	if slot < 0 {
+		return 0, nil // pristine: empty inbox
+	}
+	return len(sh.inboxes[slot]), nil
 }
 
 func (s *session) Fetch(seq int) (imap.Message, error) {
-	sh := s.p.shardFor(s.a.email)
-	sh.mu.Lock()
+	_, slot, sh := s.p.lookup(s.email)
 	defer sh.mu.Unlock()
-	if !s.selected || seq < 1 || seq > len(s.a.inbox) {
+	if !s.selected || slot < 0 || seq < 1 || seq > len(sh.inboxes[slot]) {
 		return imap.Message{}, fmt.Errorf("emailprovider: no message %d", seq)
 	}
-	return s.a.inbox[seq-1], nil
+	return sh.inboxes[slot][seq-1], nil
 }
 
 func (s *session) Logout() error { return nil }

@@ -1,0 +1,67 @@
+package identity
+
+import "tripwire/internal/xrand"
+
+// feistel is a seed-keyed format-preserving permutation over [0, size),
+// built as a balanced Feistel network over the smallest even-bit power of
+// two ≥ size with cycle walking to stay inside the domain. It gives every
+// identity rank a unique local-part (and phone) index without keeping any
+// per-identity state: the permutation *is* the uniqueness set, and its
+// inverse is the email→rank index — O(1) compute, zero bytes resident.
+type feistel struct {
+	size     uint64
+	halfBits uint
+	halfMask uint64
+	keys     [4]uint64
+}
+
+func newFeistel(size uint64, seed, stream int64) feistel {
+	bits := uint(2)
+	for uint64(1)<<bits < size {
+		bits += 2 // balanced halves need an even width
+	}
+	f := feistel{size: size, halfBits: bits / 2, halfMask: 1<<(bits/2) - 1}
+	for r := range f.keys {
+		f.keys[r] = uint64(xrand.Mix(seed, int64(r), stream))
+	}
+	return f
+}
+
+// mix64 is the splitmix64 finalizer, the same avalanche xrand builds on.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (f feistel) encryptOnce(v uint64) uint64 {
+	l, r := v>>f.halfBits, v&f.halfMask
+	for _, k := range f.keys {
+		l, r = r, l^(mix64(r+k)&f.halfMask)
+	}
+	return l<<f.halfBits | r
+}
+
+func (f feistel) decryptOnce(v uint64) uint64 {
+	l, r := v>>f.halfBits, v&f.halfMask
+	for i := len(f.keys) - 1; i >= 0; i-- {
+		l, r = r^(mix64(l+f.keys[i])&f.halfMask), l
+	}
+	return l<<f.halfBits | r
+}
+
+// apply maps v ∈ [0, size) to its permuted index, walking the cycle until
+// the image lands back inside the domain (expected < 1.2 steps for our
+// sizes).
+func (f feistel) apply(v uint64) uint64 {
+	for v = f.encryptOnce(v); v >= f.size; v = f.encryptOnce(v) {
+	}
+	return v
+}
+
+// invert is the exact inverse walk of apply.
+func (f feistel) invert(v uint64) uint64 {
+	for v = f.decryptOnce(v); v >= f.size; v = f.decryptOnce(v) {
+	}
+	return v
+}

@@ -8,13 +8,22 @@
 // four-digit number" scheme (e.g. ArguableGem8317); the first 14 characters
 // serve as the username at sites that require one distinct from the email
 // address.
+//
+// Identities are pure functions of (generator seed, rank): At(rank) derives
+// the complete persona on demand, a seed-keyed Feistel permutation makes
+// local-parts and phone numbers collision-free by construction, and RankOf
+// inverts an email back to its rank. Nothing is retained per identity, so a
+// 10M-account population costs two cursors, not a resident map.
 package identity
 
 import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"tripwire/internal/xrand"
 )
 
 // PasswordClass distinguishes the two password strengths used to classify
@@ -46,7 +55,7 @@ func (c PasswordClass) String() string {
 
 // Identity is a complete fictitious persona.
 type Identity struct {
-	ID        int
+	ID        int // the identity's rank: even = Hard, odd = Easy
 	FirstName string
 	LastName  string
 	Username  string // first 14 chars of the email local-part
@@ -67,59 +76,79 @@ type Identity struct {
 // FullName returns "First Last".
 func (id *Identity) FullName() string { return id.FirstName + " " + id.LastName }
 
-// Generator produces identities deterministically from a seeded source.
-// It guarantees that no two generated identities share a local-part, phone
-// number, or password within one Generator's lifetime.
+// Rank-space layout. A rank's low bit is its password class (even = Hard,
+// odd = Easy), so both class cursors draw from one interleaved space and
+// RankFor/ClassOf are trivial bit operations.
+//
+// localSpace is the full adjective×noun×4-digit local-part universe; with
+// the stock wordlists that is 76·75·10000 = 57M distinct local-parts, so
+// ranks are collision-free well past the 10M-account target. phoneSpace is
+// the NANP-shaped +1-[2-9]xx-555-dddd universe (800 area codes × 10000
+// line numbers): phone numbers are unique for the first 8M ranks and reuse
+// the permuted sequence beyond that (the paper's "no site saw the same
+// phone twice" property holds per registration batch either way).
+const (
+	digitsPerPair = 10000
+	phoneSpace    = 800 * 10000
+)
+
+// Derivation streams under xrand.Mix(seed, rank, stream).
+const (
+	streamLocalPerm int64 = 0x1d1 // Feistel keys for the local-part permutation
+	streamPhonePerm int64 = 0x1d2 // Feistel keys for the phone permutation
+	streamPassword  int64 = 0x1d3 // per-rank password RNG
+	streamFields    int64 = 0x1d4 // per-rank persona-field RNG
+)
+
+// Generator produces identities deterministically from a seed. Every
+// identity is a pure function of (seed, rank): New/Batch just advance a
+// per-class cursor and call At, so no two identities from one Generator
+// share a local-part, phone number, or email — by permutation, not by a
+// resident uniqueness set. All methods are safe for concurrent use.
 type Generator struct {
-	rng        *rand.Rand
-	domain     string
-	nextID     int
-	usedLocals map[string]bool
-	usedPhones map[string]bool
-	usedPass   map[string]bool
+	domain    string
+	seed      int64
+	localPerm feistel
+	phonePerm feistel
+	cursors   [2]atomic.Int64 // allocated per-class indices
 }
 
 // NewGenerator returns a Generator emitting addresses @domain, seeded for
 // reproducibility.
 func NewGenerator(domain string, seed int64) *Generator {
 	return &Generator{
-		rng:        rand.New(rand.NewSource(seed)),
-		domain:     domain,
-		usedLocals: make(map[string]bool),
-		usedPhones: make(map[string]bool),
-		usedPass:   make(map[string]bool),
+		domain:    domain,
+		seed:      seed,
+		localPerm: newFeistel(uint64(len(adjectives)*len(nouns)*digitsPerPair), seed, streamLocalPerm),
+		phonePerm: newFeistel(phoneSpace, seed, streamPhonePerm),
 	}
 }
 
 // Domain returns the email domain identities are generated under.
 func (g *Generator) Domain() string { return g.domain }
 
-// New generates a fresh identity with a password of the given class.
+// RankFor maps a per-class index to the identity's global rank.
+func RankFor(class PasswordClass, idx int64) int64 { return idx<<1 | int64(class) }
+
+// ClassOf returns the password class encoded in a rank.
+func ClassOf(rank int64) PasswordClass { return PasswordClass(rank & 1) }
+
+// IndexOf returns the per-class index encoded in a rank.
+func IndexOf(rank int64) int64 { return rank >> 1 }
+
+// Reserve allocates n consecutive per-class indices and returns the first,
+// so callers can provision a block of ranks without materializing any of
+// them: identity i of the block is At(RankFor(class, from+i)).
+func (g *Generator) Reserve(class PasswordClass, n int) (from int64) {
+	return g.cursors[class].Add(int64(n)) - int64(n)
+}
+
+// Allocated returns how many per-class indices have been handed out.
+func (g *Generator) Allocated(class PasswordClass) int64 { return g.cursors[class].Load() }
+
+// New generates the next identity with a password of the given class.
 func (g *Generator) New(class PasswordClass) *Identity {
-	local := g.uniqueLocalPart()
-	username := local
-	if len(username) > 14 {
-		username = username[:14]
-	}
-	id := &Identity{
-		ID:        g.nextID,
-		FirstName: pick(g.rng, firstNames),
-		LastName:  pick(g.rng, lastNames),
-		Username:  username,
-		LocalPart: local,
-		Email:     strings.ToLower(local) + "@" + g.domain,
-		Password:  g.uniquePassword(class),
-		Class:     class,
-		Street:    g.street(),
-		City:      pick(g.rng, cities),
-		State:     pick(g.rng, states),
-		Zip:       fmt.Sprintf("%05d", 10000+g.rng.Intn(89999)),
-		Phone:     g.uniquePhone(),
-		Birthday:  g.birthday(),
-		Employer:  pick(g.rng, employers),
-	}
-	g.nextID++
-	return id
+	return g.At(RankFor(class, g.Reserve(class, 1)))
 }
 
 // Batch generates n identities of the given class.
@@ -131,58 +160,106 @@ func (g *Generator) Batch(n int, class PasswordClass) []*Identity {
 	return out
 }
 
-func (g *Generator) uniqueLocalPart() string {
-	for {
-		local := pick(g.rng, adjectives) + pick(g.rng, nouns) + fmt.Sprintf("%04d", g.rng.Intn(10000))
-		if !g.usedLocals[local] {
-			g.usedLocals[local] = true
-			return local
-		}
+// At derives the identity at rank — a pure function of (seed, rank),
+// independent of allocation order, so lazy materialization and eager
+// provisioning see byte-identical personas.
+func (g *Generator) At(rank int64) *Identity {
+	class := ClassOf(rank)
+	local := g.localPartAt(rank)
+	username := local
+	if len(username) > 14 {
+		username = username[:14]
+	}
+	pwRng := xrand.New(xrand.Mix(g.seed, rank, streamPassword))
+	var password string
+	if class == Hard {
+		password = HardPassword(pwRng)
+	} else {
+		password = EasyPassword(pwRng)
+	}
+	rng := xrand.New(xrand.Mix(g.seed, rank, streamFields))
+	return &Identity{
+		ID:        int(rank),
+		FirstName: pick(rng, firstNames),
+		LastName:  pick(rng, lastNames),
+		Username:  username,
+		LocalPart: local,
+		Email:     strings.ToLower(local) + "@" + g.domain,
+		Password:  password,
+		Class:     class,
+		Street:    fmt.Sprintf("%d %s %s", 1+rng.Intn(9899), pick(rng, streetNames), pick(rng, streetSuffixes)),
+		City:      pick(rng, cities),
+		State:     pick(rng, states),
+		Zip:       fmt.Sprintf("%05d", 10000+rng.Intn(89999)),
+		Phone:     g.phoneAt(rank),
+		Birthday:  birthday(rng),
+		Employer:  pick(rng, employers),
 	}
 }
 
-// uniquePassword prefers globally unique passwords. Hard passwords draw
-// from a 62^10 space, so uniqueness always holds. The easy space is tiny by
-// design (dictionary word × digit), so after a bounded number of attempts a
-// duplicate easy password is accepted: what Tripwire requires is that each
-// (email, password) *pair* is unique, which the unique email guarantees.
-func (g *Generator) uniquePassword(class PasswordClass) string {
-	var p string
-	for attempt := 0; ; attempt++ {
-		if class == Hard {
-			p = HardPassword(g.rng)
-		} else {
-			p = EasyPassword(g.rng)
+func (g *Generator) localPartAt(rank int64) string {
+	idx := g.localPerm.apply(uint64(rank) % g.localPerm.size)
+	pair := idx / digitsPerPair
+	adj := adjectives[pair/uint64(len(nouns))]
+	noun := nouns[pair%uint64(len(nouns))]
+	return fmt.Sprintf("%s%s%04d", adj, noun, idx%digitsPerPair)
+}
+
+func (g *Generator) phoneAt(rank int64) string {
+	idx := g.phonePerm.apply(uint64(rank) % phoneSpace)
+	// NANP-shaped numbers in the fictional 555 exchange space.
+	return fmt.Sprintf("+1-%03d-555-%04d", 200+idx/10000, idx%10000)
+}
+
+// RankOf inverts an email address under the generator's domain back to its
+// identity rank: parse the local-part into its permuted index, then run the
+// Feistel permutation backwards. It is the account store's email→rank
+// index, costing O(1) time and no resident state. ok is false for
+// addresses outside the domain or not of the adjective+noun+4-digit shape.
+// Callers decide coverage (whether the rank has been allocated) themselves.
+func (g *Generator) RankOf(email string) (rank int64, ok bool) {
+	local, ok := strings.CutSuffix(email, "@"+g.domain)
+	if !ok || len(local) < 5 {
+		return 0, false
+	}
+	var digits uint64
+	for i := len(local) - 4; i < len(local); i++ {
+		c := local[i]
+		if c < '0' || c > '9' {
+			return 0, false
 		}
-		if !g.usedPass[p] {
-			g.usedPass[p] = true
-			return p
-		}
-		if class == Easy && attempt >= 100 {
-			return p
+		digits = digits*10 + uint64(c-'0')
+	}
+	pair, ok := pairIndexOf(local[:len(local)-4])
+	if !ok {
+		return 0, false
+	}
+	return int64(g.localPerm.invert(pair*digitsPerPair + digits)), true
+}
+
+// pairIndex maps the lower-cased adjective+noun concatenation to its pair
+// index. Built once; TestPairConcatUnambiguous pins that no two (adjective,
+// noun) pairs concatenate to the same string, which is what makes RankOf a
+// true inverse.
+var pairIndex = func() map[string]uint64 {
+	m := make(map[string]uint64, len(adjectives)*len(nouns))
+	for ai, adj := range adjectives {
+		for ni, noun := range nouns {
+			m[strings.ToLower(adj+noun)] = uint64(ai*len(nouns) + ni)
 		}
 	}
+	return m
+}()
+
+func pairIndexOf(lowerPair string) (uint64, bool) {
+	idx, ok := pairIndex[lowerPair]
+	return idx, ok
 }
 
-func (g *Generator) uniquePhone() string {
-	for {
-		// NANP-shaped numbers in the fictional 555 exchange space.
-		p := fmt.Sprintf("+1-%d%d%d-555-%04d", 2+g.rng.Intn(8), g.rng.Intn(10), g.rng.Intn(10), g.rng.Intn(10000))
-		if !g.usedPhones[p] {
-			g.usedPhones[p] = true
-			return p
-		}
-	}
-}
-
-func (g *Generator) street() string {
-	return fmt.Sprintf("%d %s %s", 1+g.rng.Intn(9899), pick(g.rng, streetNames), pick(g.rng, streetSuffixes))
-}
-
-func (g *Generator) birthday() time.Time {
-	year := 1955 + g.rng.Intn(40)
-	month := time.Month(1 + g.rng.Intn(12))
-	day := 1 + g.rng.Intn(28)
+func birthday(rng *rand.Rand) time.Time {
+	year := 1955 + rng.Intn(40)
+	month := time.Month(1 + rng.Intn(12))
+	day := 1 + rng.Intn(28)
 	return time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
 }
 

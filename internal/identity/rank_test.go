@@ -1,0 +1,113 @@
+package identity
+
+import (
+	"strings"
+	"testing"
+)
+
+// RankOf is only a true inverse if no two (adjective, noun) pairs
+// concatenate to the same lower-cased string; otherwise the local-part
+// parse would be ambiguous. Pins the wordlists against regressions.
+func TestPairConcatUnambiguous(t *testing.T) {
+	seen := make(map[string]string, len(adjectives)*len(nouns))
+	for _, adj := range adjectives {
+		for _, noun := range nouns {
+			key := strings.ToLower(adj + noun)
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("ambiguous concatenation %q: %q and %s%s", key, prev, adj, noun)
+			}
+			seen[key] = adj + noun
+		}
+	}
+}
+
+func TestAtRankOfRoundTrip(t *testing.T) {
+	g := NewGenerator("mail.example", 42)
+	ranks := make([]int64, 0, 4200)
+	for r := int64(0); r < 4000; r++ {
+		ranks = append(ranks, r)
+	}
+	for r := int64(9_999_937); r < 10_000_137; r++ { // deep in the 10M range
+		ranks = append(ranks, r)
+	}
+	for _, rank := range ranks {
+		id := g.At(rank)
+		got, ok := g.RankOf(id.Email)
+		if !ok || got != rank {
+			t.Fatalf("RankOf(%q) = (%d, %v), want (%d, true)", id.Email, got, ok, rank)
+		}
+		if int64(id.ID) != rank || id.Class != ClassOf(rank) {
+			t.Fatalf("At(%d): ID=%d Class=%v, want rank-derived values", rank, id.ID, id.Class)
+		}
+	}
+	if _, ok := g.RankOf("user0000123@mail.example"); ok {
+		t.Fatal("RankOf accepted a non-honey local-part")
+	}
+	if _, ok := g.RankOf(g.At(7).LocalPart); ok {
+		t.Fatal("RankOf accepted an address outside the domain")
+	}
+}
+
+// At is a pure function of (seed, rank): New must be exactly At over the
+// reserved cursor, and materializing in any order must agree.
+func TestAtMatchesNew(t *testing.T) {
+	a := NewGenerator("mail.example", 7)
+	b := NewGenerator("mail.example", 7)
+	var hardIdx, easyIdx int64
+	for i := 0; i < 300; i++ {
+		class := Hard
+		idx := hardIdx
+		if i%3 == 0 {
+			class, idx = Easy, easyIdx
+		}
+		got := a.New(class)
+		want := b.At(RankFor(class, idx))
+		if *got != *want {
+			t.Fatalf("New #%d (%v) = %+v, want At(%d) = %+v", i, class, got, RankFor(class, idx), want)
+		}
+		if class == Hard {
+			hardIdx++
+		} else {
+			easyIdx++
+		}
+	}
+}
+
+func TestFeistelBijection(t *testing.T) {
+	const size = 3001 // odd, forces cycle walking
+	f := newFeistel(size, 99, 1)
+	seen := make([]bool, size)
+	for v := uint64(0); v < size; v++ {
+		img := f.apply(v)
+		if img >= size {
+			t.Fatalf("apply(%d) = %d escaped the domain", v, img)
+		}
+		if seen[img] {
+			t.Fatalf("apply is not injective at %d", v)
+		}
+		seen[img] = true
+		if inv := f.invert(img); inv != v {
+			t.Fatalf("invert(apply(%d)) = %d", v, inv)
+		}
+	}
+}
+
+func TestReserveBlocks(t *testing.T) {
+	g := NewGenerator("mail.example", 5)
+	if from := g.Reserve(Hard, 10); from != 0 {
+		t.Fatalf("first Reserve from = %d, want 0", from)
+	}
+	if from := g.Reserve(Hard, 5); from != 10 {
+		t.Fatalf("second Reserve from = %d, want 10", from)
+	}
+	if got := g.Allocated(Hard); got != 15 {
+		t.Fatalf("Allocated = %d, want 15", got)
+	}
+	if got := g.Allocated(Easy); got != 0 {
+		t.Fatalf("easy Allocated = %d, want 0", got)
+	}
+	id := g.New(Hard)
+	if IndexOf(int64(id.ID)) != 15 {
+		t.Fatalf("New after Reserve got index %d, want 15", IndexOf(int64(id.ID)))
+	}
+}

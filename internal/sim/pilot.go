@@ -95,6 +95,11 @@ type Pilot struct {
 	// against resumeSnap section by section before continuing.
 	replayEpochs uint64
 	resumeSnap   *snapshot.File
+	// ckptCache retains encoded checkpoint sub-sections between waves so
+	// Checkpoint re-encodes only state that changed (O(dirty)); lastCkpt
+	// records the encoded/reused byte split of the latest assembly.
+	ckptCache *snapshot.SectionCache
+	lastCkpt  CheckpointStats
 
 	// DetectionTimes records when the monitor first reported each site.
 	DetectionTimes map[string]time.Time
@@ -124,6 +129,7 @@ func NewPilot(cfg Config) *Pilot {
 		controlCreds:   make(map[string]string),
 		DetectionTimes: make(map[string]time.Time),
 		lastDump:       cfg.Start,
+		ckptCache:      snapshot.NewSectionCache(),
 	}
 
 	// Synthetic web.
@@ -142,6 +148,11 @@ func NewPilot(cfg Config) *Pilot {
 		p.Provider.SpillLoginLog(cfg.LogSpillDir, cfg.LogResidentBudget)
 	}
 	p.Universe.Mailer = p.Provider
+	// Accounts the generator has allocated are a pure function of their
+	// address; the provider resolves them on demand instead of storing 10M
+	// pristine rows (eager mode creates the rows but they still derive —
+	// and elide — identically).
+	p.Provider.SetDeriver(&accountDeriver{gen: p.gen})
 
 	// Tripwire mail server, fed by the provider's forwarding over real
 	// SMTP connections.
@@ -150,8 +161,12 @@ func NewPilot(cfg Config) *Pilot {
 	p.forwarder = &smtpForwarder{front: mailserv.NewSMTPServer(p.Mail)}
 	p.Provider.Forward = p.forwarder.send
 
-	// Ledger and monitor.
+	// Ledger and monitor. The ledger's pool spans materialize identities
+	// through the generator, and unused-set membership inverts addresses
+	// back to ranks arithmetically.
 	p.Ledger = core.NewLedger()
+	p.Ledger.SetDeriver(p.gen.At)
+	p.Ledger.SetRankFn(p.gen.RankOf)
 	p.Monitor = core.NewMonitor(p.Ledger, cfg.Start)
 
 	// Attacker: proxy network over the geo space, stuffing over IMAP.
@@ -290,22 +305,46 @@ func (p *Pilot) takeIdentity(class identity.PasswordClass) *identity.Identity {
 	return p.Ledger.Take(class)
 }
 
-// provisionIdentities creates n fresh identities of class and their
-// provider accounts, skipping collisions and naming-policy rejections just
-// as the provider did for the authors.
+// accountDeriver adapts the identity generator to the provider's lazy
+// account interface: an address is covered once its rank has been
+// allocated, and its pristine account state — name, password, forwarding —
+// is a pure function of that rank.
+type accountDeriver struct{ gen *identity.Generator }
+
+func (a *accountDeriver) DeriveAccount(email string) (emailprovider.DerivedAccount, bool) {
+	rank, ok := a.gen.RankOf(email)
+	if !ok || identity.IndexOf(rank) >= a.gen.Allocated(identity.ClassOf(rank)) {
+		return emailprovider.DerivedAccount{}, false
+	}
+	id := a.gen.At(rank)
+	return emailprovider.DerivedAccount{
+		Name:      id.FullName(),
+		Password:  id.Password,
+		ForwardTo: forwardAddress(email),
+	}, true
+}
+
+func (a *accountDeriver) DerivedCount() int64 {
+	return a.gen.Allocated(identity.Hard) + a.gen.Allocated(identity.Easy)
+}
+
+// provisionIdentities reserves n fresh identities of class and extends the
+// ledger pool with their index span. Lazily (the default) that is all:
+// the identities' provider accounts exist implicitly through the deriver
+// until something deviates them. With Cfg.EagerAccounts the accounts are
+// additionally materialized up front, exactly as the original
+// implementation provisioned them; both modes export byte-identical state.
 func (p *Pilot) provisionIdentities(n int, class identity.PasswordClass) {
-	for created := 0; created < n; {
-		id := p.gen.New(class)
-		err := p.Provider.CreateAccount(id.Email, id.FullName(), id.Password)
-		if err != nil {
-			continue // collision or policy: identity discarded
+	from := p.gen.Reserve(class, n)
+	p.Ledger.ExtendPool(class, from, int64(n))
+	if p.Cfg.EagerAccounts {
+		for idx := from; idx < from+int64(n); idx++ {
+			id := p.gen.At(identity.RankFor(class, idx))
+			if err := p.Provider.CreateAccount(id.Email, id.FullName(), id.Password); err != nil {
+				continue // collision or policy: account stays implicit
+			}
+			_ = p.Provider.SetForwarding(id.Email, forwardAddress(id.Email))
 		}
-		fwd := forwardAddress(id.Email)
-		if err := p.Provider.SetForwarding(id.Email, fwd); err != nil {
-			continue
-		}
-		p.Ledger.AddIdentity(id)
-		created++
 	}
 	if p.metrics != nil {
 		p.metrics.provisioned.Add(uint64(n))

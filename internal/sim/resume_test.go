@@ -304,6 +304,7 @@ func TestConfigCodecRoundTrip(t *testing.T) {
 		cfg.LogResidentBudget = rng.Intn(1 << 20)
 		cfg.LogSpillDir = fmt.Sprintf("spill-%d", rng.Intn(100))
 		cfg.NetLatency = time.Duration(rng.Int63n(1e9))
+		cfg.EagerAccounts = rng.Intn(2) == 0
 
 		enc := encodeConfig(&cfg)
 		got, err := decodeConfig(enc)

@@ -102,6 +102,7 @@ func encodeConfig(cfg *Config) []byte {
 	e.String(cfg.CheckpointDir)
 	e.Int(int64(cfg.LogResidentBudget))
 	e.String(cfg.LogSpillDir)
+	e.Bool(cfg.EagerAccounts)
 	return e.Bytes()
 }
 
@@ -169,6 +170,7 @@ func decodeConfig(data []byte) (Config, error) {
 	cfg.CheckpointDir = d.String()
 	cfg.LogResidentBudget = int(d.Int())
 	cfg.LogSpillDir = d.String()
+	cfg.EagerAccounts = d.Bool()
 	if err := d.Err(); err != nil {
 		return Config{}, fmt.Errorf("config section: %w", err)
 	}
@@ -276,20 +278,19 @@ func (p *Pilot) outputs() outputsState {
 	return st
 }
 
-func encodeOutputs(st outputsState) []byte {
-	e := snapshot.NewEncoder()
-	e.Uint(uint64(len(st.Attempts)))
-	for _, a := range st.Attempts {
-		e.String(a.Domain)
-		e.Int(int64(a.Rank))
-		e.Int(int64(a.Class))
-		e.Int(int64(a.Code))
-		e.Bool(a.Exposed)
-		e.Bool(a.Manual)
-		e.Time(a.When)
-		e.String(a.Email)
-		e.Int(int64(a.PageLoad))
-	}
+func appendAttempt(e *snapshot.Encoder, a *Attempt) {
+	e.String(a.Domain)
+	e.Int(int64(a.Rank))
+	e.Int(int64(a.Class))
+	e.Int(int64(a.Code))
+	e.Bool(a.Exposed)
+	e.Bool(a.Manual)
+	e.Time(a.When)
+	e.String(a.Email)
+	e.Int(int64(a.PageLoad))
+}
+
+func appendOutputsTail(e *snapshot.Encoder, st *outputsState) {
 	e.Uint(uint64(len(st.DetectionTimes)))
 	for _, dt := range st.DetectionTimes {
 		e.String(dt.Domain)
@@ -299,6 +300,52 @@ func encodeOutputs(st outputsState) []byte {
 	for _, m := range st.Missed {
 		e.String(m)
 	}
+}
+
+func encodeOutputs(st outputsState) []byte {
+	e := snapshot.NewEncoder()
+	e.Uint(uint64(len(st.Attempts)))
+	for i := range st.Attempts {
+		appendAttempt(e, &st.Attempts[i])
+	}
+	appendOutputsTail(e, &st)
+	return e.Bytes()
+}
+
+// attemptChunk is the attempt-log cache granularity: the log is
+// append-only, so every full chunk is immutable (version = fill count
+// freezes at attemptChunk) and only the growing tail chunk re-encodes.
+const attemptChunk = 256
+
+// encodeOutputsCached assembles encodeOutputs(st) bytes through the
+// section cache, re-encoding only the tail attempt chunk plus the small
+// detection/missed trailer. Byte-identical to encodeOutputs by
+// construction (shared append helpers).
+func encodeOutputsCached(st outputsState, c *snapshot.SectionCache) []byte {
+	e := snapshot.NewEncoder()
+	e.Uint(uint64(len(st.Attempts)))
+	for i := 0; i < len(st.Attempts); i += attemptChunk {
+		j := i + attemptChunk
+		if j > len(st.Attempts) {
+			j = len(st.Attempts)
+		}
+		chunk := st.Attempts[i:j]
+		e.Raw(c.GetOrBuild(fmt.Sprintf("ou/att/%d", i/attemptChunk), uint64(j-i), func() []byte {
+			blob := snapshot.NewEncoder()
+			for k := range chunk {
+				appendAttempt(blob, &chunk[k])
+			}
+			return blob.Bytes()
+		}))
+	}
+	// DetectionTimes entries are written once per domain and MissedBreaches
+	// only at the very end of a run, so the pair's lengths are a sound
+	// version for the trailer.
+	e.Raw(c.GetOrBuild("ou/tail", uint64(len(st.DetectionTimes))<<20|uint64(len(st.Missed)), func() []byte {
+		blob := snapshot.NewEncoder()
+		appendOutputsTail(blob, &st)
+		return blob.Bytes()
+	}))
 	return e.Bytes()
 }
 
@@ -369,19 +416,94 @@ func (p *Pilot) exportSection(name string) []byte {
 	}
 }
 
-// Checkpoint assembles a resumable snapshot of the pilot's current state.
+// exportSectionCached renders one attestation section through the
+// checkpoint cache: unchanged sub-sections (per-account blobs, attempt
+// chunks, whole small sections keyed on their owners' mutation counters)
+// are stitched back verbatim instead of re-encoded. A nil cache degrades
+// to exportSection. The bytes are identical either way — the resume
+// attestation (which always uses exportSection) and the
+// incremental-equivalence test both pin this.
+func (p *Pilot) exportSectionCached(name string, c *snapshot.SectionCache) []byte {
+	if c == nil {
+		return p.exportSection(name)
+	}
+	switch name {
+	case sectionProgress:
+		// Progress moves every checkpoint (epochs advanced); keying on the
+		// epoch count keeps its bytes in the encoded/reused accounting.
+		return c.GetOrBuild("sec/progress", p.epochsRun, func() []byte {
+			return encodeProgress(p.progress())
+		})
+	case sectionOutputs:
+		return encodeOutputsCached(p.outputs(), c)
+	case sectionProvider:
+		return p.Provider.EncodeStateCached(c)
+	case sectionLedger:
+		return p.Ledger.EncodeStateCached(c)
+	case sectionMonitor:
+		return c.GetOrBuild("sec/monitor", p.Monitor.StateRev(), func() []byte {
+			return p.exportSection(sectionMonitor)
+		})
+	case sectionAttacker:
+		// Both counters are monotone, so their sum moves whenever either
+		// does.
+		return c.GetOrBuild("sec/attacker", p.Campaign.StateRev()+p.Stuffer.StateRev(), func() []byte {
+			return p.exportSection(sectionAttacker)
+		})
+	case sectionWebgen:
+		return c.GetOrBuild("sec/webgen", uint64(p.Universe.MaterializedSites()), func() []byte {
+			return p.exportSection(sectionWebgen)
+		})
+	default:
+		return p.exportSection(name)
+	}
+}
+
+// CheckpointStats is the byte accounting of one checkpoint assembly.
+type CheckpointStats struct {
+	EncodedBytes int64 // bytes re-encoded because their sub-section changed
+	ReusedBytes  int64 // bytes stitched back from the cache, CRC-verified
+}
+
+// LastCheckpointStats reports the encoded/reused split of the most recent
+// Checkpoint call. Zero until the first checkpoint.
+func (p *Pilot) LastCheckpointStats() CheckpointStats { return p.lastCkpt }
+
+// Checkpoint assembles a resumable snapshot of the pilot's current state,
+// re-encoding only sub-sections that changed since the previous checkpoint
+// (O(dirty), not O(state)). The emitted file is complete and
+// self-contained — incrementality saves encode work, not file content.
 // Must be called between epochs (RunContext's driver loop does), when no
 // parallel work is in flight.
 func (p *Pilot) Checkpoint() (*snapshot.File, error) {
+	return p.checkpoint(p.ckptCache)
+}
+
+// CheckpointFull assembles the same snapshot without the sub-section
+// cache, re-encoding everything from live state. Checkpoint's output is
+// byte-identical; this is the oracle the equivalence test compares
+// against.
+func (p *Pilot) CheckpointFull() (*snapshot.File, error) {
+	return p.checkpoint(nil)
+}
+
+func (p *Pilot) checkpoint(c *snapshot.SectionCache) (*snapshot.File, error) {
 	if err := p.Provider.SpillErr(); err != nil {
 		// A failed cold tier means AllLogins — and so the provider section —
 		// is missing events; a checkpoint written now would attest garbage.
 		return nil, fmt.Errorf("login-log spill failed earlier: %w", err)
 	}
+	if c != nil {
+		c.BeginBuild()
+	}
 	f := snapshot.New()
 	f.Add(sectionConfig, encodeConfig(&p.Cfg))
 	for _, name := range attested {
-		f.Add(name, p.exportSection(name))
+		f.Add(name, p.exportSectionCached(name, c))
+	}
+	if c != nil {
+		enc, reused := c.Stats()
+		p.lastCkpt = CheckpointStats{EncodedBytes: enc, ReusedBytes: reused}
 	}
 	return f, nil
 }

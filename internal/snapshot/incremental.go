@@ -1,0 +1,75 @@
+package snapshot
+
+import "hash/crc32"
+
+// SectionCache retains the encoded bytes of checkpoint sub-sections —
+// per-account blobs, spilled log segments, attempt chunks, whole small
+// sections — keyed by name, each stamped with the version its producer
+// reported. A checkpoint assembled through the cache re-encodes only the
+// entries whose version moved since the last checkpoint and stitches every
+// unchanged entry back by reference, so encode cost is O(dirty state), not
+// O(all state). Reused bytes are CRC-verified on every hit: a corrupted
+// cache entry re-encodes instead of poisoning the snapshot (the container
+// adds its own per-section CRC on top).
+//
+// Versions only need to be sound, not minimal: producers must bump a
+// version whenever content may have changed (over-invalidation merely costs
+// CPU), and the resume attestation plus the incremental-equivalence test
+// catch any producer that under-reports.
+//
+// A SectionCache is not goroutine-safe; checkpoints run on the driver
+// goroutine between epochs, where no parallel work is in flight.
+type SectionCache struct {
+	entries map[string]*cacheEntry
+	encoded int64 // bytes rebuilt since BeginBuild
+	reused  int64 // bytes stitched from cache since BeginBuild
+}
+
+type cacheEntry struct {
+	version uint64
+	data    []byte
+	aux     uint64
+	crc     uint32
+}
+
+// NewSectionCache returns an empty cache.
+func NewSectionCache() *SectionCache {
+	return &SectionCache{entries: make(map[string]*cacheEntry)}
+}
+
+// BeginBuild resets the encoded/reused byte counters for one checkpoint
+// assembly.
+func (c *SectionCache) BeginBuild() { c.encoded, c.reused = 0, 0 }
+
+// Stats reports how many bytes the assembly since BeginBuild re-encoded vs
+// stitched from cache.
+func (c *SectionCache) Stats() (encoded, reused int64) { return c.encoded, c.reused }
+
+// Len returns how many entries the cache holds.
+func (c *SectionCache) Len() int { return len(c.entries) }
+
+// GetOrBuild returns the cached bytes for name when the stored version
+// matches (and the CRC still checks out); otherwise it runs build and
+// caches the result under the given version.
+func (c *SectionCache) GetOrBuild(name string, version uint64, build func() []byte) []byte {
+	data, _ := c.GetOrBuildAux(name, version, func() ([]byte, uint64) { return build(), 0 })
+	return data
+}
+
+// GetOrBuildAux is GetOrBuild for producers that need a small piece of
+// metadata alongside the blob — e.g. a log segment's surviving event count,
+// which the assembled section's count header needs without re-reading the
+// segment file.
+func (c *SectionCache) GetOrBuildAux(name string, version uint64, build func() ([]byte, uint64)) ([]byte, uint64) {
+	if ent, ok := c.entries[name]; ok && ent.version == version && crc32.ChecksumIEEE(ent.data) == ent.crc {
+		c.reused += int64(len(ent.data))
+		return ent.data, ent.aux
+	}
+	data, aux := build()
+	c.entries[name] = &cacheEntry{version: version, data: data, aux: aux, crc: crc32.ChecksumIEEE(data)}
+	c.encoded += int64(len(data))
+	return data, aux
+}
+
+// Drop forgets one entry.
+func (c *SectionCache) Drop(name string) { delete(c.entries, name) }

@@ -117,6 +117,7 @@ type studyOptions struct {
 	metrics         **Metrics
 	checkpoint      *checkpointOption
 	logSpill        *logSpillOption
+	eagerAccounts   *bool
 }
 
 type checkpointOption struct {
@@ -151,6 +152,9 @@ func (o *studyOptions) apply(cfg *Config) {
 	if o.logSpill != nil {
 		cfg.LogSpillDir = o.logSpill.dir
 		cfg.LogResidentBudget = o.logSpill.budget
+	}
+	if o.eagerAccounts != nil {
+		cfg.EagerAccounts = *o.eagerAccounts
 	}
 }
 
@@ -192,6 +196,15 @@ func WithMetrics(r *Metrics) Option {
 // is observation-only: enabling it never changes study results.
 func WithCheckpoint(dir string, every int) Option {
 	return func(o *studyOptions) { o.checkpoint = &checkpointOption{dir: dir, every: every} }
+}
+
+// WithEagerAccounts materializes every provisioned honey account in the
+// provider up front instead of deriving it lazily from (seed, rank) on
+// first use. Both modes produce byte-identical results — the eager path
+// exists as the equivalence oracle and for debugging; lazy (the default)
+// is what makes multi-million-account studies fit in memory.
+func WithEagerAccounts(eager bool) Option {
+	return func(o *studyOptions) { o.eagerAccounts = &eager }
 }
 
 // WithLogSpill caps the email provider's in-memory login log at budget
