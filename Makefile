@@ -6,8 +6,11 @@
 #   make ci          what a PR must pass: build, vet, race tests, snapshot
 #                    fuzz corpora as seed tests, resume byte-identity smoke
 #                    (workers grid incl. 8, under -race), the 1M-account
-#                    lazy-store smoke (-short, under -race), bench smoke,
-#                    and the overhead/alloc/heap gates
+#                    lazy-store smoke (-short, under -race), the serve
+#                    smoke (boot tripwire-serve, pause/resume a study over
+#                    HTTP, require an SSE detection + a signed webhook
+#                    delivery, under -race), bench smoke, and the
+#                    overhead/alloc/heap gates
 #   make bench       parallel crawl engine benchmark (1/4/8/16 workers, plus
 #                    the lazy 10k-universe variant)
 #   make bench-json  run the hot-path benchmarks and write BENCH_crawl.json
@@ -62,6 +65,7 @@ ci: build metrics-doc-check
 	$(GO) test -run Fuzz ./internal/snapshot/ ./internal/crawler/
 	$(GO) test -race -run 'TestResumeByteIdentical|TestStudyCheckpointResume' ./internal/sim/ .
 	$(GO) test -race -short -run 'TestLazyMillionAccountSmoke|TestIncrementalCheckpointEquivalence' ./internal/sim/
+	$(GO) test -race -run 'TestServeSmoke' ./cmd/tripwire-serve/
 	$(GO) test -run xxx -bench . -benchtime 1x $(BENCH_PKGS)
 	$(GO) test -run xxx -bench 'BenchmarkParallelCrawl$$/workers=8' -benchtime 1x ./internal/sim/
 	$(MAKE) bench-overhead

@@ -40,7 +40,7 @@ var (
 func benchPilot(b *testing.B) *sim.Pilot {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchStudy = NewStudy(SmallConfig()).Run()
+		benchStudy = New(WithConfig(SmallConfig())).Run()
 	})
 	return benchStudy.Pilot()
 }

@@ -35,7 +35,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 
-	study := tripwire.NewStudy(cfg).Run()
+	study := tripwire.New(tripwire.WithConfig(cfg)).Run()
 	records := datarelease.Build(study.Pilot())
 	if err := datarelease.Audit(records, study.Pilot()); err != nil {
 		fmt.Fprintf(os.Stderr, "tripwire-dataset: anonymization audit failed: %v\n", err)

@@ -33,7 +33,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Seed = *seed
-	study := tripwire.NewStudy(cfg).Run()
+	study := tripwire.New(tripwire.WithConfig(cfg)).Run()
 	p := study.Pilot()
 
 	switch *artifact {

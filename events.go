@@ -1,78 +1,56 @@
 package tripwire
 
-import "sync"
+import (
+	"context"
 
-// eventStream buffers pilot events and forwards them to at most one
-// subscriber channel. The buffer is unbounded but small in practice — one
-// event per wave plus one per detection — so the scheduler goroutine never
-// blocks on a slow (or absent) consumer, and a subscriber that arrives
-// after the run replays the full sequence.
-type eventStream struct {
-	mu     sync.Mutex
-	buf    []Event
-	closed bool
+	"tripwire/internal/evbus"
+)
 
-	wake chan struct{} // 1-buffered: "buffer or closed state changed"
-	once sync.Once
-	ch   chan Event
+// eventStream is the study's event fan-out: a sequence-numbered broadcast
+// buffer (internal/evbus) that retains the full stream so any number of
+// subscribers can attach at any time — before, during, or after the run —
+// and each replays exactly the suffix it asks for. The pilot emits
+// synchronously on the scheduler goroutine; emit only appends and wakes
+// per-subscriber pumps, so a slow or absent consumer can never
+// backpressure the simulation. This is what SSE replay and the webhook
+// dispatcher in internal/registry consume.
+type eventStream = evbus.Hub[Event]
+
+func newEventStream() *eventStream { return evbus.New[Event]() }
+
+// Events returns a channel replaying every study progress event from the
+// start: one EventWaveDone per crawl wave and one EventDetection per newly
+// detected site. It is EventsSince(0), kept as the original single-call
+// API shape.
+//
+// Ordering guarantee: events arrive in virtual-time order, exactly as the
+// scheduler fired them, and the sequence for a given seed is identical
+// regardless of worker count. The channel closes after the run finishes
+// (or immediately on a validation failure). Unlike earlier versions, every
+// call returns an independent channel: subscribing twice yields two full
+// replays.
+func (s *Study) Events() <-chan Event { return s.EventsSince(0) }
+
+// EventsSince returns a channel delivering every event with a sequence
+// number greater than seq, in order. Sequence numbers are 1-based and
+// gapless: the first event of the study is 1, so EventsSince(0) replays
+// the full stream and EventsSince(n) resumes a consumer that has already
+// handled the first n events (the SSE Last-Event-ID contract). A seq
+// beyond the current high-water mark is clamped: the subscriber sees only
+// future events. Subscribe and close are safe from any goroutine.
+//
+// The subscription lives until the stream closes; consumers that may
+// abandon the channel early (an SSE client that disconnects) should use
+// EventsSinceContext so the delivery goroutine is released.
+func (s *Study) EventsSince(seq uint64) <-chan Event { return s.events.Since(seq) }
+
+// EventsSinceContext is EventsSince with cancellation: when ctx is done
+// the subscription detaches and the channel closes, whether or not the
+// study has finished.
+func (s *Study) EventsSinceContext(ctx context.Context, seq uint64) <-chan Event {
+	return s.events.SinceCtx(ctx, seq)
 }
 
-func newEventStream() *eventStream {
-	return &eventStream{wake: make(chan struct{}, 1)}
-}
-
-// emit appends one event; called synchronously from the scheduler.
-func (es *eventStream) emit(ev Event) {
-	es.mu.Lock()
-	es.buf = append(es.buf, ev)
-	es.mu.Unlock()
-	es.signal()
-}
-
-// close marks the stream finished; the subscriber channel closes once the
-// remaining buffer is drained.
-func (es *eventStream) close() {
-	es.mu.Lock()
-	es.closed = true
-	es.mu.Unlock()
-	es.signal()
-}
-
-func (es *eventStream) signal() {
-	select {
-	case es.wake <- struct{}{}:
-	default:
-	}
-}
-
-// subscribe returns the delivery channel, starting the pump on first call.
-func (es *eventStream) subscribe() <-chan Event {
-	es.once.Do(func() {
-		es.ch = make(chan Event)
-		go es.pump()
-	})
-	return es.ch
-}
-
-// pump forwards buffered events in emission order, then waits for more;
-// when the stream is closed and drained it closes the channel.
-func (es *eventStream) pump() {
-	next := 0
-	for {
-		es.mu.Lock()
-		for next < len(es.buf) {
-			ev := es.buf[next]
-			next++
-			es.mu.Unlock()
-			es.ch <- ev
-			es.mu.Lock()
-		}
-		closed := es.closed
-		es.mu.Unlock()
-		if closed {
-			close(es.ch)
-			return
-		}
-		<-es.wake
-	}
-}
+// EventSeq returns the stream's high-water sequence number: how many
+// events the study has emitted so far. Safe to call while the study runs.
+func (s *Study) EventSeq() uint64 { return s.events.Len() }

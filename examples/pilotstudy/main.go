@@ -35,7 +35,7 @@ func main() {
 	cfg.Seed = *seed
 
 	start := time.Now()
-	study := tripwire.NewStudy(cfg).Run()
+	study := tripwire.New(tripwire.WithConfig(cfg)).Run()
 	fmt.Printf("Pilot (%s scale) completed in %v wall-clock; virtual span %s .. %s\n\n",
 		*scale, time.Since(start).Round(time.Millisecond),
 		cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"))

@@ -431,6 +431,15 @@ func (l *Ledger) Sites() []string {
 	return out
 }
 
+// SiteCount returns how many domains hold at least one registration,
+// without materializing the domain list — the progress-mirror read runs
+// once per epoch.
+func (l *Ledger) SiteCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.bySite)
+}
+
 // PoolSize returns the number of identities currently available.
 func (l *Ledger) PoolSize() int {
 	l.mu.Lock()

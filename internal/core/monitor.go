@@ -218,6 +218,14 @@ func (m *Monitor) Alarms() []IntegrityAlarm {
 	return out
 }
 
+// AlarmCount returns how many integrity alarms have been raised, without
+// copying them — the progress-mirror read runs once per epoch.
+func (m *Monitor) AlarmCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.alarms)
+}
+
 // AttributedLogins returns every site-attributed login.
 func (m *Monitor) AttributedLogins() []AttributedLogin {
 	m.mu.Lock()

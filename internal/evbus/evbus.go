@@ -1,0 +1,180 @@
+// Package evbus is the sequence-numbered broadcast buffer behind every
+// replayable event stream in the tree: Study.Events/EventsSince on the
+// public API, the registry's per-study and global feeds, and — through
+// those — SSE replay and the webhook dispatcher.
+//
+// A Hub retains every appended value and assigns it a 1-based sequence
+// number. Any number of subscribers may attach at any time, each naming
+// the sequence number it has already seen; delivery to each subscriber is
+// in order, gapless, and independent of every other subscriber. Producers
+// never block: Append only appends to the buffer and wakes pumps, so a
+// slow (or absent) consumer can never backpressure the producer — the
+// simulation driver in particular. The cost of that guarantee is
+// retention: the buffer holds the full history until the Hub is garbage.
+// Tripwire streams are small (one event per wave plus one per detection
+// plus a handful of lifecycle markers), which is the regime this is for.
+package evbus
+
+import (
+	"context"
+	"sync"
+)
+
+// Hub is a replayable broadcast buffer. The zero value is not useful;
+// construct with New.
+type Hub[T any] struct {
+	mu     sync.Mutex
+	buf    []T
+	closed bool
+	subs   map[*sub[T]]struct{}
+}
+
+// New returns an empty open Hub.
+func New[T any]() *Hub[T] {
+	return &Hub[T]{subs: make(map[*sub[T]]struct{})}
+}
+
+// Append adds v to the stream and returns its sequence number (1-based).
+// Append never blocks on subscribers. Appending to a closed Hub panics:
+// close is the producer's own end-of-stream marker, so an append after it
+// is a bug, not a race to tolerate.
+func (h *Hub[T]) Append(v T) uint64 {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		panic("evbus: Append after Close")
+	}
+	h.buf = append(h.buf, v)
+	seq := uint64(len(h.buf))
+	for s := range h.subs {
+		s.signal()
+	}
+	h.mu.Unlock()
+	return seq
+}
+
+// Close marks the stream finished. Subscriber channels close once each has
+// drained the remaining buffer. Close is idempotent.
+func (h *Hub[T]) Close() {
+	h.mu.Lock()
+	h.closed = true
+	for s := range h.subs {
+		s.signal()
+	}
+	h.mu.Unlock()
+}
+
+// Closed reports whether Close has been called.
+func (h *Hub[T]) Closed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+// Len returns the high-water sequence number: how many values have been
+// appended so far.
+func (h *Hub[T]) Len() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return uint64(len(h.buf))
+}
+
+// Snapshot copies the values with sequence numbers > since, without
+// subscribing. It never blocks.
+func (h *Hub[T]) Snapshot(since uint64) []T {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if since > uint64(len(h.buf)) {
+		return nil
+	}
+	out := make([]T, len(h.buf)-int(since))
+	copy(out, h.buf[since:])
+	return out
+}
+
+// Since subscribes from sequence number since: the channel delivers every
+// value with a sequence number > since, in order, and closes once the Hub
+// is closed and the subscriber has drained it. Since(0) replays the full
+// stream. A since beyond the current high-water mark is clamped to it (the
+// subscriber sees only future values) — stale cursors from a previous
+// incarnation must not make a consumer skip live events.
+//
+// The subscription lives until the stream ends; a consumer that may
+// abandon the channel early must use SinceCtx instead, or the delivery
+// goroutine blocks forever on the unread channel.
+func (h *Hub[T]) Since(since uint64) <-chan T {
+	return h.SinceCtx(context.Background(), since)
+}
+
+// SinceCtx is Since with cancellation: when ctx is done the subscription
+// detaches and the channel closes, whether or not the stream has ended.
+func (h *Hub[T]) SinceCtx(ctx context.Context, since uint64) <-chan T {
+	s := &sub[T]{
+		hub:  h,
+		ch:   make(chan T),
+		wake: make(chan struct{}, 1),
+		done: ctx.Done(),
+	}
+	h.mu.Lock()
+	if since > uint64(len(h.buf)) {
+		since = uint64(len(h.buf))
+	}
+	s.next = since
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+	go s.pump()
+	return s.ch
+}
+
+// sub is one subscriber: a pump goroutine forwarding buf[next:] to ch.
+type sub[T any] struct {
+	hub  *Hub[T]
+	next uint64
+	ch   chan T
+	wake chan struct{}   // 1-buffered: "buffer or closed state changed"
+	done <-chan struct{} // subscription cancel; nil never fires
+}
+
+func (s *sub[T]) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pump forwards buffered values in order, waits for more, and exits —
+// closing the subscriber channel — when the stream ends or the
+// subscription is cancelled.
+func (s *sub[T]) pump() {
+	h := s.hub
+	defer func() {
+		h.mu.Lock()
+		delete(h.subs, s)
+		h.mu.Unlock()
+		close(s.ch)
+	}()
+	for {
+		h.mu.Lock()
+		for s.next < uint64(len(h.buf)) {
+			v := h.buf[s.next]
+			s.next++
+			h.mu.Unlock()
+			select {
+			case s.ch <- v:
+			case <-s.done:
+				return
+			}
+			h.mu.Lock()
+		}
+		closed := h.closed
+		h.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case <-s.wake:
+		case <-s.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package evbus
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReplayAndLive: a subscriber attached mid-stream sees the exact
+// suffix it asked for, a from-start subscriber sees everything.
+func TestReplayAndLive(t *testing.T) {
+	h := New[int]()
+	for i := 1; i <= 5; i++ {
+		if seq := h.Append(i); seq != uint64(i) {
+			t.Fatalf("Append returned seq %d, want %d", seq, i)
+		}
+	}
+	mid := h.Since(3) // has seen 1..3, wants 4 onward
+	all := h.Since(0)
+	for i := 6; i <= 8; i++ {
+		h.Append(i)
+	}
+	h.Close()
+
+	var gotAll, gotMid []int
+	for v := range all {
+		gotAll = append(gotAll, v)
+	}
+	for v := range mid {
+		gotMid = append(gotMid, v)
+	}
+	if len(gotAll) != 8 || gotAll[0] != 1 || gotAll[7] != 8 {
+		t.Fatalf("full subscriber saw %v", gotAll)
+	}
+	if len(gotMid) != 5 || gotMid[0] != 4 || gotMid[4] != 8 {
+		t.Fatalf("mid subscriber saw %v, want 4..8", gotMid)
+	}
+}
+
+// TestSinceClamped: a cursor beyond the high-water mark must not skip
+// live events appended later.
+func TestSinceClamped(t *testing.T) {
+	h := New[int]()
+	h.Append(1)
+	ch := h.Since(99)
+	h.Append(2)
+	h.Close()
+	var got []int
+	for v := range ch {
+		got = append(got, v)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("clamped subscriber saw %v, want [2]", got)
+	}
+}
+
+// TestSinceCtxCancel: cancelling detaches the subscription and closes the
+// channel even though the stream never ends.
+func TestSinceCtxCancel(t *testing.T) {
+	h := New[int]()
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := h.SinceCtx(ctx, 0)
+	h.Append(1)
+	if v := <-ch; v != 1 {
+		t.Fatalf("got %d, want 1", v)
+	}
+	cancel()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			// The pump may deliver a value raced with cancel; drain.
+			for range ch {
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("channel did not close after cancel")
+	}
+	// The subscriber must be detached so the hub does not leak it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h.mu.Lock()
+		n := len(h.subs)
+		h.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d subscribers still attached after cancel", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAbandonedSubscriberNeverBlocksProducer: Append must return even when
+// a subscriber exists that nobody reads.
+func TestAbandonedSubscriberNeverBlocksProducer(t *testing.T) {
+	h := New[int]()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = h.SinceCtx(ctx, 0) // never read
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			h.Append(i)
+		}
+		h.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("producer blocked on an unread subscriber")
+	}
+}
+
+// TestConcurrentSubscribeAppendClose is the race hammer: subscribers
+// attach at random points of a concurrent append stream; every one must
+// see a gapless ordered suffix.
+func TestConcurrentSubscribeAppendClose(t *testing.T) {
+	h := New[int]()
+	const total = 2000
+	const subscribers = 16
+
+	var wg sync.WaitGroup
+	errs := make(chan string, subscribers)
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := h.Len() // snapshot a cursor mid-stream
+			ch := h.Since(start)
+			want := int(start)
+			n := 0
+			for v := range ch {
+				if v != want {
+					errs <- "gap or reorder in delivery"
+					return
+				}
+				want++
+				n++
+			}
+			if uint64(n) != total-start {
+				errs <- "subscriber did not drain to the end"
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		h.Append(i)
+	}
+	h.Close()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestSnapshot returns the suffix without subscribing.
+func TestSnapshot(t *testing.T) {
+	h := New[string]()
+	h.Append("a")
+	h.Append("b")
+	h.Append("c")
+	if got := h.Snapshot(1); len(got) != 2 || got[0] != "b" {
+		t.Fatalf("Snapshot(1) = %v", got)
+	}
+	if got := h.Snapshot(9); got != nil {
+		t.Fatalf("Snapshot past end = %v, want nil", got)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+// TestAppendAfterClosePanics pins the producer-bug contract.
+func TestAppendAfterClosePanics(t *testing.T) {
+	h := New[int]()
+	h.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append after Close did not panic")
+		}
+	}()
+	h.Append(1)
+}

@@ -1,0 +1,77 @@
+package registry
+
+import (
+	"time"
+
+	"tripwire"
+)
+
+// Event kinds published on a study's stream. Simulation kinds ("wave",
+// "detection") carry the pilot's payload; lifecycle kinds mark registry
+// state transitions. Webhook rules match on these strings.
+const (
+	KindWave      = "wave"
+	KindDetection = "detection"
+
+	KindSubmitted = "study.submitted"
+	KindRunning   = "study.running"
+	KindPaused    = "study.paused"
+	KindDone      = "study.done"
+	KindCancelled = "study.cancelled"
+	KindFailed    = "study.failed"
+)
+
+// Event is one entry on a study's sequence-numbered stream: what SSE
+// subscribers receive (Seq is the SSE event id / Last-Event-ID value) and
+// what webhook payloads carry. All timestamps are virtual — the event
+// stream of a given study is deterministic for its seed, including across
+// pause/resume.
+type Event struct {
+	// Seq is the 1-based, gapless position on this study's stream.
+	Seq uint64 `json:"seq"`
+	// Study is the owning study's registry ID.
+	Study string `json:"study"`
+	Kind  string `json:"kind"`
+	// At is the virtual time the event fired (for lifecycle kinds, the
+	// simulation clock's position when the transition happened).
+	At time.Time `json:"at"`
+
+	// Wave payload (kind "wave").
+	Batch    string `json:"batch,omitempty"`
+	FromRank int    `json:"from_rank,omitempty"`
+	ToRank   int    `json:"to_rank,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+
+	// Detection payload (kind "detection").
+	Site             string `json:"site,omitempty"`
+	Rank             int    `json:"rank,omitempty"`
+	AccountsAccessed int    `json:"accounts_accessed,omitempty"`
+
+	// Lifecycle payload (kind "study.*").
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// fromSim translates one pilot progress event into the registry's wire
+// shape (without Seq/Study, which the handle assigns at publish).
+func fromSim(ev tripwire.Event) Event {
+	switch ev.Kind {
+	case tripwire.EventDetection:
+		out := Event{Kind: KindDetection, At: ev.At}
+		if d := ev.Detection; d != nil {
+			out.Site = d.Domain
+			out.Rank = d.Rank
+			out.AccountsAccessed = d.AccountsAccessed
+		}
+		return out
+	default:
+		return Event{
+			Kind:     KindWave,
+			At:       ev.At,
+			Batch:    ev.Batch,
+			FromRank: ev.FromRank,
+			ToRank:   ev.ToRank,
+			Attempts: ev.Attempts,
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tripwire/internal/core"
+	"tripwire/internal/emailprovider"
 )
 
 // EventKind discriminates pilot progress events.
@@ -45,9 +46,22 @@ type Event struct {
 	Attempts         int // registration attempts recorded by this wave
 	Manual           bool
 
-	// Detection carries the monitor's evidence (EventDetection). The
-	// pointer aliases live monitor state; treat it as read-only.
+	// Detection carries the monitor's evidence (EventDetection): a
+	// snapshot taken when the event fired, safe to retain and read from
+	// any goroutine — later dumps mutate the monitor's copy, not this one.
 	Detection *core.Detection
+}
+
+// snapshotDetection deep-copies det on the scheduler goroutine, before
+// any later dump can touch it, so event consumers running concurrently
+// with the simulation never alias live monitor state.
+func snapshotDetection(det *core.Detection) *core.Detection {
+	cp := *det
+	cp.Logins = make(map[string][]emailprovider.LoginEvent, len(det.Logins))
+	for account, logins := range det.Logins {
+		cp.Logins[account] = append([]emailprovider.LoginEvent(nil), logins...)
+	}
+	return &cp
 }
 
 // emit delivers ev to the OnEvent hook, if any.

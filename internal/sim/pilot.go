@@ -101,6 +101,10 @@ type Pilot struct {
 	ckptCache *snapshot.SectionCache
 	lastCkpt  CheckpointStats
 
+	// prog mirrors the driver-owned progress counters behind atomics so
+	// Status/HTTP readers never race the run (see progress.go).
+	prog progressMirror
+
 	// DetectionTimes records when the monitor first reported each site.
 	DetectionTimes map[string]time.Time
 	// MissedBreaches are breached sites that produced no detection.

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a race-safe snapshot of a pilot's position on the timeline,
+// readable from any goroutine while the run is in flight. It is the data
+// behind Study.Status and the service control plane's live study view.
+type Progress struct {
+	WavesDone       int       `json:"waves_done"`
+	WavesTotal      int       `json:"waves_total"`
+	EpochsRun       uint64    `json:"epochs_run"`
+	Attempts        int       `json:"attempts"`
+	RegisteredSites int       `json:"registered_sites"`
+	Detections      int       `json:"detections"`
+	IntegrityAlarms int       `json:"integrity_alarms"`
+	VirtualNow      time.Time `json:"virtual_now"`
+}
+
+// progressMirror is the atomic mirror of the driver-owned counters. The
+// driver publishes between epochs (when no parallel work is in flight and
+// every count is stable); concurrent readers — Status calls, HTTP
+// handlers — load the atomics without touching simulation state.
+type progressMirror struct {
+	waves      atomic.Int64
+	epochs     atomic.Uint64
+	attempts   atomic.Int64
+	regSites   atomic.Int64
+	detections atomic.Int64
+	alarms     atomic.Int64
+}
+
+// publishProgress refreshes the mirror from driver-owned state. Called on
+// the driver goroutine between epochs and at run end; handlers may be
+// mid-epoch when a reader loads the mirror, so readers see the last epoch
+// boundary, never a torn mid-epoch count.
+func (p *Pilot) publishProgress() {
+	p.prog.waves.Store(int64(p.wavesDone))
+	p.prog.epochs.Store(p.epochsRun)
+	p.prog.attempts.Store(int64(len(p.Attempts)))
+	p.prog.regSites.Store(int64(p.Ledger.SiteCount()))
+	p.prog.detections.Store(int64(len(p.DetectionTimes)))
+	p.prog.alarms.Store(int64(p.Monitor.AlarmCount()))
+}
+
+// Progress returns the pilot's progress snapshot. Safe for concurrent use
+// with a running pilot; the virtual clock read is itself atomic.
+func (p *Pilot) Progress() Progress {
+	return Progress{
+		WavesDone:       int(p.prog.waves.Load()),
+		WavesTotal:      TotalWaves(&p.Cfg),
+		EpochsRun:       p.prog.epochs.Load(),
+		Attempts:        int(p.prog.attempts.Load()),
+		RegisteredSites: int(p.prog.regSites.Load()),
+		Detections:      int(p.prog.detections.Load()),
+		IntegrityAlarms: int(p.prog.alarms.Load()),
+		VirtualNow:      p.Clock.Now(),
+	}
+}
+
+// TotalWaves computes how many registration waves the configured batches
+// schedule — a pure function of the rank ranges, never of worker count
+// (the same invariant the checkpoint cadence relies on).
+func TotalWaves(cfg *Config) int {
+	n := 0
+	for _, b := range cfg.Batches {
+		c := b.ToRank - b.FromRank + 1
+		if c <= 0 {
+			continue
+		}
+		n += (c + crawlWaveSize - 1) / crawlWaveSize
+	}
+	return n
+}

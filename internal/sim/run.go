@@ -69,6 +69,7 @@ func (p *Pilot) RunContext(ctx context.Context) error {
 	for {
 		if err := ctx.Err(); err != nil {
 			p.Interrupted = true
+			p.publishProgress()
 			return err
 		}
 		at, ok := p.Sched.NextAt()
@@ -77,6 +78,7 @@ func (p *Pilot) RunContext(ctx context.Context) error {
 		}
 		ep.RunEpoch()
 		p.epochsRun++
+		p.publishProgress()
 		if err := p.maybeCheckpoint(); err != nil {
 			return err
 		}
@@ -84,6 +86,7 @@ func (p *Pilot) RunContext(ctx context.Context) error {
 	p.Clock.AdvanceTo(p.Cfg.End)
 	p.drainMail()
 	p.recordMisses()
+	p.publishProgress()
 	return nil
 }
 
@@ -108,6 +111,7 @@ func (p *Pilot) replay(ctx context.Context, ep *simclock.Epochs) error {
 		}
 		ep.RunEpoch()
 		p.epochsRun++
+		p.publishProgress()
 	}
 	if err := p.attest(p.resumeSnap); err != nil {
 		return err
@@ -329,7 +333,7 @@ func (p *Pilot) scheduleDumps() {
 			for _, domain := range newly {
 				p.DetectionTimes[domain] = now
 				if det, ok := p.Monitor.Detection(domain); ok {
-					p.emit(Event{Kind: EventDetection, At: now, Detection: det})
+					p.emit(Event{Kind: EventDetection, At: now, Detection: snapshotDetection(det)})
 				}
 			}
 			p.lastDump = now

@@ -99,7 +99,7 @@ func Run(o Options) *Outcome {
 // runSeed runs one study and distills its SeedResult.
 func runSeed(cfg tripwire.Config) SeedResult {
 	r := SeedResult{Seed: cfg.Seed}
-	study := tripwire.NewStudy(cfg).Run()
+	study := tripwire.New(tripwire.WithConfig(cfg)).Run()
 	if err := study.Err(); err != nil {
 		r.Err = err
 		return r

@@ -1,0 +1,172 @@
+package tripwire_test
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"tripwire"
+)
+
+// TestStatusLifecycle: the structured status moves pending → done and its
+// counters agree with the study's own accessors; the JSON form carries
+// the control plane's field names.
+func TestStatusLifecycle(t *testing.T) {
+	s := tripwire.New(tripwire.WithConfig(resumeConfig()))
+	st := s.Status()
+	if st.Phase != "pending" || st.WavesDone != 0 || st.Detections != 0 {
+		t.Fatalf("pre-run status = %+v", st)
+	}
+	if st.WavesTotal == 0 {
+		t.Fatal("WavesTotal not derived from the configured batches")
+	}
+	if !st.VirtualNow.Equal(st.Start) {
+		t.Fatalf("pre-run VirtualNow = %s, want Start %s", st.VirtualNow, st.Start)
+	}
+
+	s.Run()
+	st = s.Status()
+	if st.Phase != "done" || st.Interrupted || st.Error != "" {
+		t.Fatalf("post-run status = %+v", st)
+	}
+	if st.WavesDone != st.WavesTotal {
+		t.Fatalf("waves %d/%d after a complete run", st.WavesDone, st.WavesTotal)
+	}
+	if got := len(s.Detections()); st.Detections != got {
+		t.Fatalf("status detections %d, study has %d", st.Detections, got)
+	}
+	if st.Events != s.EventSeq() || st.Events == 0 {
+		t.Fatalf("status events %d, stream high-water %d", st.Events, s.EventSeq())
+	}
+	if st.EpochsRun == 0 || st.Attempts == 0 || st.RegisteredSites == 0 {
+		t.Fatalf("progress counters empty: %+v", st)
+	}
+	if st.IntegrityAlarms != 0 {
+		t.Fatalf("healthy run reports %d integrity alarms", st.IntegrityAlarms)
+	}
+
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"phase"`, `"seed"`, `"sites"`, `"virtual_now"`, `"waves_done"`, `"waves_total"`, `"epochs_run"`, `"registered_sites"`, `"detections"`, `"integrity_alarms"`, `"events"`, `"interrupted"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("status JSON missing %s: %s", key, raw)
+		}
+	}
+	if strings.Contains(string(raw), `"error"`) {
+		t.Errorf("error key present on a clean run: %s", raw)
+	}
+
+	// Summary's header is FormatStatus over the same record.
+	if !strings.Contains(s.Summary(), tripwire.FormatStatus(st)) {
+		t.Fatal("Summary does not embed FormatStatus(Status())")
+	}
+}
+
+// TestStatusFailedValidation: a study that failed validation reports
+// phase "failed" with the error inline, before and after Run.
+func TestStatusFailedValidation(t *testing.T) {
+	cfg := resumeConfig()
+	cfg.Web.NumSites = 0
+	s := tripwire.New(tripwire.WithConfig(cfg))
+	st := s.Status()
+	if st.Phase != "failed" || st.Error == "" {
+		t.Fatalf("status = %+v", st)
+	}
+	s.Run()
+	if st := s.Status(); st.Phase != "failed" || st.Error == "" {
+		t.Fatalf("status after Run = %+v", st)
+	}
+}
+
+// TestEventsSinceMultiSubscriber: every subscription is an independent
+// replay; EventsSince(k) yields exactly the suffix a from-start
+// subscriber sees; concurrent mid-run subscribers all observe the same
+// gapless stream.
+func TestEventsSinceMultiSubscriber(t *testing.T) {
+	s := tripwire.New(tripwire.WithConfig(resumeConfig()))
+
+	// Two live subscribers attached before the run.
+	var wg sync.WaitGroup
+	liveA := s.Events()
+	liveB := s.Events()
+	var gotA, gotB []tripwire.Event
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for ev := range liveA {
+			gotA = append(gotA, ev)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for ev := range liveB {
+			gotB = append(gotB, ev)
+		}
+	}()
+	s.Run()
+	wg.Wait()
+
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if len(gotA) == 0 || len(gotA) != len(gotB) {
+		t.Fatalf("live subscribers disagree: %d vs %d events", len(gotA), len(gotB))
+	}
+
+	// Post-run replays: full stream, then a suffix.
+	var full []tripwire.Event
+	for ev := range s.Events() {
+		full = append(full, ev)
+	}
+	if len(full) != len(gotA) {
+		t.Fatalf("replay has %d events, live saw %d", len(full), len(gotA))
+	}
+	k := uint64(len(full) / 2)
+	var suffix []tripwire.Event
+	for ev := range s.EventsSince(k) {
+		suffix = append(suffix, ev)
+	}
+	if len(suffix) != len(full)-int(k) {
+		t.Fatalf("EventsSince(%d) yielded %d events, want %d", k, len(suffix), len(full)-int(k))
+	}
+	for i, ev := range suffix {
+		want := full[int(k)+i]
+		if ev.Kind != want.Kind || !ev.At.Equal(want.At) || ev.FromRank != want.FromRank {
+			t.Fatalf("suffix[%d] = %+v, want %+v", i, ev, want)
+		}
+	}
+	// Beyond the high-water mark: clamped, so a closed stream just ends.
+	if _, ok := <-s.EventsSince(1 << 30); ok {
+		t.Fatal("EventsSince beyond high-water delivered an event on a closed stream")
+	}
+	if s.EventSeq() != uint64(len(full)) {
+		t.Fatalf("EventSeq = %d, want %d", s.EventSeq(), len(full))
+	}
+}
+
+// TestEventsSinceContextDetaches: an abandoned subscriber's channel
+// closes when its context does, mid-stream.
+func TestEventsSinceContextDetaches(t *testing.T) {
+	s := tripwire.New(tripwire.WithConfig(resumeConfig())).Run()
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := s.EventsSinceContext(ctx, 0)
+	<-ch // at least one event flows
+	cancel()
+	for range ch {
+	} // must terminate promptly rather than hang
+}
+
+// TestResumeRejectsConflictingOptions: the two New-only options fail
+// fast, each error naming the offending option, before any snapshot IO.
+func TestResumeRejectsConflictingOptions(t *testing.T) {
+	if _, err := tripwire.Resume("nonexistent.twsnap", tripwire.WithConfig(tripwire.SmallConfig())); err == nil || !strings.Contains(err.Error(), "WithConfig") {
+		t.Fatalf("Resume with WithConfig: %v", err)
+	}
+	if _, err := tripwire.Resume("nonexistent.twsnap", tripwire.WithSeed(1)); err == nil || !strings.Contains(err.Error(), "WithSeed") {
+		t.Fatalf("Resume with WithSeed: %v", err)
+	}
+}

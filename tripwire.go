@@ -42,7 +42,9 @@ package tripwire
 
 import (
 	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 
 	"tripwire/internal/core"
 	"tripwire/internal/disclosure"
@@ -111,6 +113,7 @@ type Option func(*studyOptions)
 
 type studyOptions struct {
 	cfg             Config
+	cfgSet          bool
 	workers         *int
 	timelineWorkers *int
 	seed            *int64
@@ -159,8 +162,9 @@ func (o *studyOptions) apply(cfg *Config) {
 }
 
 // WithConfig replaces the base configuration (DefaultConfig) wholesale.
+// It conflicts with Resume, whose configuration comes from the snapshot.
 func WithConfig(cfg Config) Option {
-	return func(o *studyOptions) { o.cfg = cfg }
+	return func(o *studyOptions) { o.cfg, o.cfgSet = cfg, true }
 }
 
 // WithWorkers sets how many goroutines crawl a registration wave
@@ -224,6 +228,10 @@ type Study struct {
 	events *eventStream
 	ran    bool
 	err    error
+	// phase is the lifecycle marker behind Status. It is stored with
+	// release semantics after err, so a concurrent Status observing a
+	// terminal phase also observes the error that produced it.
+	phase atomic.Int32
 }
 
 // New builds a fully wired study from DefaultConfig plus opts. Call
@@ -239,13 +247,16 @@ func New(opts ...Option) *Study {
 	s := &Study{cfg: o.cfg, events: newEventStream()}
 	if err := sim.Validate(o.cfg); err != nil {
 		s.err = err
+		s.phase.Store(int32(phaseFailed))
 		return s
 	}
 	s.pilot = sim.NewPilot(o.cfg)
 	return s
 }
 
-// NewStudy builds a study from an explicit configuration.
+// NewStudy builds a study from an explicit configuration. Every caller in
+// the tree has been migrated to New; this wrapper remains only so external
+// plain-config callers keep compiling.
 //
 // Deprecated: use New(WithConfig(cfg)).
 func NewStudy(cfg Config) *Study { return New(WithConfig(cfg)) }
@@ -266,14 +277,22 @@ func NewStudy(cfg Config) *Study { return New(WithConfig(cfg)) }
 // not just the continuation.
 //
 // Targeted options (WithWorkers, WithTimelineWorkers, WithMetrics,
-// WithCheckpoint, WithLogSpill) adjust runtime knobs on the restored
-// configuration. WithConfig is ignored — the configuration comes from the
-// snapshot — and WithSeed will make the replay diverge from the attested
-// snapshot, which RunContext reports as an error.
+// WithCheckpoint, WithLogSpill, WithEagerAccounts) adjust runtime knobs on
+// the restored configuration. Resume accepts the same Option set as New
+// but rejects the two that conflict with a snapshot-borne configuration,
+// naming the offending option: WithConfig (the configuration comes from
+// the snapshot) and WithSeed (a changed seed would make the replay diverge
+// from the attested snapshot).
 func Resume(path string, opts ...Option) (*Study, error) {
 	o := studyOptions{}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.cfgSet {
+		return nil, errors.New("tripwire: Resume: option WithConfig conflicts with resuming — the configuration is embedded in the snapshot; drop WithConfig")
+	}
+	if o.seed != nil {
+		return nil, errors.New("tripwire: Resume: option WithSeed conflicts with resuming — the seed is embedded in the snapshot and a changed seed would fail replay attestation; drop WithSeed")
 	}
 	pilot, err := sim.ResumePilot(path, func(cfg *Config) { o.apply(cfg) })
 	if err != nil {
@@ -296,12 +315,21 @@ func (s *Study) RunContext(ctx context.Context) error {
 	}
 	s.ran = true
 	if s.pilot == nil {
-		s.events.close()
+		s.events.Close()
 		return s.err
 	}
-	s.pilot.OnEvent = s.events.emit
+	s.phase.Store(int32(phaseRunning))
+	s.pilot.OnEvent = func(ev Event) { s.events.Append(ev) }
 	s.err = s.pilot.RunContext(ctx)
-	s.events.close()
+	s.events.Close()
+	switch {
+	case s.pilot.Interrupted:
+		s.phase.Store(int32(phaseInterrupted))
+	case s.err != nil:
+		s.phase.Store(int32(phaseFailed))
+	default:
+		s.phase.Store(int32(phaseDone))
+	}
 	return s.err
 }
 
@@ -317,17 +345,6 @@ func (s *Study) Run() *Study {
 // configuration (set as soon as New returns), the context's error for a
 // cancelled run, and nil otherwise.
 func (s *Study) Err() error { return s.err }
-
-// Events returns a channel of study progress events: one EventWaveDone per
-// crawl wave and one EventDetection per newly detected site.
-//
-// Ordering guarantee: events arrive in virtual-time order, exactly as the
-// scheduler fired them, and the sequence for a given seed is identical
-// regardless of worker count. The channel closes after the run finishes
-// (or immediately on a validation failure). Subscribing after the run
-// replays every event. At most one subscriber is supported; all callers of
-// Events share the same channel.
-func (s *Study) Events() <-chan Event { return s.events.subscribe() }
 
 // Metrics returns the registry attached with WithMetrics, or nil.
 func (s *Study) Metrics() *Metrics { return s.cfg.Metrics }
@@ -352,11 +369,20 @@ func (s *Study) Classify(d *Detection) BreachClass { return s.pilot.Monitor.Clas
 // unused honeypot account was ever accessed.
 func (s *Study) IntegrityOK() bool { return len(s.pilot.Monitor.Alarms()) == 0 }
 
-// Summary renders every table and figure of the paper from this run.
+// Summary renders the study status header (a formatter over Status — see
+// FormatStatus) followed by every table and figure of the paper. Callers
+// that used to scrape counts out of this text should read Status instead;
+// Summary is presentation only. For a study whose configuration failed
+// validation only the status header (naming the error) is returned.
 func (s *Study) Summary() string {
-	p := s.pilot
 	var b strings.Builder
-	b.WriteString("== Table 1: Estimates of accounts created by account status ==\n")
+	b.WriteString("== Study status ==\n")
+	b.WriteString(FormatStatus(s.Status()))
+	if s.pilot == nil {
+		return b.String()
+	}
+	p := s.pilot
+	b.WriteString("\n== Table 1: Estimates of accounts created by account status ==\n")
 	b.WriteString(report.RenderTable1(report.Table1(p)))
 	b.WriteString("\n== Table 2: Sites with detected login activity ==\n")
 	b.WriteString(report.RenderTable2(report.Table2(p)))

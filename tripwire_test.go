@@ -16,7 +16,7 @@ var (
 func sharedStudy(t *testing.T) *tripwire.Study {
 	t.Helper()
 	studyOnce.Do(func() {
-		study = tripwire.NewStudy(tripwire.SmallConfig()).Run()
+		study = tripwire.New(tripwire.WithConfig(tripwire.SmallConfig())).Run()
 	})
 	return study
 }
