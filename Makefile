@@ -9,7 +9,10 @@
 #                    lazy-store smoke (-short, under -race), the serve
 #                    smoke (boot tripwire-serve, pause/resume a study over
 #                    HTTP, require an SSE detection + a signed webhook
-#                    delivery, under -race), bench smoke, and the
+#                    delivery, under -race), the distributed-sweep smoke
+#                    (coordinator + two in-process workers over loopback
+#                    HTTP, byte-identity incl. a worker killed mid-seed,
+#                    under -race), bench smoke, and the
 #                    overhead/alloc/heap gates
 #   make bench       parallel crawl engine benchmark (1/4/8/16 workers, plus
 #                    the lazy 10k-universe variant)
@@ -45,7 +48,8 @@ define BENCH_RUN
   $(GO) test -run xxx -bench BenchmarkTimeline -benchmem -benchtime 1x ./internal/sim/ ; \
   $(GO) test -run xxx -bench BenchmarkHeapEnvelope -benchmem -benchtime 1x ./internal/sim/ ; \
   $(GO) test -run xxx -bench BenchmarkCheckpoint -benchmem -benchtime 1x ./internal/sim/ ; \
-  $(GO) test -run xxx -bench BenchmarkSweep -benchmem -benchtime 1x ./internal/sweep/ ; }
+  $(GO) test -run xxx -bench BenchmarkSweep -benchmem -benchtime 1x ./internal/sweep/ ; \
+  $(GO) test -run xxx -bench BenchmarkDistSweep -benchmem -benchtime 1x ./internal/distsweep/ ; }
 endef
 
 .PHONY: build test race ci bench bench-json fuzz metrics-doc-check bench-overhead bench-compare
@@ -66,6 +70,7 @@ ci: build metrics-doc-check
 	$(GO) test -race -run 'TestResumeByteIdentical|TestStudyCheckpointResume' ./internal/sim/ .
 	$(GO) test -race -short -run 'TestLazyMillionAccountSmoke|TestIncrementalCheckpointEquivalence' ./internal/sim/
 	$(GO) test -race -run 'TestServeSmoke' ./cmd/tripwire-serve/
+	$(GO) test -race -run 'TestDistSweepByteIdentical|TestDistSweepWorkerLossByteIdentical' ./internal/distsweep/
 	$(GO) test -run xxx -bench . -benchtime 1x $(BENCH_PKGS)
 	$(GO) test -run xxx -bench 'BenchmarkParallelCrawl$$/workers=8' -benchtime 1x ./internal/sim/
 	$(MAKE) bench-overhead
@@ -93,7 +98,7 @@ bench:
 bench-json: build
 	@$(BENCH_RUN) \
 	 | $(GO) run ./cmd/tripwire-bench -baseline BENCH_baseline.json -out BENCH_crawl.json \
-	     -note "hot-path run vs seed baseline; crawl workers grid 1/4/8/16 on the 2.3k universe plus the lazy 10k-universe wave, timeline engine events/s at 1/4/8 workers, multi-seed sweep seeds/s, the 1M-site and 10M-account spilled-log heap envelopes (heap-MB), and the incremental-checkpoint byte split (ckpt-full-KB vs ckpt-incr-KB); allocs/op, post-GC live heap, and checkpoint bytes are deterministic, ns/op on shared hardware is noisy"
+	     -note "hot-path run vs seed baseline; crawl workers grid 1/4/8/16 on the 2.3k universe plus the lazy 10k-universe wave, timeline engine events/s at 1/4/8 workers, multi-seed sweep seeds/s (in-process pool and distributed coordinator/worker over loopback HTTP), the 1M-site and 10M-account spilled-log heap envelopes (heap-MB), and the incremental-checkpoint byte split (ckpt-full-KB vs ckpt-incr-KB); allocs/op, post-GC live heap, and checkpoint bytes are deterministic, ns/op on shared hardware is noisy"
 	@echo "wrote BENCH_crawl.json"
 
 # Regression gates: re-run the tracked sweep and diff the deterministic

@@ -1,0 +1,315 @@
+package distsweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"tripwire/internal/hook"
+	"tripwire/internal/obs"
+	"tripwire/internal/registry"
+)
+
+// maxBody bounds control-plane request bodies; a SeedResult is a few
+// hundred bytes, so 1 MiB is generous.
+const maxBody = 1 << 20
+
+// Wire request bodies. Every mutating request names its worker so the
+// coordinator can account liveness, and quotes (seed_index, generation)
+// so the lease fence applies.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseResponse struct {
+	SeedIndex  int   `json:"seed_index"`
+	Generation int   `json:"generation"`
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+type renewRequest struct {
+	Worker     string `json:"worker"`
+	SeedIndex  int    `json:"seed_index"`
+	Generation int    `json:"generation"`
+}
+
+type completeRequest struct {
+	Worker     string          `json:"worker"`
+	SeedIndex  int             `json:"seed_index"`
+	Generation int             `json:"generation"`
+	Result     json.RawMessage `json:"result"`
+	Digest     string          `json:"digest"`
+}
+
+// Handler builds the coordinator's HTTP control plane:
+//
+//	GET  /sweep      sweep spec (N, scale, lease TTL) → Spec
+//	POST /lease      lease the next seed task → 200 leaseResponse,
+//	                 204 nothing leasable right now (poll again),
+//	                 410 sweep complete (worker should exit)
+//	POST /renew      extend a held lease → 200, or 409 lease lost
+//	POST /complete   submit a result → 200, 409 stale/duplicate
+//	                 (discarded — the worker just moves on), 400 digest
+//	                 or decode failure
+//	GET  /status     task-set progress → Status
+//	GET  /metrics, /metrics.json, /healthz   observability (internal/obs)
+//
+// When opts.Secret is set, every POST must carry X-Tripwire-Signature =
+// hook.Sign(secret, body); bad or missing signatures get 401. The
+// registry's per-IP token-bucket limiter wraps everything but /healthz
+// when opts.Rate > 0.
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /sweep", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Spec())
+	})
+
+	mux.HandleFunc("POST /lease", signed(c, func(w http.ResponseWriter, r *http.Request, body []byte) {
+		var req leaseRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		idx, gen, ok := c.Lease(req.Worker)
+		if !ok {
+			if c.Remaining() == 0 {
+				writeError(w, http.StatusGone, "sweep complete")
+				return
+			}
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, leaseResponse{
+			SeedIndex:  idx,
+			Generation: gen,
+			LeaseTTLMS: c.opts.LeaseTTL.Milliseconds(),
+		})
+	}))
+
+	mux.HandleFunc("POST /renew", signed(c, func(w http.ResponseWriter, r *http.Request, body []byte) {
+		var req renewRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		if !c.Renew(req.Worker, req.SeedIndex, req.Generation) {
+			writeError(w, http.StatusConflict, "lease lost")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "renewed"})
+	}))
+
+	mux.HandleFunc("POST /complete", signed(c, func(w http.ResponseWriter, r *http.Request, body []byte) {
+		var req completeRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		err := c.Complete(req.Worker, req.SeedIndex, req.Generation, req.Result, req.Digest)
+		var ce *CompleteError
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
+		case errors.As(err, &ce) && ce.Reason != discardDigest:
+			// Stale generation or duplicate: the seed is (or will be) covered
+			// by another completion; the worker should just move on.
+			writeError(w, http.StatusConflict, err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+	}))
+
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Status())
+	})
+
+	mux.Handle("/metrics", obs.Handler(c.opts.Metrics))
+	mux.Handle("/metrics.json", obs.Handler(c.opts.Metrics))
+	mux.Handle("/healthz", obs.Handler(c.opts.Metrics))
+
+	var limiter *registry.RateLimiter
+	if c.opts.Rate > 0 {
+		limiter = registry.NewRateLimiter(c.opts.Rate, c.opts.Burst)
+	}
+	return limiter.Middleware(mux)
+}
+
+// signed wraps a mutating handler with body capture and, when a secret is
+// configured, HMAC verification in the internal/hook signature format.
+func signed(c *Coordinator, next func(http.ResponseWriter, *http.Request, []byte)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading body")
+			return
+		}
+		if len(body) > maxBody {
+			writeError(w, http.StatusRequestEntityTooLarge, "body too large")
+			return
+		}
+		if c.opts.Secret != "" && !hook.Verify(c.opts.Secret, body, r.Header.Get("X-Tripwire-Signature")) {
+			writeError(w, http.StatusUnauthorized, "bad or missing signature")
+			return
+		}
+		next(w, r, body)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// Client is the worker side of the control plane: thin typed wrappers
+// over the HTTP endpoints, signing request bodies when a secret is set.
+type Client struct {
+	// BaseURL is the coordinator root, e.g. "http://10.0.0.1:9090".
+	BaseURL string
+	// Secret must match the coordinator's; empty sends unsigned requests.
+	Secret string
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (cl *Client) httpClient() *http.Client {
+	if cl.HTTP != nil {
+		return cl.HTTP
+	}
+	return http.DefaultClient
+}
+
+// errStatus decodes the control plane's {"error": ...} body into an error.
+func errStatus(op string, resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e)
+	if e.Error == "" {
+		e.Error = resp.Status
+	}
+	return fmt.Errorf("distsweep: %s: %s", op, e.Error)
+}
+
+// post sends one signed POST and returns the response (caller closes).
+func (cl *Client) post(path string, v any) (*http.Response, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, cl.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if cl.Secret != "" {
+		req.Header.Set("X-Tripwire-Signature", hook.Sign(cl.Secret, body))
+	}
+	return cl.httpClient().Do(req)
+}
+
+// Spec fetches the sweep description (the join handshake).
+func (cl *Client) Spec() (Spec, error) {
+	resp, err := cl.httpClient().Get(cl.BaseURL + "/sweep")
+	if err != nil {
+		return Spec{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Spec{}, errStatus("join", resp)
+	}
+	var s Spec
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("distsweep: decoding spec: %w", err)
+	}
+	return s, nil
+}
+
+// Lease outcomes.
+var (
+	// ErrSweepDone reports the coordinator has every result it needs.
+	ErrSweepDone = errors.New("distsweep: sweep complete")
+	// ErrNoTask reports nothing is leasable right now (all tasks leased
+	// out); the worker should poll again shortly.
+	ErrNoTask = errors.New("distsweep: no task available")
+	// ErrLeaseLost reports the coordinator fenced this lease off (expired
+	// and re-issued, or completed by another worker).
+	ErrLeaseLost = errors.New("distsweep: lease lost")
+)
+
+// Lease asks for the next seed task.
+func (cl *Client) Lease(worker string) (leaseResponse, error) {
+	resp, err := cl.post("/lease", leaseRequest{Worker: worker})
+	if err != nil {
+		return leaseResponse{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var lr leaseResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(&lr); err != nil {
+			return leaseResponse{}, fmt.Errorf("distsweep: decoding lease: %w", err)
+		}
+		return lr, nil
+	case http.StatusNoContent:
+		return leaseResponse{}, ErrNoTask
+	case http.StatusGone:
+		return leaseResponse{}, ErrSweepDone
+	default:
+		return leaseResponse{}, errStatus("lease", resp)
+	}
+}
+
+// Renew extends a held lease; ErrLeaseLost means stop working the seed.
+func (cl *Client) Renew(worker string, seedIndex, generation int) error {
+	resp, err := cl.post("/renew", renewRequest{Worker: worker, SeedIndex: seedIndex, Generation: generation})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		return ErrLeaseLost
+	default:
+		return errStatus("renew", resp)
+	}
+}
+
+// Complete submits one seed's canonical result bytes under the lease
+// fence. ErrLeaseLost means the completion was discarded (stale or
+// duplicate) — the sweep no longer needs it, which a worker treats as
+// success for its own control flow.
+func (cl *Client) Complete(worker string, seedIndex, generation int, resultBytes []byte) error {
+	resp, err := cl.post("/complete", completeRequest{
+		Worker:     worker,
+		SeedIndex:  seedIndex,
+		Generation: generation,
+		Result:     json.RawMessage(resultBytes),
+		Digest:     Digest(resultBytes),
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		return ErrLeaseLost
+	default:
+		return errStatus("complete", resp)
+	}
+}

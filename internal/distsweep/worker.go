@@ -1,0 +1,133 @@
+package distsweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"tripwire"
+	"tripwire/internal/sweep"
+)
+
+// Worker is the execution side of a distributed sweep: it leases seed
+// tasks from a coordinator, runs each through the ordinary study pipeline
+// (sweep.RunSeedContext → tripwire.New(...).RunContext), and submits the
+// canonical result bytes with their digest. It renews its lease on a
+// heartbeat while the study runs; losing the lease (the coordinator
+// re-issued the seed) cancels the study mid-flight so the worker moves on
+// instead of finishing work that is fenced off anyway.
+type Worker struct {
+	// Client reaches the coordinator.
+	Client *Client
+	// Name identifies this worker in leases and liveness accounting.
+	Name string
+	// ConfigFor builds the study configuration for one seed index (1..N),
+	// exactly as sweep.Options.ConfigFor does. It must be the same
+	// function the serial sweep would use — that is the whole byte-
+	// identity argument.
+	ConfigFor func(seed int64) tripwire.Config
+	// Poll is how long to wait before re-asking when every task is leased
+	// out. Default 200ms.
+	Poll time.Duration
+	// OnLease, when non-nil, observes each leased seed index before the
+	// study starts. Tests use it to crash a worker mid-seed.
+	OnLease func(seedIndex int)
+}
+
+// Run leases and executes seed tasks until the coordinator reports the
+// sweep complete (nil return), the context is cancelled, or the control
+// plane errors persistently.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Client == nil || w.ConfigFor == nil {
+		return errors.New("distsweep: worker needs Client and ConfigFor")
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, err := w.Client.Lease(w.Name)
+		switch {
+		case errors.Is(err, ErrSweepDone):
+			return nil
+		case errors.Is(err, ErrNoTask):
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		case err != nil:
+			return fmt.Errorf("distsweep: worker %q: %w", w.Name, err)
+		}
+		if w.OnLease != nil {
+			w.OnLease(lease.SeedIndex)
+		}
+		if err := w.runTask(ctx, lease); err != nil {
+			return err
+		}
+	}
+}
+
+// runTask executes one leased seed under heartbeat renewal and submits
+// the result.
+func (w *Worker) runTask(ctx context.Context, lease leaseResponse) error {
+	// The study context: cancelled when the worker shuts down or the
+	// heartbeat discovers the lease is gone.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ttl := time.Duration(lease.LeaseTTLMS) * time.Millisecond
+	beat := ttl / 3
+	if beat <= 0 {
+		beat = time.Second
+	}
+	lost := make(chan struct{})
+	stopBeat := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(beat)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopBeat:
+				return
+			case <-runCtx.Done():
+				return
+			case <-ticker.C:
+				if err := w.Client.Renew(w.Name, lease.SeedIndex, lease.Generation); errors.Is(err, ErrLeaseLost) {
+					close(lost)
+					cancel()
+					return
+				}
+				// Transient renew errors are ignored: the lease either
+				// survives to the next beat or expires, and expiry is safe —
+				// the seed is simply re-issued.
+			}
+		}
+	}()
+
+	result := sweep.RunSeedContext(runCtx, w.ConfigFor(int64(lease.SeedIndex)))
+	close(stopBeat)
+
+	select {
+	case <-lost:
+		// Fenced off: the result (possibly a cancelled prefix) must not be
+		// submitted; the re-issued lease owns the seed now.
+		return nil
+	default:
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	err := w.Client.Complete(w.Name, lease.SeedIndex, lease.Generation, EncodeResult(result))
+	if errors.Is(err, ErrLeaseLost) {
+		// Discarded as stale or duplicate — another completion covers the
+		// seed, which is success as far as this worker is concerned.
+		return nil
+	}
+	return err
+}
