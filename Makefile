@@ -3,9 +3,11 @@
 #   make build       compile everything
 #   make test        the seed tier-1 gate (build + tests)
 #   make race        full suite under the race detector
-#   make ci          what a PR must pass: build, vet, race tests, snapshot
-#                    fuzz corpora as seed tests, resume byte-identity smoke
-#                    (workers grid incl. 8, under -race), the 1M-account
+#   make ci          what a PR must pass: build, vet, race tests, snapshot/
+#                    crawler/epoch-equivalence fuzz corpora as seed tests,
+#                    resume byte-identity smoke (workers grid incl. 8,
+#                    under -race), the 16-worker timeline invariance smoke
+#                    (under -race), the 1M-account
 #                    lazy-store smoke (-short, under -race), the serve
 #                    smoke (boot tripwire-serve, pause/resume a study over
 #                    HTTP, require an SSE detection + a signed webhook
@@ -29,7 +31,9 @@
 #                           or any memory-envelope figure grew >5%
 #                           (heap-MB: the lazy 10k wave and the 1M-site /
 #                           10M-account heap envelopes; ckpt-full-KB /
-#                           ckpt-incr-KB: the incremental-checkpoint split)
+#                           ckpt-incr-KB: the incremental-checkpoint split;
+#                           allocs/event: the timeline engine's per-event
+#                           allocation rate)
 
 GO ?= go
 
@@ -66,8 +70,9 @@ race:
 ci: build metrics-doc-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -run Fuzz ./internal/snapshot/ ./internal/crawler/
+	$(GO) test -run Fuzz ./internal/snapshot/ ./internal/crawler/ ./internal/simclock/
 	$(GO) test -race -run 'TestResumeByteIdentical|TestStudyCheckpointResume' ./internal/sim/ .
+	$(GO) test -race -run 'TestTimelineWorkerInvariance/workers=16' ./internal/sim/
 	$(GO) test -race -short -run 'TestLazyMillionAccountSmoke|TestIncrementalCheckpointEquivalence' ./internal/sim/
 	$(GO) test -race -run 'TestServeSmoke' ./cmd/tripwire-serve/
 	$(GO) test -race -run 'TestDistSweepByteIdentical|TestDistSweepWorkerLossByteIdentical' ./internal/distsweep/
@@ -98,7 +103,7 @@ bench:
 bench-json: build
 	@$(BENCH_RUN) \
 	 | $(GO) run ./cmd/tripwire-bench -baseline BENCH_baseline.json -out BENCH_crawl.json \
-	     -note "hot-path run vs seed baseline; crawl workers grid 1/4/8/16 on the 2.3k universe plus the lazy 10k-universe wave, timeline engine events/s at 1/4/8 workers, multi-seed sweep seeds/s (in-process pool and distributed coordinator/worker over loopback HTTP), the 1M-site and 10M-account spilled-log heap envelopes (heap-MB), and the incremental-checkpoint byte split (ckpt-full-KB vs ckpt-incr-KB); allocs/op, post-GC live heap, and checkpoint bytes are deterministic, ns/op on shared hardware is noisy"
+	     -note "hot-path run vs seed baseline; crawl workers grid 1/4/8/16 on the 2.3k universe plus the lazy 10k-universe wave, timeline engine events/s, allocs/event and scaling-eff at 1/4/8/16 workers (adaptive align), multi-seed sweep seeds/s (in-process pool and distributed coordinator/worker over loopback HTTP), the 1M-site and 10M-account spilled-log heap envelopes (heap-MB), and the incremental-checkpoint byte split (ckpt-full-KB vs ckpt-incr-KB); allocs/op, post-GC live heap, and checkpoint bytes are deterministic, ns/op on shared hardware is noisy"
 	@echo "wrote BENCH_crawl.json"
 
 # Regression gates: re-run the tracked sweep and diff the deterministic

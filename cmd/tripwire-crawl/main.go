@@ -185,6 +185,7 @@ func main() {
 			}
 			ep := &simclock.Epochs{Sched: sched, Workers: nw}
 			ep.RunEpoch()
+			ep.Close()
 			return
 		}
 		var wg sync.WaitGroup

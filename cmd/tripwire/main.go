@@ -7,7 +7,7 @@
 //	tripwire [-scale small|paper] [-seed N] [-workers N] [-timeline-workers N]
 //	         [-detections-only] [-metrics-addr HOST:PORT] [-metrics-out FILE]
 //	         [-progress] [-checkpoint-dir DIR] [-checkpoint-every N]
-//	         [-resume FILE] [-eager-accounts]
+//	         [-resume FILE] [-eager-accounts] [-adaptive-align]
 //
 // The paper scale crawls 33,634 synthetic sites and monitors >100,000 honey
 // accounts; small scale runs the same pipeline on a 1,200-site web in a few
@@ -59,6 +59,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 10, "checkpoint after every Nth completed wave (with -checkpoint-dir)")
 	resume := flag.String("resume", "", "resume from this checkpoint file; replays and verifies the completed prefix, then continues")
 	eagerAccounts := flag.Bool("eager-accounts", false, "materialize every honey account up front instead of deriving lazily from (seed, rank); results are identical, memory is not")
+	adaptiveAlign := flag.Bool("adaptive-align", false, "let the attacker campaign widen its scheduling grain adaptively so timeline workers overlap more stuffing latency; worker-count invariant, but changes event timestamps vs the fixed grain")
 	flag.Parse()
 
 	var cfg tripwire.Config
@@ -78,6 +79,9 @@ func main() {
 	}
 	if *eagerAccounts {
 		opts = append(opts, tripwire.WithEagerAccounts(true))
+	}
+	if *adaptiveAlign {
+		opts = append(opts, tripwire.WithAdaptiveAlign(true))
 	}
 	if *checkpointDir != "" {
 		opts = append(opts, tripwire.WithCheckpoint(*checkpointDir, *checkpointEvery))

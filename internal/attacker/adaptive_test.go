@@ -1,0 +1,97 @@
+package attacker
+
+import (
+	"testing"
+	"time"
+
+	"tripwire/internal/simclock"
+)
+
+// tuneCampaign builds a campaign shell for exercising the adaptive align
+// controller; TuneEpoch touches only the config and the grain.
+func tuneCampaign(align, alignMax time.Duration, target int) *Campaign {
+	cfg := DefaultCampaignConfig(t0.Add(365 * 24 * time.Hour))
+	cfg.Align = align
+	cfg.AlignMax = alignMax
+	cfg.AlignTargetWidth = target
+	return NewCampaign(cfg, nil, nil, nil)
+}
+
+func keyedEpoch(width int) simclock.EpochStats {
+	return simclock.EpochStats{Width: width, Keyed: width}
+}
+
+// TestTuneEpochOracle pins the determinism oracle: with AlignMax unset or
+// equal to Align, TuneEpoch is a no-op and the grain never leaves Align.
+func TestTuneEpochOracle(t *testing.T) {
+	for _, alignMax := range []time.Duration{0, time.Hour} {
+		c := tuneCampaign(time.Hour, alignMax, 0)
+		for i := 0; i < 10; i++ {
+			c.TuneEpoch(keyedEpoch(1))
+			c.TuneEpoch(keyedEpoch(100000))
+		}
+		if got := c.CurrentAlign(); got != time.Hour {
+			t.Fatalf("AlignMax=%v: grain moved to %v, want fixed %v", alignMax, got, time.Hour)
+		}
+	}
+}
+
+// TestTuneEpochWidensAndCaps drives consecutive narrow keyed epochs and
+// asserts the grain doubles after every second one, saturating at AlignMax.
+func TestTuneEpochWidensAndCaps(t *testing.T) {
+	c := tuneCampaign(time.Hour, 16*time.Hour, 256)
+	want := []time.Duration{
+		time.Hour, 2 * time.Hour, // epochs 1,2: double after the 2nd
+		2 * time.Hour, 4 * time.Hour,
+		4 * time.Hour, 8 * time.Hour,
+		8 * time.Hour, 16 * time.Hour,
+		16 * time.Hour, 16 * time.Hour, // capped
+	}
+	for i, w := range want {
+		c.TuneEpoch(keyedEpoch(10)) // well under target/2
+		if got := c.CurrentAlign(); got != w {
+			t.Fatalf("after narrow epoch %d: grain %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestTuneEpochNarrowsAndFloors drives over-wide epochs against a widened
+// grain and asserts halving with the Align floor.
+func TestTuneEpochNarrowsAndFloors(t *testing.T) {
+	c := tuneCampaign(time.Hour, 16*time.Hour, 256)
+	for i := 0; i < 4; i++ {
+		c.TuneEpoch(keyedEpoch(10))
+	}
+	if got := c.CurrentAlign(); got != 4*time.Hour {
+		t.Fatalf("setup widening: grain %v, want 4h", got)
+	}
+	want := []time.Duration{
+		4 * time.Hour, 2 * time.Hour,
+		2 * time.Hour, time.Hour,
+		time.Hour, time.Hour, // floored at Align
+	}
+	for i, w := range want {
+		c.TuneEpoch(keyedEpoch(600)) // over target*2
+		if got := c.CurrentAlign(); got != w {
+			t.Fatalf("after wide epoch %d: grain %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestTuneEpochStreaksAndSkips asserts in-band epochs reset the streaks
+// and keyed-free epochs are ignored entirely, so a lone narrow epoch never
+// moves the grain.
+func TestTuneEpochStreaksAndSkips(t *testing.T) {
+	c := tuneCampaign(time.Hour, 16*time.Hour, 256)
+	c.TuneEpoch(keyedEpoch(10))
+	c.TuneEpoch(keyedEpoch(300)) // in band: resets the narrow streak
+	c.TuneEpoch(keyedEpoch(10))
+	if got := c.CurrentAlign(); got != time.Hour {
+		t.Fatalf("streak survived an in-band epoch: grain %v", got)
+	}
+	c.TuneEpoch(simclock.EpochStats{Width: 3, Keyed: 0}) // serial-only: ignored
+	c.TuneEpoch(keyedEpoch(10))
+	if got := c.CurrentAlign(); got != 2*time.Hour {
+		t.Fatalf("keyed-free epoch broke the streak: grain %v, want 2h", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"tripwire/internal/geo"
 	"tripwire/internal/imap"
+	"tripwire/internal/memconn"
 	"tripwire/internal/pop3"
 	"tripwire/internal/xrand"
 )
@@ -257,6 +258,27 @@ func (s *Stuffer) record(email string, ip netip.Addr, ok bool) {
 	s.Metrics.attempt(ok)
 }
 
+// bot bundles the reusable pieces of one in-flight IMAP stuffing session:
+// a rewindable in-memory conn pair, a buffer-retaining client, and the
+// join handle for the serving goroutine. Bots are pooled so steady-state
+// stuffing performs no per-login connection or buffer allocation.
+type bot struct {
+	pair *memconn.Pair
+	cli  imap.Client
+	srv  *imap.Server
+	ip   netip.Addr
+	wg   sync.WaitGroup
+}
+
+var botPool = sync.Pool{New: func() any { return &bot{pair: memconn.NewPair()} }}
+
+// serve runs the provider side of the session to completion.
+func (b *bot) serve() {
+	defer b.wg.Done()
+	_ = b.srv.ServeConn(b.pair.Server(), b.ip)
+	b.pair.Server().Close()
+}
+
 func (s *Stuffer) loginVia(ip netip.Addr, cred Credential, siphon bool) bool {
 	if s.Latency > 0 {
 		time.Sleep(s.Latency)
@@ -264,20 +286,21 @@ func (s *Stuffer) loginVia(ip netip.Addr, cred Credential, siphon bool) bool {
 	if s.pickPOP(cred.Email) {
 		return s.loginPOP(ip, cred, siphon)
 	}
-	client, server := net.Pipe()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		_ = s.Server.ServeConn(server, ip)
-		server.Close()
-	}()
+	b := botPool.Get().(*bot)
+	b.srv, b.ip = s.Server, ip
+	b.pair.Reset()
+	b.wg.Add(1)
+	go b.serve()
+	client := b.pair.Client()
 	defer func() {
 		client.Close()
-		<-done
+		b.wg.Wait()
+		b.srv = nil
+		botPool.Put(b)
 	}()
 
-	c, err := imap.Dial(client)
-	if err != nil {
+	c := &b.cli
+	if err := c.Reset(client); err != nil {
 		return false
 	}
 	if err := c.Login(cred.Email, cred.Password); err != nil {

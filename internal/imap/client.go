@@ -1,48 +1,124 @@
 package imap
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"net"
-	"strings"
+	"strconv"
 )
 
 // Client is a minimal IMAP client: the attacker simulation drives it to
 // log in to stolen accounts and siphon mail, producing exactly the
 // provider-side login telemetry Tripwire monitors.
+//
+// A Client is reusable: Reset rebinds it to a fresh connection while
+// keeping its internal buffers, so the stuffing bot pool can drive tens of
+// thousands of sequential sessions through one Client without per-session
+// garbage. The zero value plus Reset is equivalent to Dial.
 type Client struct {
-	conn net.Conn
-	r    *lineReader
-	w    *lineWriter
-	tag  int
+	conn    net.Conn
+	r       lineReader
+	tag     int
+	tagBuf  []byte // current command tag ("aNNN"), reused
+	scratch []byte // outgoing command build buffer, reused
 }
 
 // Dial starts an IMAP session over conn, consuming the server greeting.
 func Dial(conn net.Conn) (*Client, error) {
-	c := &Client{conn: conn, r: newLineReader(conn), w: newLineWriter(conn)}
-	line, err := c.r.ReadLine()
-	if err != nil {
-		return nil, fmt.Errorf("imap: reading greeting: %w", err)
-	}
-	if !strings.HasPrefix(line, "* OK") {
-		return nil, fmt.Errorf("imap: unexpected greeting %q", line)
+	c := &Client{}
+	if err := c.Reset(conn); err != nil {
+		return nil, err
 	}
 	return c, nil
+}
+
+// Reset rebinds the client to a fresh connection, rewinds the tag counter,
+// and consumes the server greeting. Buffers from previous sessions are
+// retained.
+func (c *Client) Reset(conn net.Conn) error {
+	c.conn = conn
+	c.r.reset(conn)
+	c.tag = 0
+	line, err := c.r.ReadLine()
+	if err != nil {
+		return fmt.Errorf("imap: reading greeting: %w", err)
+	}
+	if !bytes.HasPrefix(line, []byte("* OK")) {
+		return fmt.Errorf("imap: unexpected greeting %q", line)
+	}
+	return nil
+}
+
+// begin allocates the next tag and returns the scratch buffer primed with
+// "tag " for the caller to append the command body onto; pass the result
+// to send.
+func (c *Client) begin() []byte {
+	c.tag++
+	t := c.tagBuf[:0]
+	t = append(t, 'a')
+	// Zero-pad to three digits, matching the classic aNNN tag shape.
+	if c.tag < 100 {
+		t = append(t, '0')
+	}
+	if c.tag < 10 {
+		t = append(t, '0')
+	}
+	t = strconv.AppendInt(t, int64(c.tag), 10)
+	c.tagBuf = t
+	b := append(c.scratch[:0], t...)
+	return append(b, ' ')
+}
+
+// send terminates and writes a command line built by begin.
+func (c *Client) send(line []byte) error {
+	line = append(line, '\r', '\n')
+	c.scratch = line
+	_, err := c.conn.Write(line)
+	return err
+}
+
+// isTagged reports whether line is the tagged reply to the current command.
+func (c *Client) isTagged(line []byte) bool {
+	return len(line) > len(c.tagBuf) && bytes.HasPrefix(line, c.tagBuf) && line[len(c.tagBuf)] == ' '
+}
+
+// status reads until the current command's tagged reply and returns the
+// status portion ("OK ...", "NO ...", "BAD ..."), skipping untagged
+// responses. The returned bytes are valid until the next read.
+func (c *Client) status() ([]byte, error) {
+	for {
+		line, err := c.r.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		if c.isTagged(line) {
+			return line[len(c.tagBuf)+1:], nil
+		}
+	}
 }
 
 // Login authenticates. It maps the server's status responses back to the
 // sentinel errors so callers can distinguish wrong-password from frozen
 // from throttled.
 func (c *Client) Login(user, pass string) error {
-	status, err := c.cmd(fmt.Sprintf("LOGIN %q %q", user, pass))
+	line := append(c.begin(), "LOGIN "...)
+	line = strconv.AppendQuote(line, user)
+	line = append(line, ' ')
+	line = strconv.AppendQuote(line, pass)
+	if err := c.send(line); err != nil {
+		return err
+	}
+	status, err := c.status()
 	if err != nil {
 		return err
 	}
 	switch {
-	case strings.HasPrefix(status, "OK"):
+	case bytes.HasPrefix(status, []byte("OK")):
 		return nil
-	case strings.Contains(status, "UNAVAILABLE"):
+	case bytes.Contains(status, []byte("UNAVAILABLE")):
 		return ErrThrottled
-	case strings.Contains(status, "CONTACTADMIN"):
+	case bytes.Contains(status, []byte("CONTACTADMIN")):
 		return ErrAccountFrozen
 	default:
 		return ErrAuthFailed
@@ -51,8 +127,9 @@ func (c *Client) Login(user, pass string) error {
 
 // Select opens a mailbox and returns its message count.
 func (c *Client) Select(mailbox string) (int, error) {
-	tag := c.nextTag()
-	if err := c.w.WriteLine(fmt.Sprintf("%s SELECT %q", tag, mailbox)); err != nil {
+	line := append(c.begin(), "SELECT "...)
+	line = strconv.AppendQuote(line, mailbox)
+	if err := c.send(line); err != nil {
 		return 0, err
 	}
 	count := 0
@@ -61,12 +138,12 @@ func (c *Client) Select(mailbox string) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		if strings.HasPrefix(line, "* ") && strings.HasSuffix(line, " EXISTS") {
-			fmt.Sscanf(line, "* %d EXISTS", &count)
+		if n, ok := parseExists(line); ok {
+			count = n
 			continue
 		}
-		if strings.HasPrefix(line, tag+" ") {
-			if strings.HasPrefix(line[len(tag)+1:], "OK") {
+		if c.isTagged(line) {
+			if bytes.HasPrefix(line[len(c.tagBuf)+1:], []byte("OK")) {
 				return count, nil
 			}
 			return 0, fmt.Errorf("imap: SELECT failed: %s", line)
@@ -74,10 +151,23 @@ func (c *Client) Select(mailbox string) (int, error) {
 	}
 }
 
+// parseExists recognizes "* N EXISTS".
+func parseExists(line []byte) (int, bool) {
+	const suffix = " EXISTS"
+	if !bytes.HasPrefix(line, []byte("* ")) || !bytes.HasSuffix(line, []byte(suffix)) {
+		return 0, false
+	}
+	return atoiBytes(line[2 : len(line)-len(suffix)])
+}
+
 // Fetch retrieves messages lo..hi (1-based, inclusive).
 func (c *Client) Fetch(lo, hi int) ([]Message, error) {
-	tag := c.nextTag()
-	if err := c.w.WriteLine(fmt.Sprintf("%s FETCH %d:%d (BODY[])", tag, lo, hi)); err != nil {
+	line := append(c.begin(), "FETCH "...)
+	line = strconv.AppendInt(line, int64(lo), 10)
+	line = append(line, ':')
+	line = strconv.AppendInt(line, int64(hi), 10)
+	line = append(line, " (BODY[])"...)
+	if err := c.send(line); err != nil {
 		return nil, err
 	}
 	var out []Message
@@ -86,11 +176,7 @@ func (c *Client) Fetch(lo, hi int) ([]Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		if strings.HasPrefix(line, "* ") && strings.Contains(line, "FETCH (BODY[] {") {
-			var seq, size int
-			if _, err := fmt.Sscanf(line, "* %d FETCH (BODY[] {%d}", &seq, &size); err != nil {
-				continue
-			}
+		if size, ok := parseFetchLiteral(line); ok {
 			lit, err := c.r.ReadN(size)
 			if err != nil {
 				return nil, err
@@ -102,8 +188,8 @@ func (c *Client) Fetch(lo, hi int) ([]Message, error) {
 			out = append(out, parseLiteral(lit))
 			continue
 		}
-		if strings.HasPrefix(line, tag+" ") {
-			if strings.Contains(line, "OK") {
+		if c.isTagged(line) {
+			if bytes.Contains(line, []byte("OK")) {
 				return out, nil
 			}
 			return out, fmt.Errorf("imap: FETCH failed: %s", line)
@@ -111,114 +197,144 @@ func (c *Client) Fetch(lo, hi int) ([]Message, error) {
 	}
 }
 
+// parseFetchLiteral recognizes "* N FETCH (BODY[] {SIZE}" and returns the
+// literal size.
+func parseFetchLiteral(line []byte) (int, bool) {
+	const marker = " FETCH (BODY[] {"
+	if !bytes.HasPrefix(line, []byte("* ")) {
+		return 0, false
+	}
+	i := bytes.Index(line, []byte(marker))
+	if i < 0 || line[len(line)-1] != '}' {
+		return 0, false
+	}
+	if _, ok := atoiBytes(line[2:i]); !ok {
+		return 0, false
+	}
+	return atoiBytes(line[i+len(marker) : len(line)-1])
+}
+
 // Logout ends the session and closes the connection.
 func (c *Client) Logout() error {
-	tag := c.nextTag()
-	_ = c.w.WriteLine(tag + " LOGOUT")
+	_ = c.send(append(c.begin(), "LOGOUT"...))
 	// Read until the tagged reply or EOF; then close.
 	for {
 		line, err := c.r.ReadLine()
 		if err != nil {
 			break
 		}
-		if strings.HasPrefix(line, tag+" ") {
+		if c.isTagged(line) {
 			break
 		}
 	}
 	return c.conn.Close()
 }
 
-// cmd sends a tagged command and returns the tagged status ("OK ...",
-// "NO ...", "BAD ..."), skipping untagged responses.
-func (c *Client) cmd(body string) (string, error) {
-	tag := c.nextTag()
-	if err := c.w.WriteLine(tag + " " + body); err != nil {
-		return "", err
-	}
-	for {
-		line, err := c.r.ReadLine()
-		if err != nil {
-			return "", err
-		}
-		if strings.HasPrefix(line, tag+" ") {
-			return line[len(tag)+1:], nil
-		}
-	}
-}
-
-func (c *Client) nextTag() string {
-	c.tag++
-	return fmt.Sprintf("a%03d", c.tag)
-}
-
-func parseLiteral(lit string) Message {
+func parseLiteral(lit []byte) Message {
 	var m Message
-	head, body, found := strings.Cut(lit, "\r\n\r\n")
+	head, body, found := bytes.Cut(lit, []byte("\r\n\r\n"))
 	if !found {
-		m.Body = lit
+		m.Body = string(lit)
 		return m
 	}
-	for _, line := range strings.Split(head, "\r\n") {
-		if v, ok := strings.CutPrefix(line, "From: "); ok {
-			m.From = v
+	for len(head) > 0 {
+		var line []byte
+		if i := bytes.Index(head, []byte("\r\n")); i >= 0 {
+			line, head = head[:i], head[i+2:]
+		} else {
+			line, head = head, nil
 		}
-		if v, ok := strings.CutPrefix(line, "Subject: "); ok {
-			m.Subject = v
+		if v, ok := bytes.CutPrefix(line, []byte("From: ")); ok {
+			m.From = string(v)
+		}
+		if v, ok := bytes.CutPrefix(line, []byte("Subject: ")); ok {
+			m.Subject = string(v)
 		}
 	}
-	m.Body = body
+	m.Body = string(body)
 	return m
 }
 
-// lineReader reads CRLF lines plus fixed-size literals.
+// atoiBytes parses an unsigned decimal without allocating.
+func atoiBytes(b []byte) (int, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+var crlf = []byte("\r\n")
+
+// lineReader reads CRLF lines plus fixed-size literals from a fixed,
+// reusable buffer; returned slices alias the buffer and are valid until
+// the next read call.
 type lineReader struct {
 	conn net.Conn
 	buf  []byte
+	r, w int
 }
 
-func newLineReader(conn net.Conn) *lineReader { return &lineReader{conn: conn} }
+// reset rebinds the reader to conn, keeping its buffer.
+func (l *lineReader) reset(conn net.Conn) {
+	l.conn = conn
+	l.r, l.w = 0, 0
+	if l.buf == nil {
+		l.buf = make([]byte, 4096)
+	}
+}
 
-func (r *lineReader) fill() error {
-	chunk := make([]byte, 4096)
-	n, err := r.conn.Read(chunk)
+// fill compacts the buffer and reads more bytes, growing only when a
+// single line or literal outsizes the buffer.
+func (l *lineReader) fill() error {
+	if l.r > 0 {
+		n := copy(l.buf, l.buf[l.r:l.w])
+		l.r, l.w = 0, n
+	}
+	if l.w == len(l.buf) {
+		bigger := make([]byte, 2*len(l.buf))
+		copy(bigger, l.buf[:l.w])
+		l.buf = bigger
+	}
+	n, err := l.conn.Read(l.buf[l.w:])
 	if n > 0 {
-		r.buf = append(r.buf, chunk[:n]...)
+		l.w += n
 		return nil
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	return io.ErrNoProgress
 }
 
 // ReadLine returns the next line without its CRLF.
-func (r *lineReader) ReadLine() (string, error) {
+func (l *lineReader) ReadLine() ([]byte, error) {
 	for {
-		if i := strings.Index(string(r.buf), "\r\n"); i >= 0 {
-			line := string(r.buf[:i])
-			r.buf = r.buf[i+2:]
+		if i := bytes.Index(l.buf[l.r:l.w], crlf); i >= 0 {
+			line := l.buf[l.r : l.r+i]
+			l.r += i + 2
 			return line, nil
 		}
-		if err := r.fill(); err != nil {
-			return "", err
+		if err := l.fill(); err != nil {
+			return nil, err
 		}
 	}
 }
 
 // ReadN returns exactly n bytes.
-func (r *lineReader) ReadN(n int) (string, error) {
-	for len(r.buf) < n {
-		if err := r.fill(); err != nil {
-			return "", err
+func (l *lineReader) ReadN(n int) ([]byte, error) {
+	for l.w-l.r < n {
+		if err := l.fill(); err != nil {
+			return nil, err
 		}
 	}
-	out := string(r.buf[:n])
-	r.buf = r.buf[n:]
+	out := l.buf[l.r : l.r+n]
+	l.r += n
 	return out, nil
-}
-
-type lineWriter struct{ conn net.Conn }
-
-func newLineWriter(conn net.Conn) *lineWriter { return &lineWriter{conn: conn} }
-
-func (w *lineWriter) WriteLine(s string) error {
-	_, err := w.conn.Write([]byte(s + "\r\n"))
-	return err
 }

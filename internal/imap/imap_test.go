@@ -200,7 +200,7 @@ func TestParseSeqSet(t *testing.T) {
 		{"x", 0, 0, false},
 	}
 	for _, tc := range cases {
-		lo, hi, ok := parseSeqSet(tc.in)
+		lo, hi, ok := parseSeqSet([]byte(tc.in))
 		if ok != tc.ok || (ok && (lo != tc.lo || hi != tc.hi)) {
 			t.Errorf("parseSeqSet(%q) = %d,%d,%v; want %d,%d,%v", tc.in, lo, hi, ok, tc.lo, tc.hi, tc.ok)
 		}
@@ -208,13 +208,13 @@ func TestParseSeqSet(t *testing.T) {
 }
 
 func TestSplitQuoted(t *testing.T) {
-	got := splitQuoted(`a1 LOGIN "user name" "pass word"`)
+	got := splitQuoted([]byte(`a1 LOGIN "user name" "pass word"`), nil)
 	want := []string{"a1", "LOGIN", `"user name"`, `"pass word"`}
 	if len(got) != len(want) {
-		t.Fatalf("splitQuoted = %v", got)
+		t.Fatalf("splitQuoted = %q", got)
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if string(got[i]) != want[i] {
 			t.Fatalf("splitQuoted[%d] = %q, want %q", i, got[i], want[i])
 		}
 	}

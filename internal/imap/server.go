@@ -1,12 +1,11 @@
 package imap
 
 import (
-	"bufio"
-	"fmt"
+	"bytes"
 	"net"
 	"net/netip"
 	"strconv"
-	"strings"
+	"sync"
 )
 
 // Server speaks IMAP4rev1 (subset) over accepted connections, delegating
@@ -43,18 +42,48 @@ func remoteAddr(conn net.Conn) netip.Addr {
 	return netip.Addr{}
 }
 
+// serverConn holds one session's reusable buffers; pooled so the stuffing
+// hot path, which runs one short session per simulated login, reuses the
+// same read buffer, response buffer, and field scratch across sessions.
+type serverConn struct {
+	r      lineReader
+	out    []byte
+	fields [][]byte
+}
+
+var serverConnPool = sync.Pool{New: func() any { return new(serverConn) }}
+
 // ServeConn runs one IMAP session. remote is the client address used for
 // login logging; for proxied connections callers pass the proxy exit IP.
 func (s *Server) ServeConn(conn net.Conn, remote netip.Addr) error {
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
-	send := func(format string, args ...any) error {
-		if _, err := fmt.Fprintf(w, format+"\r\n", args...); err != nil {
-			return err
+	st := serverConnPool.Get().(*serverConn)
+	st.r.reset(conn)
+	defer func() {
+		st.r.conn = nil
+		for i := range st.fields {
+			st.fields[i] = nil
 		}
-		return w.Flush()
+		serverConnPool.Put(st)
+	}()
+
+	// reply appends CRLF and writes the response in one call; multi-line
+	// responses embed interior CRLFs and go out as a single write.
+	reply := func(b []byte) error {
+		b = append(b, '\r', '\n')
+		st.out = b
+		_, err := conn.Write(b)
+		return err
 	}
-	if err := send("* OK %s", s.Greeting); err != nil {
+	// tagged builds "<tag> <rest>" onto the reused response buffer b.
+	tagged := func(b, tag []byte, rest string) []byte {
+		b = append(b, tag...)
+		b = append(b, ' ')
+		return append(b, rest...)
+	}
+
+	b := append(st.out[:0], "* OK "...)
+	b = append(b, s.Greeting...)
+	if err := reply(b); err != nil {
 		return err
 	}
 
@@ -67,171 +96,182 @@ func (s *Server) ServeConn(conn net.Conn, remote netip.Addr) error {
 	}()
 
 	for {
-		line, err := r.ReadString('\n')
+		line, err := st.r.ReadLine()
 		if err != nil {
 			return err
 		}
-		tag, verb, args := parseCommand(strings.TrimRight(line, "\r\n"))
-		if tag == "" {
-			if err := send("* BAD malformed command"); err != nil {
+		st.fields = splitQuoted(line, st.fields)
+		if len(st.fields) < 2 {
+			if err := reply(append(st.out[:0], "* BAD malformed command"...)); err != nil {
 				return err
 			}
 			continue
 		}
-		switch verb {
-		case "CAPABILITY":
-			if err := send("* CAPABILITY IMAP4rev1 LOGINDISABLED-NOT"); err != nil {
+		tag, verb, args := st.fields[0], st.fields[1], st.fields[2:]
+		switch {
+		case verbIs(verb, "CAPABILITY"):
+			b := append(st.out[:0], "* CAPABILITY IMAP4rev1 LOGINDISABLED-NOT\r\n"...)
+			if err := reply(tagged(b, tag, "OK CAPABILITY completed")); err != nil {
 				return err
 			}
-			if err := send("%s OK CAPABILITY completed", tag); err != nil {
-				return err
-			}
-		case "LOGIN":
+		case verbIs(verb, "LOGIN"):
 			if len(args) < 2 {
-				if err := send("%s BAD LOGIN expects user and password", tag); err != nil {
+				if err := reply(tagged(st.out[:0], tag, "BAD LOGIN expects user and password")); err != nil {
 					return err
 				}
 				continue
 			}
-			user, pass := unquote(args[0]), unquote(args[1])
-			newSess, err := s.Backend.Login(user, pass, remote)
+			// The Backend interface takes strings; these two conversions
+			// are the session's only parse-side allocations.
+			user, pass := string(unquote(args[0])), string(unquote(args[1]))
+			newSess, lerr := s.Backend.Login(user, pass, remote)
+			status := "NO LOGIN failed"
 			switch {
-			case err == nil:
+			case lerr == nil:
 				sess = newSess
-				if err := send("%s OK LOGIN completed", tag); err != nil {
-					return err
-				}
-			case err == ErrThrottled:
-				if err := send("%s NO [UNAVAILABLE] too many attempts", tag); err != nil {
-					return err
-				}
-			case err == ErrAccountFrozen:
-				if err := send("%s NO [CONTACTADMIN] account unavailable", tag); err != nil {
-					return err
-				}
-			default:
-				if err := send("%s NO LOGIN failed", tag); err != nil {
-					return err
-				}
+				status = "OK LOGIN completed"
+			case lerr == ErrThrottled:
+				status = "NO [UNAVAILABLE] too many attempts"
+			case lerr == ErrAccountFrozen:
+				status = "NO [CONTACTADMIN] account unavailable"
 			}
-		case "SELECT":
+			if err := reply(tagged(st.out[:0], tag, status)); err != nil {
+				return err
+			}
+		case verbIs(verb, "SELECT"):
 			if sess == nil {
-				if err := send("%s NO not authenticated", tag); err != nil {
+				if err := reply(tagged(st.out[:0], tag, "NO not authenticated")); err != nil {
 					return err
 				}
 				continue
 			}
 			box := "INBOX"
 			if len(args) > 0 {
-				box = unquote(args[0])
+				box = string(unquote(args[0]))
 			}
-			n, err := sess.Select(box)
-			if err != nil {
-				if err := send("%s NO no such mailbox", tag); err != nil {
+			n, serr := sess.Select(box)
+			if serr != nil {
+				if err := reply(tagged(st.out[:0], tag, "NO no such mailbox")); err != nil {
 					return err
 				}
 				continue
 			}
 			selected = true
-			if err := send("* %d EXISTS", n); err != nil {
+			b := append(st.out[:0], "* "...)
+			b = strconv.AppendInt(b, int64(n), 10)
+			b = append(b, " EXISTS\r\n* OK [UIDVALIDITY 1] UIDs valid\r\n"...)
+			if err := reply(tagged(b, tag, "OK [READ-ONLY] SELECT completed")); err != nil {
 				return err
 			}
-			if err := send("* OK [UIDVALIDITY 1] UIDs valid"); err != nil {
-				return err
-			}
-			if err := send("%s OK [READ-ONLY] SELECT completed", tag); err != nil {
-				return err
-			}
-		case "FETCH":
+		case verbIs(verb, "FETCH"):
 			if sess == nil || !selected {
-				if err := send("%s NO no mailbox selected", tag); err != nil {
+				if err := reply(tagged(st.out[:0], tag, "NO no mailbox selected")); err != nil {
 					return err
 				}
 				continue
 			}
 			if len(args) < 1 {
-				if err := send("%s BAD FETCH expects sequence set", tag); err != nil {
+				if err := reply(tagged(st.out[:0], tag, "BAD FETCH expects sequence set")); err != nil {
 					return err
 				}
 				continue
 			}
 			lo, hi, ok := parseSeqSet(args[0])
 			if !ok {
-				if err := send("%s BAD bad sequence set", tag); err != nil {
+				if err := reply(tagged(st.out[:0], tag, "BAD bad sequence set")); err != nil {
 					return err
 				}
 				continue
 			}
 			for seq := lo; seq <= hi; seq++ {
-				m, err := sess.Fetch(seq)
-				if err != nil {
+				m, ferr := sess.Fetch(seq)
+				if ferr != nil {
 					break
 				}
-				lit := fmt.Sprintf("From: %s\r\nSubject: %s\r\n\r\n%s", m.From, m.Subject, m.Body)
-				if err := send("* %d FETCH (BODY[] {%d}", seq, len(lit)); err != nil {
-					return err
-				}
-				if _, err := w.WriteString(lit + ")\r\n"); err != nil {
-					return err
-				}
-				if err := w.Flush(); err != nil {
+				litLen := len("From: ") + len(m.From) + len("\r\nSubject: ") + len(m.Subject) + len("\r\n\r\n") + len(m.Body)
+				b := append(st.out[:0], "* "...)
+				b = strconv.AppendInt(b, int64(seq), 10)
+				b = append(b, " FETCH (BODY[] {"...)
+				b = strconv.AppendInt(b, int64(litLen), 10)
+				b = append(b, "}\r\nFrom: "...)
+				b = append(b, m.From...)
+				b = append(b, "\r\nSubject: "...)
+				b = append(b, m.Subject...)
+				b = append(b, "\r\n\r\n"...)
+				b = append(b, m.Body...)
+				b = append(b, ')')
+				if err := reply(b); err != nil {
 					return err
 				}
 			}
-			if err := send("%s OK FETCH completed", tag); err != nil {
+			if err := reply(tagged(st.out[:0], tag, "OK FETCH completed")); err != nil {
 				return err
 			}
-		case "NOOP":
-			if err := send("%s OK NOOP completed", tag); err != nil {
+		case verbIs(verb, "NOOP"):
+			if err := reply(tagged(st.out[:0], tag, "OK NOOP completed")); err != nil {
 				return err
 			}
-		case "LOGOUT":
-			_ = send("* BYE logging out")
-			return send("%s OK LOGOUT completed", tag)
+		case verbIs(verb, "LOGOUT"):
+			b := append(st.out[:0], "* BYE logging out\r\n"...)
+			return reply(tagged(b, tag, "OK LOGOUT completed"))
 		default:
-			if err := send("%s BAD unsupported command", tag); err != nil {
+			if err := reply(tagged(st.out[:0], tag, "BAD unsupported command")); err != nil {
 				return err
 			}
 		}
 	}
 }
 
-// parseCommand splits "tag VERB arg1 arg2..." respecting quoted strings.
-func parseCommand(line string) (tag, verb string, args []string) {
-	fields := splitQuoted(line)
-	if len(fields) < 2 {
-		return "", "", nil
+// verbIs reports whether verb equals want (an upper-case literal),
+// ASCII-case-insensitively.
+func verbIs(verb []byte, want string) bool {
+	if len(verb) != len(want) {
+		return false
 	}
-	return fields[0], strings.ToUpper(fields[1]), fields[2:]
-}
-
-func splitQuoted(s string) []string {
-	var out []string
-	var cur strings.Builder
-	inQ := false
-	flush := func() {
-		if cur.Len() > 0 {
-			out = append(out, cur.String())
-			cur.Reset()
+	for i := 0; i < len(verb); i++ {
+		c := verb[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != want[i] {
+			return false
 		}
 	}
-	for i := 0; i < len(s); i++ {
-		c := s[i]
+	return true
+}
+
+// splitQuoted splits line into fields respecting quoted strings (quotes
+// are kept in the field). Fields alias line; dst is reused.
+func splitQuoted(line []byte, dst [][]byte) [][]byte {
+	dst = dst[:0]
+	inQ := false
+	start := -1
+	for i := 0; i < len(line); i++ {
+		c := line[i]
 		switch {
 		case c == '"':
 			inQ = !inQ
-			cur.WriteByte(c)
+			if start < 0 {
+				start = i
+			}
 		case c == ' ' && !inQ:
-			flush()
+			if start >= 0 {
+				dst = append(dst, line[start:i])
+				start = -1
+			}
 		default:
-			cur.WriteByte(c)
+			if start < 0 {
+				start = i
+			}
 		}
 	}
-	flush()
-	return out
+	if start >= 0 {
+		dst = append(dst, line[start:])
+	}
+	return dst
 }
 
-func unquote(s string) string {
+func unquote(s []byte) []byte {
 	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
 		return s[1 : len(s)-1]
 	}
@@ -239,16 +279,16 @@ func unquote(s string) string {
 }
 
 // parseSeqSet handles "n" and "n:m" (and "n:*" as n:large).
-func parseSeqSet(s string) (lo, hi int, ok bool) {
-	if i := strings.IndexByte(s, ':'); i >= 0 {
-		a, err1 := strconv.Atoi(s[:i])
+func parseSeqSet(s []byte) (lo, hi int, ok bool) {
+	if i := bytes.IndexByte(s, ':'); i >= 0 {
+		a, ok1 := atoiBytes(s[:i])
 		rest := s[i+1:]
-		if rest == "*" {
-			return a, 1 << 30, err1 == nil && a > 0
+		if len(rest) == 1 && rest[0] == '*' {
+			return a, 1 << 30, ok1 && a > 0
 		}
-		b, err2 := strconv.Atoi(rest)
-		return a, b, err1 == nil && err2 == nil && a > 0 && b >= a
+		b, ok2 := atoiBytes(rest)
+		return a, b, ok1 && ok2 && a > 0 && b >= a
 	}
-	n, err := strconv.Atoi(s)
-	return n, n, err == nil && n > 0
+	n, ok1 := atoiBytes(s)
+	return n, n, ok1 && n > 0
 }

@@ -95,6 +95,18 @@ type Config struct {
 	// handlers is flushed in frontier order, and append-ordered shared logs
 	// are re-sequenced per segment.
 	TimelineWorkers int
+	// TimelineAdaptiveAlign lets the attacker campaign widen its scheduling
+	// grain adaptively: the epoch engine feeds each epoch's deterministic
+	// shape back to the campaign, which doubles its align grain (up to
+	// attacker.DefaultAlignMax) while stuffing epochs run narrower than the
+	// target width and narrows it back when they overshoot. Wider epochs
+	// give the worker pool more independent partitions per epoch, which is
+	// what near-linear stuffing-phase scaling needs. Off by default; the
+	// fixed-grain path is the determinism oracle. Either setting is
+	// worker-count invariant (the controller only consumes schedule-derived
+	// statistics), but toggling it changes event timestamps and therefore
+	// study results, like any attacker-timing parameter.
+	TimelineAdaptiveAlign bool
 	// NetLatency emulates one network round-trip of wall-clock delay per
 	// crawler page load (real crawling is latency-bound, not CPU-bound).
 	// Zero — the default — keeps simulations instant; benchmarks set it to

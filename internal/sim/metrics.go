@@ -20,9 +20,11 @@ type pilotMetrics struct {
 
 	tlEvents      *obs.Counter
 	tlEpochs      *obs.Counter
+	tlSegments    *obs.Counter
 	tlWidth       *obs.Histogram
 	tlPartitions  *obs.Histogram
 	tlUtilization *obs.Gauge
+	alignSec      *obs.Gauge
 }
 
 // newPilotMetrics registers the sim metric families on r and exposes the
@@ -46,6 +48,8 @@ func (p *Pilot) newPilotMetrics(r *obs.Registry) *pilotMetrics {
 		tlWidth:       r.Histogram("tripwire_timeline_epoch_width", "Events per epoch (frontier width).", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
 		tlPartitions:  r.Histogram("tripwire_timeline_partitions", "Conflict partitions per epoch.", []float64{1, 2, 4, 8, 16, 32, 64}),
 		tlUtilization: r.Gauge("tripwire_timeline_worker_utilization_percent", "Share of the last parallel epoch's worker-time spent executing events."),
+		tlSegments:    r.Counter("tripwire_timeline_segments_total", "Parallel segments executed across all epochs."),
+		alignSec:      r.Gauge("tripwire_timeline_align_seconds", "Attacker scheduling grain currently in effect (moves only under adaptive align)."),
 	}
 	r.GaugeFunc("tripwire_sim_workers", "Configured crawl workers (0 meant GOMAXPROCS).", func() int64 {
 		return int64(p.workers())
@@ -65,6 +69,7 @@ func (m *pilotMetrics) epochDone(st simclock.EpochStats) {
 	}
 	m.tlEvents.Add(uint64(st.Width))
 	m.tlEpochs.Inc()
+	m.tlSegments.Add(uint64(st.Segments))
 	m.tlWidth.Observe(float64(st.Width))
 	m.tlPartitions.Observe(float64(st.Partitions))
 	if st.Workers > 1 && st.Elapsed > 0 {

@@ -58,6 +58,16 @@ func (p *Pilot) RunContext(ctx context.Context) error {
 		Workers:    p.timelineWorkers(),
 		Sequencers: []simclock.Sequencer{p.Provider, p.Stuffer},
 	}
+	defer ep.Close()
+	// The campaign's adaptive align controller consumes the deterministic
+	// epoch shape (a no-op unless AlignMax widening is enabled); the gauge
+	// exports whatever grain it settles on.
+	ep.Tune = func(st simclock.EpochStats) {
+		p.Campaign.TuneEpoch(st)
+		if p.metrics != nil {
+			p.metrics.alignSec.Set(int64(p.Campaign.CurrentAlign() / time.Second))
+		}
+	}
 	if p.metrics != nil {
 		ep.Observe = p.metrics.epochDone
 	}

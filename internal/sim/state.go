@@ -103,6 +103,7 @@ func encodeConfig(cfg *Config) []byte {
 	e.Int(int64(cfg.LogResidentBudget))
 	e.String(cfg.LogSpillDir)
 	e.Bool(cfg.EagerAccounts)
+	e.Bool(cfg.TimelineAdaptiveAlign)
 	return e.Bytes()
 }
 
@@ -171,6 +172,7 @@ func decodeConfig(data []byte) (Config, error) {
 	cfg.LogResidentBudget = int(d.Int())
 	cfg.LogSpillDir = d.String()
 	cfg.EagerAccounts = d.Bool()
+	cfg.TimelineAdaptiveAlign = d.Bool()
 	if err := d.Err(); err != nil {
 		return Config{}, fmt.Errorf("config section: %w", err)
 	}

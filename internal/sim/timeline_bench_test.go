@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -18,10 +19,10 @@ import (
 // benchTimelineDomains / benchTimelineAccounts size the attacker-only
 // timeline benchmark: breached plaintext sites whose dumps all crack to
 // valid provider credentials, so every account produces a long stream of
-// keyed stuffing events (real IMAP logins over in-memory pipes).
+// keyed stuffing events (real IMAP logins over in-memory conns).
 const (
 	benchTimelineDomains  = 24
-	benchTimelineAccounts = 600
+	benchTimelineAccounts = 1200
 	benchTimelineDays     = 120
 	// benchTimelineLatency emulates the proxy-network round trip each login
 	// attempt costs (Stuffer.Latency). Real stuffing is latency-bound; the
@@ -34,10 +35,10 @@ const (
 
 // buildTimelineBench assembles the attacker-only fixture: provider,
 // stuffer, and a campaign with every domain breached in the first hours.
-// The 12h alignment grain packs independent accounts' visits onto shared
-// timestamps, so epochs are wide enough for the worker pool to matter —
-// the same mechanism the pilot uses, minus the crawl (which has its own
-// benchmark).
+// The 24h alignment grain packs independent accounts' visits onto shared
+// timestamps, and adaptive widening (wired through Tune exactly as the
+// pilot wires it) then grows the grain until epochs are wide enough to
+// keep the whole worker pool busy.
 func buildTimelineBench(workers int) (*simclock.Epochs, time.Time) {
 	start := date(2015, 6, 1)
 	end := start.Add(benchTimelineDays * 24 * time.Hour)
@@ -50,6 +51,12 @@ func buildTimelineBench(workers int) (*simclock.Epochs, time.Time) {
 	stuffer.Latency = benchTimelineLatency
 	cfg := attacker.DefaultCampaignConfig(end)
 	cfg.Align = 24 * time.Hour
+	cfg.AlignMax = attacker.DefaultAlignMax
+	// Steer wider than the pilot default: the fixture's bursty single-IP
+	// visits cost up to ~45 serial round trips each, and only epochs much
+	// wider than one burst keep that straggler cost amortized across the
+	// pool at 8-16 workers.
+	cfg.AlignTargetWidth = 1024
 	camp := attacker.NewCampaign(cfg, sched, stuffer, p)
 
 	gen := identity.NewGenerator(ProviderDomain, 17)
@@ -70,26 +77,50 @@ func buildTimelineBench(workers int) (*simclock.Epochs, time.Time) {
 		Sched:      sched,
 		Workers:    workers,
 		Sequencers: []simclock.Sequencer{p, stuffer},
+		Tune:       camp.TuneEpoch,
 	}
 	return ep, end
 }
 
 // BenchmarkTimeline measures timeline engine throughput (events/s) at
-// several worker counts over the attacker-heavy fixture. The fixture is
-// rebuilt outside the timer each iteration (a breach only happens once);
-// the timed region is exactly the epoch loop RunContext drives.
+// several worker counts over the attacker-heavy fixture, plus the two
+// quality metrics the bench harness gates: allocs/event (allocations per
+// fired event, timed region only) and scaling-eff (events/s per worker
+// relative to the workers=1 run of the same bench invocation). The fixture
+// is rebuilt outside the timer each iteration (a breach only happens
+// once); the timed region is exactly the epoch loop RunContext drives.
 func BenchmarkTimeline(b *testing.B) {
-	for _, workers := range []int{1, 4, 8} {
+	var baseEventsPerSec float64
+	for _, workers := range []int{1, 4, 8, 16} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			var events int64
+			var mallocs uint64
+			var ms runtime.MemStats
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				ep, end := buildTimelineBench(workers)
+				runtime.ReadMemStats(&ms)
+				m0 := ms.Mallocs
 				b.StartTimer()
 				events += int64(ep.RunUntil(end))
+				b.StopTimer()
+				runtime.ReadMemStats(&ms)
+				mallocs += ms.Mallocs - m0
+				ep.Close()
+				b.StartTimer()
 			}
-			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+			b.StopTimer()
+			evs := float64(events) / b.Elapsed().Seconds()
+			b.ReportMetric(evs, "events/s")
+			if events > 0 {
+				b.ReportMetric(float64(mallocs)/float64(events), "allocs/event")
+			}
+			if workers == 1 {
+				baseEventsPerSec = evs
+			} else if baseEventsPerSec > 0 {
+				b.ReportMetric(evs/(baseEventsPerSec*float64(workers)), "scaling-eff")
+			}
 		})
 	}
 }

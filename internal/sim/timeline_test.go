@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -8,48 +9,83 @@ import (
 	"tripwire/internal/sim"
 )
 
+// runTimelinePilot runs a small pilot with the given worker count and
+// adaptive-align setting, metrics live so the invariance covers the
+// metered epoch executor too.
+func runTimelinePilot(workers int, adaptive bool) *sim.Pilot {
+	cfg := sim.SmallConfig()
+	cfg.TimelineWorkers = workers
+	cfg.TimelineAdaptiveAlign = adaptive
+	cfg.Metrics = obs.New()
+	return sim.NewPilot(cfg).Run()
+}
+
+// comparePilots asserts two pilot runs are bit-identical: same attempts in
+// the same order, same detection times, and a byte-identical provider
+// login log (the most interleaving-sensitive artifact: every stuffing
+// login in order, with IP and method).
+func comparePilots(t *testing.T, serial, par *sim.Pilot, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(serial.Attempts, par.Attempts) {
+		t.Fatalf("Attempts diverge between baseline and %s", label)
+	}
+	if !reflect.DeepEqual(serial.DetectionTimes, par.DetectionTimes) {
+		t.Fatalf("DetectionTimes diverge between baseline and %s:\nbase: %v\n%s: %v",
+			label, serial.DetectionTimes, label, par.DetectionTimes)
+	}
+	serialLogins := serial.Provider.AllLogins()
+	logins := par.Provider.AllLogins()
+	if len(logins) != len(serialLogins) {
+		t.Fatalf("login counts differ: %d (baseline) vs %d (%s)",
+			len(serialLogins), len(logins), label)
+	}
+	for i := range logins {
+		if logins[i] != serialLogins[i] {
+			t.Fatalf("login %d diverges between baseline and %s:\nbase: %+v\n%s: %+v",
+				i, label, serialLogins[i], label, logins[i])
+		}
+	}
+}
+
 // TestTimelineWorkerInvariance asserts the epoch-parallel timeline
 // engine's core contract at the pilot level: a run with TimelineWorkers
-// 2, 4 or 8 is bit-identical to the serial run — same attempts in the
-// same order, same detection times, and a byte-identical provider login
-// log (the most interleaving-sensitive artifact: every stuffing login in
-// order, with IP and method). All runs carry a live metrics registry so
-// the invariance covers the metered epoch executor too.
+// 2, 4, 8 or 16 is bit-identical to the serial run. The per-count
+// subtests let CI smoke a single worker count under -race.
 func TestTimelineWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five full pilots in -short mode")
+	}
+	serial := runTimelinePilot(1, false)
+	if len(serial.Provider.AllLogins()) == 0 {
+		t.Fatal("serial pilot produced no provider logins; the fixture exercises nothing")
+	}
+	for _, workers := range []int{2, 4, 8, 16} {
+		t.Run(testName("workers", workers), func(t *testing.T) {
+			comparePilots(t, serial, runTimelinePilot(workers, false), testName("workers", workers))
+		})
+	}
+}
+
+// TestTimelineAdaptiveAlignInvariance asserts the adaptive epoch-widening
+// controller keeps the worker-count invariance: grain decisions derive
+// only from schedule shape, never from worker count or measured elapsed
+// time, so adaptive runs at any worker count stay bit-identical to the
+// adaptive serial run.
+func TestTimelineAdaptiveAlignInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("four full pilots in -short mode")
 	}
-	run := func(workers int) *sim.Pilot {
-		cfg := sim.SmallConfig()
-		cfg.TimelineWorkers = workers
-		cfg.Metrics = obs.New()
-		return sim.NewPilot(cfg).Run()
+	serial := runTimelinePilot(1, true)
+	if len(serial.Provider.AllLogins()) == 0 {
+		t.Fatal("adaptive serial pilot produced no provider logins")
 	}
-	serial := run(1)
-	serialLogins := serial.Provider.AllLogins()
-	if len(serialLogins) == 0 {
-		t.Fatal("serial pilot produced no provider logins; the fixture exercises nothing")
-	}
-
 	for _, workers := range []int{2, 4, 8} {
-		par := run(workers)
-		if !reflect.DeepEqual(serial.Attempts, par.Attempts) {
-			t.Fatalf("Attempts diverge between TimelineWorkers=1 and =%d", workers)
-		}
-		if !reflect.DeepEqual(serial.DetectionTimes, par.DetectionTimes) {
-			t.Fatalf("DetectionTimes diverge between TimelineWorkers=1 and =%d:\n1: %v\n%d: %v",
-				workers, serial.DetectionTimes, workers, par.DetectionTimes)
-		}
-		logins := par.Provider.AllLogins()
-		if len(logins) != len(serialLogins) {
-			t.Fatalf("login counts differ: %d (1 worker) vs %d (%d workers)",
-				len(serialLogins), len(logins), workers)
-		}
-		for i := range logins {
-			if logins[i] != serialLogins[i] {
-				t.Fatalf("login %d diverges between TimelineWorkers=1 and =%d:\n1: %+v\n%d: %+v",
-					i, workers, serialLogins[i], workers, logins[i])
-			}
-		}
+		t.Run(testName("workers", workers), func(t *testing.T) {
+			comparePilots(t, serial, runTimelinePilot(workers, true), testName("workers", workers))
+		})
 	}
+}
+
+func testName(prefix string, n int) string {
+	return fmt.Sprintf("%s=%d", prefix, n)
 }

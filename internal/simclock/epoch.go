@@ -1,7 +1,6 @@
 package simclock
 
 import (
-	"container/heap"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,7 +14,7 @@ import (
 //     runs alone, in frontier order;
 //   - maximal runs of keyed events form parallel segments. A segment is
 //     partitioned by conflict key (first-appearance order) and the
-//     partitions execute concurrently on a bounded worker pool, while
+//     partitions execute concurrently on a persistent worker pool, while
 //     events inside one partition run in frontier order.
 //
 // Results are bit-identical to serial execution at any worker count
@@ -30,7 +29,9 @@ import (
 //     per-event or per-account RNGs (derived from the study seed and the
 //     event's Seq), shared substrate is mutex-protected, and
 //     append-ordered shared logs are re-sequenced per segment by the
-//     registered Sequencers.
+//     registered Sequencers. Because no ordering leaks across partitions,
+//     the executor is free to dispatch partitions largest-first (LPT),
+//     which shaves stragglers off the end of wide segments.
 //
 // Starvation guard: the frontier is snapshotted before any handler runs,
 // so an event that schedules at its own timestamp cannot grow the epoch
@@ -39,6 +40,12 @@ import (
 // are therefore capped at zero by construction and fire next epoch in
 // deterministic order, exactly as Step would have fired them.
 // TestStarvationGuard pins this.
+//
+// Allocation discipline: the executor is designed to run millions of
+// events without per-event garbage. The frontier slice, the partition
+// index (an open-addressing key table plus CSR offset/item scratch), and
+// the per-event Exec values (a slab whose deferred buffers keep their
+// capacity) are all owned by Epochs and reused across segments and epochs.
 
 // Sequencer hooks shared append-ordered state into segment boundaries.
 // BeginSegment is called before a parallel segment starts and EndSegment
@@ -67,16 +74,130 @@ type EpochStats struct {
 
 // Epochs drives a Scheduler epoch by epoch. Workers bounds partition
 // concurrency (values below 2 execute partitions serially, still with
-// full epoch semantics — the determinism baseline). Sequencers are
-// invoked around every parallel segment. Observe, when non-nil, receives
-// per-epoch statistics.
+// full epoch semantics — the determinism baseline) and must not change
+// once the first parallel segment has run. Sequencers are invoked around
+// every parallel segment. Observe, when non-nil, receives per-epoch
+// statistics.
+//
+// Tune, when non-nil, receives the deterministic shape of every executed
+// epoch — the measured fields (Workers, Busy, Elapsed) are zeroed so a
+// feedback controller hanging off it cannot accidentally couple the
+// schedule to wall-clock timing or the worker count and break the
+// worker-count invariance contract. The attacker's adaptive align
+// controller is the intended consumer.
+//
+// The first parallel segment lazily starts Workers-1 helper goroutines
+// that persist for the lifetime of the Epochs; call Close when done with
+// the executor to release them. A closed executor remains usable — it
+// falls back to running partitions on the driver goroutine.
 type Epochs struct {
 	Sched      *Scheduler
 	Workers    int
 	Sequencers []Sequencer
 	Observe    func(EpochStats)
+	Tune       func(EpochStats)
 
 	frontier []*Event // scratch, reused across epochs
+
+	// Segment scratch, all reused (see runSegment). items/offs form a CSR
+	// layout over seg indices: partition p's events are
+	// items[offs[p]:offs[p+1]], in frontier order. order is the dispatch
+	// order (largest partition first).
+	keys   keyTable
+	pids   []int32
+	counts []int32
+	cursor []int32
+	offs   []int32
+	items  []int32
+	order  []int32
+	execs  []Exec
+	flush  []*Event
+
+	seg     segState
+	jobs    chan struct{}
+	helpers int
+	closed  bool
+}
+
+// segState is the shared state of the segment currently executing on the
+// pool. Exactly one segment runs at a time; the WaitGroup joins the
+// helpers before the driver touches the results.
+type segState struct {
+	next    atomic.Int64
+	busy    atomic.Int64
+	wg      sync.WaitGroup
+	now     time.Time
+	seg     []*Event
+	nparts  int
+	metered bool
+}
+
+// Close releases the persistent worker goroutines. It is idempotent and
+// safe to call on an executor that never went parallel. After Close the
+// executor still runs correctly, executing partitions on the caller's
+// goroutine.
+func (e *Epochs) Close() {
+	if e.jobs != nil {
+		close(e.jobs)
+		e.jobs = nil
+		e.helpers = 0
+	}
+	e.closed = true
+}
+
+// ensurePool lazily starts the helper goroutines. The pool is sized once
+// from Workers; helpers park on the job channel between segments.
+func (e *Epochs) ensurePool() {
+	if e.jobs != nil || e.closed || e.Workers < 2 {
+		return
+	}
+	e.helpers = e.Workers - 1
+	e.jobs = make(chan struct{}, e.helpers)
+	for i := 0; i < e.helpers; i++ {
+		go e.helper(e.jobs)
+	}
+}
+
+// helper is the body of one persistent pool goroutine: wake on a token,
+// drain partitions from the current segment, report done, park again.
+// The channel is passed by value so Close (which nils the field) cannot
+// race with the loop's receive.
+func (e *Epochs) helper(jobs chan struct{}) {
+	for range jobs {
+		e.segWork()
+		e.seg.wg.Done()
+	}
+}
+
+// segWork claims partitions of the current segment (largest first, via the
+// shared cursor into order) and executes them. It runs concurrently on the
+// driver and every woken helper; all segment inputs are published before
+// the wake tokens are sent.
+func (e *Epochs) segWork() {
+	ss := &e.seg
+	metered := ss.metered
+	for {
+		k := ss.next.Add(1) - 1
+		if k >= int64(ss.nparts) {
+			return
+		}
+		p := e.order[k]
+		var t0 time.Time
+		if metered {
+			t0 = time.Now()
+		}
+		for _, idx := range e.items[e.offs[p]:e.offs[p+1]] {
+			ev := ss.seg[idx]
+			x := &e.execs[idx]
+			x.s, x.now, x.seq = e.Sched, ss.now, ev.seq
+			x.buffered = true
+			x.deferred = x.deferred[:0]
+			ev.KFn(x)
+		}
+		if metered {
+			ss.busy.Add(int64(time.Since(t0)))
+		}
+	}
 }
 
 // RunEpoch executes the next epoch and returns how many events fired
@@ -86,11 +207,7 @@ func (e *Epochs) RunEpoch() int {
 	if len(s.pq) == 0 {
 		return 0
 	}
-	at := s.pq[0].At
-	frontier := e.frontier[:0]
-	for len(s.pq) > 0 && s.pq[0].At.Equal(at) {
-		frontier = append(frontier, heap.Pop(&s.pq).(*Event))
-	}
+	frontier, at := s.popFrontier(e.frontier[:0])
 	e.frontier = frontier
 	s.clock.AdvanceTo(at)
 
@@ -112,6 +229,11 @@ func (e *Epochs) RunEpoch() int {
 		}
 		e.runSegment(frontier[i:j], &st)
 		i = j
+	}
+	if e.Tune != nil {
+		ts := st
+		ts.Workers, ts.Busy, ts.Elapsed = 0, 0, 0
+		e.Tune(ts)
 	}
 	if e.Observe != nil {
 		st.Elapsed = time.Since(epochStart)
@@ -146,24 +268,68 @@ func (e *Epochs) runSegment(seg []*Event, st *EpochStats) {
 	st.Keyed += len(seg)
 	st.Segments++
 
-	// Partition by conflict key in first-appearance order. parts holds
-	// indices into seg so flush order stays trivially the frontier order.
-	keyIdx := make(map[uint64]int, 16)
-	parts := make([][]int, 0, 16)
+	// Partition by conflict key in first-appearance order into a CSR
+	// layout. The key table and every scratch slice persist across
+	// segments, so steady-state partitioning allocates nothing.
+	n := len(seg)
+	e.pids = growInt32(e.pids, n)
+	e.keys.reset(n)
+	nparts := 0
 	for i, ev := range seg {
-		p, ok := keyIdx[ev.Key]
+		pid, ok := e.keys.lookup(ev.Key, int32(nparts))
 		if !ok {
-			p = len(parts)
-			keyIdx[ev.Key] = p
-			parts = append(parts, nil)
+			nparts++
 		}
-		parts[p] = append(parts[p], i)
+		e.pids[i] = pid
 	}
-	st.Partitions += len(parts)
+	st.Partitions += nparts
+
+	e.counts = growInt32(e.counts, nparts)
+	counts := e.counts[:nparts]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, pid := range e.pids[:n] {
+		counts[pid]++
+	}
+	e.offs = growInt32(e.offs, nparts+1)
+	e.cursor = growInt32(e.cursor, nparts)
+	offs, cursor := e.offs[:nparts+1], e.cursor[:nparts]
+	off := int32(0)
+	for p, c := range counts {
+		offs[p] = off
+		cursor[p] = off
+		off += c
+	}
+	offs[nparts] = off
+	e.items = growInt32(e.items, n)
+	for i, pid := range e.pids[:n] {
+		e.items[cursor[pid]] = int32(i)
+		cursor[pid]++
+	}
+
+	// Dispatch order: largest partitions first (classic LPT scheduling).
+	// Worker-count invariance holds because cross-partition order is
+	// unobservable; the pid tiebreak just keeps the order itself stable.
+	e.order = growInt32(e.order, nparts)
+	order := e.order[:nparts]
+	for p := range order {
+		order[p] = int32(p)
+	}
+	for i := 1; i < nparts; i++ {
+		p := order[i]
+		j := i
+		for j > 0 && (counts[order[j-1]] < counts[p] ||
+			(counts[order[j-1]] == counts[p] && order[j-1] > p)) {
+			order[j] = order[j-1]
+			j--
+		}
+		order[j] = p
+	}
 
 	workers := e.Workers
-	if workers > len(parts) {
-		workers = len(parts)
+	if workers > nparts {
+		workers = nparts
 	}
 	if workers < 1 {
 		workers = 1
@@ -172,72 +338,110 @@ func (e *Epochs) runSegment(seg []*Event, st *EpochStats) {
 		st.Workers = workers
 	}
 
+	if len(e.execs) < n {
+		e.execs = append(e.execs, make([]Exec, n-len(e.execs))...)
+	}
+
 	for _, sq := range e.Sequencers {
 		sq.BeginSegment()
 	}
-	now := e.Sched.clock.Now()
-	execs := make([]*Exec, len(seg))
-	runPartition := func(p int) {
-		for _, i := range parts[p] {
-			x := &Exec{s: e.Sched, now: now, seq: seg[i].seq, buffered: true}
-			execs[i] = x
-			seg[i].KFn(x)
+	ss := &e.seg
+	ss.now = e.Sched.clock.Now()
+	ss.seg = seg
+	ss.nparts = nparts
+	ss.metered = e.Observe != nil
+	ss.next.Store(0)
+	ss.busy.Store(0)
+	if workers <= 1 || e.closed {
+		e.segWork()
+	} else {
+		e.ensurePool()
+		helpers := workers - 1
+		if helpers > e.helpers {
+			helpers = e.helpers
 		}
+		ss.wg.Add(helpers)
+		for i := 0; i < helpers; i++ {
+			e.jobs <- struct{}{}
+		}
+		e.segWork()
+		ss.wg.Wait()
 	}
-	switch {
-	case workers <= 1:
-		for p := range parts {
-			runPartition(p)
-		}
-	case e.Observe == nil:
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					p := int(next.Add(1)) - 1
-					if p >= len(parts) {
-						return
-					}
-					runPartition(p)
-				}
-			}()
-		}
-		wg.Wait()
-	default:
-		// Metered variant: per-partition wall time feeds the busy total
-		// that Observe turns into worker utilization.
-		var next, busy atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					p := int(next.Add(1)) - 1
-					if p >= len(parts) {
-						return
-					}
-					start := time.Now()
-					runPartition(p)
-					busy.Add(int64(time.Since(start)))
-				}
-			}()
-		}
-		wg.Wait()
-		st.Busy += time.Duration(busy.Load())
+	if ss.metered {
+		st.Busy += time.Duration(ss.busy.Load())
 	}
+	ss.seg = nil
 	for _, sq := range e.Sequencers {
 		sq.EndSegment()
 	}
 
 	// Deterministic flush: deferred events enter the queue in frontier
 	// order, reproducing the sequence numbers serial execution assigns.
-	for _, x := range execs {
-		for _, ev := range x.deferred {
-			e.Sched.push(ev)
+	// Gathering the whole segment's deferral into one batch lets the
+	// scheduler restore the heap in a single pass.
+	flush := e.flush[:0]
+	for i := range seg {
+		x := &e.execs[i]
+		flush = append(flush, x.deferred...)
+		clear(x.deferred)
+		x.deferred = x.deferred[:0]
+	}
+	e.Sched.pushBatch(flush)
+	clear(flush)
+	e.flush = flush[:0]
+}
+
+// growInt32 extends s to length n, reusing its backing array.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n, n+n/2+8)
+}
+
+// keyTable is a reusable open-addressing map from conflict key to
+// partition id. Slots are invalidated in O(1) between segments by bumping
+// a generation counter instead of clearing.
+type keyTable struct {
+	keys []uint64
+	pids []int32
+	gens []uint64
+	gen  uint64
+	mask uint64
+}
+
+// reset prepares the table for a segment of up to n distinct keys.
+func (t *keyTable) reset(n int) {
+	want := 16
+	for want < 2*n {
+		want <<= 1
+	}
+	if len(t.keys) < want {
+		t.keys = make([]uint64, want)
+		t.pids = make([]int32, want)
+		t.gens = make([]uint64, want)
+		t.mask = uint64(want - 1)
+		t.gen = 0
+	}
+	t.gen++
+}
+
+// lookup returns the partition id for key, inserting next (and reporting
+// ok=false) when the key is new this segment.
+func (t *keyTable) lookup(key uint64, next int32) (pid int32, ok bool) {
+	// Fibonacci hashing spreads the low-entropy 1..256 shard keys as well
+	// as arbitrary 64-bit keys.
+	i := (key * 0x9E3779B97F4A7C15) >> 32 & t.mask
+	for {
+		if t.gens[i] != t.gen {
+			t.gens[i] = t.gen
+			t.keys[i] = key
+			t.pids[i] = next
+			return next, false
 		}
+		if t.keys[i] == key {
+			return t.pids[i], true
+		}
+		i = (i + 1) & t.mask
 	}
 }

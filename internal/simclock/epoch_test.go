@@ -92,6 +92,7 @@ func runToy(workers int) *toyWorld {
 	w := &toyWorld{}
 	buildToyTimeline(s, w, 99, 16)
 	ex := &Epochs{Sched: s, Workers: workers, Sequencers: []Sequencer{w}}
+	defer ex.Close()
 	ex.RunUntil(time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC))
 	return w
 }
@@ -216,6 +217,7 @@ func TestEpochSerialEventsAreBarriers(t *testing.T) {
 		s.AtKeyed(at, uint64(1+i), fmt.Sprintf("post%d", i), func(x *Exec) { mark("post") })
 	}
 	ex := &Epochs{Sched: s, Workers: 8}
+	defer ex.Close()
 	if n := ex.RunEpoch(); n != 17 {
 		t.Fatalf("epoch width = %d, want 17", n)
 	}
@@ -235,6 +237,7 @@ func TestEpochObserveStats(t *testing.T) {
 	s.At(at, "serial", func(time.Time) {})
 	var stats []EpochStats
 	ex := &Epochs{Sched: s, Workers: 8, Observe: func(st EpochStats) { stats = append(stats, st) }}
+	defer ex.Close()
 	ex.RunEpoch()
 	if len(stats) != 1 {
 		t.Fatalf("observed %d epochs, want 1", len(stats))
@@ -281,6 +284,7 @@ func TestEpochExecutorRaceHammer(t *testing.T) {
 	}
 	events := 0
 	ex := &Epochs{Sched: s, Workers: 8, Sequencers: []Sequencer{w}, Observe: func(st EpochStats) { events += st.Width }}
+	defer ex.Close()
 	ex.RunUntil(start.Add(90 * 24 * time.Hour))
 	if events < 256 || len(w.global) != events {
 		t.Fatalf("hammer fired %d events, global log %d", events, len(w.global))

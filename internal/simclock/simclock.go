@@ -12,7 +12,6 @@
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -85,10 +84,13 @@ type Event struct {
 }
 
 // KeyFor maps an identifier (a site domain, an account email) onto one of
-// 64 conflict-key shards, numbered 1..64 so that 0 stays reserved for
-// exclusive events. It uses the same 64-way FNV-1a sharding as the webgen
-// substrate: events about the same domain or account always collide and
-// therefore stay mutually ordered.
+// 256 conflict-key shards, numbered 1..256 so that 0 stays reserved for
+// exclusive events (FNV-1a, folded). Events about the same domain or
+// account always collide and therefore stay mutually ordered. Distinct
+// identifiers may also collide; that only serializes their execution
+// inside an epoch, it never reorders observable output — which is why the
+// fold width is a pure throughput knob: 256 shards keep false conflicts
+// rare enough that wide epochs saturate a 16-worker pool.
 func KeyFor(id string) uint64 {
 	const offset64, prime64 = 14695981039866320922, 1099511628211
 	h := uint64(offset64)
@@ -96,7 +98,7 @@ func KeyFor(id string) uint64 {
 		h ^= uint64(id[i])
 		h *= prime64
 	}
-	return h&63 + 1
+	return h&255 + 1
 }
 
 // Scheduler is a deterministic discrete-event scheduler driving a Clock.
@@ -121,8 +123,54 @@ func (s *Scheduler) Clock() *Clock { return s.clock }
 func (s *Scheduler) push(ev *Event) *Event {
 	ev.seq = s.seq
 	s.seq++
-	heap.Push(&s.pq, ev)
+	s.pq.push(ev)
 	return ev
+}
+
+// pushBatch assigns sequence numbers to evs in slice order and queues them
+// all. It is the bulk counterpart of push used by the epoch executor to
+// flush a segment's deferred scheduling: appending the batch first and then
+// restoring the heap in one pass beats len(evs) independent sift-ups once
+// the batch is a sizable fraction of the queue. The heap's internal layout
+// never affects observable order — (At, seq) is a strict total order — so
+// either restoration strategy yields identical runs.
+func (s *Scheduler) pushBatch(evs []*Event) {
+	if len(evs) == 0 {
+		return
+	}
+	base := len(s.pq)
+	for _, ev := range evs {
+		ev.seq = s.seq
+		s.seq++
+		ev.index = len(s.pq)
+		s.pq = append(s.pq, ev)
+	}
+	if len(evs) >= base/4 {
+		// Bottom-up heapify: O(n+m) beats m sift-ups of O(log n) each.
+		for i := len(s.pq)/2 - 1; i >= 0; i-- {
+			s.pq.down(i)
+		}
+		return
+	}
+	for i := base; i < len(s.pq); i++ {
+		s.pq.up(i)
+	}
+}
+
+// popFrontier removes every event sharing the earliest pending timestamp
+// and appends them to dst in (At, seq) order — exactly the order repeated
+// Step calls would have fired them. It returns the extended slice and the
+// frontier timestamp. dst's backing array is reused across epochs by the
+// caller.
+func (s *Scheduler) popFrontier(dst []*Event) ([]*Event, time.Time) {
+	if len(s.pq) == 0 {
+		return dst, time.Time{}
+	}
+	at := s.pq[0].At
+	for len(s.pq) > 0 && s.pq[0].At.Equal(at) {
+		dst = append(dst, s.pq.popMin())
+	}
+	return dst, at
 }
 
 // At schedules fn to run at t. Scheduling in the past is allowed (the event
@@ -159,7 +207,7 @@ func (s *Scheduler) Cancel(ev *Event) bool {
 	if ev == nil || ev.index < 0 || ev.index >= len(s.pq) || s.pq[ev.index] != ev {
 		return false
 	}
-	heap.Remove(&s.pq, ev.index)
+	s.pq.remove(ev.index)
 	return true
 }
 
@@ -205,7 +253,7 @@ func (s *Scheduler) Step() bool {
 	if len(s.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&s.pq).(*Event)
+	ev := s.pq.popMin()
 	s.clock.AdvanceTo(ev.At)
 	s.fire(ev)
 	return true
@@ -302,36 +350,97 @@ func (x *Exec) AfterKeyed(d time.Duration, key uint64, name string, fn func(*Exe
 	x.AtKeyed(x.now.Add(d), key, name, fn)
 }
 
-// eventQueue is a min-heap over (At, seq).
+// eventQueue is a min-heap over (At, seq). It implements the sift
+// operations directly rather than through container/heap: the queue is the
+// single hottest data structure in the simulator and the interface
+// indirection (plus the any boxing on Push/Pop) is measurable across the
+// millions of events a study schedules.
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if !q[i].At.Equal(q[j].At) {
 		return q[i].At.Before(q[j].At)
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// up restores the heap property for an element that may be smaller than its
+// ancestors (after insertion at i).
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
 }
 
-func (q *eventQueue) Pop() any {
+// down restores the heap property for an element that may be larger than
+// its descendants. It reports whether the element moved.
+func (q eventQueue) down(i int) bool {
+	start := i
+	n := len(q)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && q.less(r, child) {
+			child = r
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q.swap(i, child)
+		i = child
+	}
+	return i > start
+}
+
+// push inserts ev (seq already assigned) into the heap.
+func (q *eventQueue) push(ev *Event) {
+	ev.index = len(*q)
+	*q = append(*q, ev)
+	q.up(ev.index)
+}
+
+// popMin removes and returns the minimum element.
+func (q *eventQueue) popMin() *Event {
 	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	ev := old[0]
+	last := len(old) - 1
+	old.swap(0, last)
+	old[last] = nil
+	*q = old[:last]
+	if last > 0 {
+		(*q).down(0)
+	}
 	ev.index = -1
-	*q = old[:n-1]
 	return ev
+}
+
+// remove deletes the element at index i (used by Cancel).
+func (q *eventQueue) remove(i int) {
+	old := *q
+	last := len(old) - 1
+	ev := old[i]
+	if i != last {
+		old.swap(i, last)
+	}
+	old[last] = nil
+	*q = old[:last]
+	if i != last {
+		if !(*q).down(i) {
+			(*q).up(i)
+		}
+	}
+	ev.index = -1
 }

@@ -38,7 +38,8 @@ import (
 const Magic = "TWSN"
 
 // Version is the current format version, bumped on any layout change.
-const Version = 1
+// v2: the sim config section gained the timeline adaptive-align flag.
+const Version = 2
 
 // Sanity bounds on container metadata. Section payloads are bounded by the
 // file size itself (lengths are checked against remaining bytes), so only

@@ -121,6 +121,7 @@ type studyOptions struct {
 	checkpoint      *checkpointOption
 	logSpill        *logSpillOption
 	eagerAccounts   *bool
+	adaptiveAlign   *bool
 }
 
 type checkpointOption struct {
@@ -159,6 +160,9 @@ func (o *studyOptions) apply(cfg *Config) {
 	if o.eagerAccounts != nil {
 		cfg.EagerAccounts = *o.eagerAccounts
 	}
+	if o.adaptiveAlign != nil {
+		cfg.TimelineAdaptiveAlign = *o.adaptiveAlign
+	}
 }
 
 // WithConfig replaces the base configuration (DefaultConfig) wholesale.
@@ -180,6 +184,16 @@ func WithWorkers(n int) Option {
 // for a given seed regardless of the value.
 func WithTimelineWorkers(n int) Option {
 	return func(o *studyOptions) { o.timelineWorkers = &n }
+}
+
+// WithAdaptiveAlign lets the attacker campaign widen its scheduling grain
+// adaptively, packing more independent accounts' visits into each timeline
+// epoch so extra timeline workers have more latency to overlap. Results
+// remain bit-identical across worker counts for a given seed, but toggling
+// the option changes event timestamps like any other attacker-timing
+// parameter. Off by default.
+func WithAdaptiveAlign(on bool) Option {
+	return func(o *studyOptions) { o.adaptiveAlign = &on }
 }
 
 // WithSeed sets the master seed; every derived RNG stream follows from it.
